@@ -1,0 +1,130 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+1. **STDIO buffering off** — drop the FILE* coalescing and latency hiding:
+   the Figure 11/12 contrasts should *widen* dramatically, showing the
+   buffered-stream model (not the caps alone) produces the paper's
+   moderate small-transfer gaps.
+2. **Stream caps equalized** — give STDIO the POSIX caps: the PFS read gap
+   should collapse toward parallelism-only, showing the per-stream cap is
+   what separates the interfaces at low parallelism.
+3. **Scale invariance** — CDF shapes and dominance ratios measured at two
+   different scales must agree: the scale knob changes counts, not shapes
+   (DESIGN.md §5).
+"""
+
+import numpy as np
+from conftest import BENCH_SEED, write_result
+
+from repro.analysis import layer_volumes, performance_by_bin, transfer_cdfs
+from repro.analysis.performance import panel
+from repro.iosim import perfmodel as pm
+from repro.iosim.perfmodel import PerfModel, StreamCaps
+from repro.workloads.generator import (
+    GeneratorConfig,
+    WorkloadGenerator,
+    generate_with_shadows,
+)
+
+
+def _summit(scale=5e-4, perf=None):
+    gen = WorkloadGenerator("summit", GeneratorConfig(scale=scale), perf=perf)
+    return generate_with_shadows(gen, BENCH_SEED)
+
+
+def test_ablation_stdio_buffering(benchmark, results_dir):
+    """Without buffering, STDIO collapses to raw tiny syscalls."""
+
+    def build():
+        store = _summit(perf=PerfModel(stdio_buffering=False))
+        baseline = _summit()
+        return store, baseline
+
+    no_buffer, baseline = benchmark.pedantic(build, rounds=1, iterations=1)
+    base_gap = panel(
+        performance_by_bin(baseline), "pfs", "read"
+    ).median_speedup("100M_1G")
+    nobuf_gap = panel(
+        performance_by_bin(no_buffer), "pfs", "read"
+    ).median_speedup("100M_1G")
+    text = "\n".join(
+        [
+            "Ablation 1 - STDIO buffering",
+            f"  PFS read 100M-1G POSIX/STDIO gap with buffering: {base_gap:.1f}x",
+            f"  ... without buffering: {nobuf_gap:.1f}x",
+            "  expectation: gap widens by >3x without buffering",
+        ]
+    )
+    write_result(results_dir, "ablation_stdio_buffering", text)
+    assert nobuf_gap > base_gap * 3
+
+
+def test_ablation_equal_stream_caps(benchmark, results_dir):
+    """Equal caps: the interface gap at low parallelism collapses."""
+
+    def build():
+        caps = dict(pm.DEFAULT_CAPS)
+        g = caps["GPFS"]
+        caps["GPFS"] = StreamCaps(
+            posix_read=g.posix_read, posix_write=g.posix_write,
+            stdio_read=g.posix_read, stdio_write=g.posix_write,
+            latency=g.latency, sigma=g.sigma,
+        )
+        n = caps["NVMe"]
+        caps["NVMe"] = StreamCaps(
+            posix_read=n.posix_read, posix_write=n.posix_write,
+            stdio_read=n.posix_read, stdio_write=n.posix_write,
+            latency=n.latency, sigma=n.sigma,
+        )
+        return _summit(perf=PerfModel(caps=caps)), _summit()
+
+    equal, baseline = benchmark.pedantic(build, rounds=1, iterations=1)
+    base_gap = panel(
+        performance_by_bin(baseline), "insystem", "read"
+    ).median_speedup("100M_1G")
+    equal_gap = panel(
+        performance_by_bin(equal), "insystem", "read"
+    ).median_speedup("100M_1G")
+    text = "\n".join(
+        [
+            "Ablation 2 - equalized stream caps (SCNL reads, 100M-1G)",
+            f"  default caps gap: {base_gap:.2f}x",
+            f"  equal caps gap:   {equal_gap:.2f}x",
+            "  expectation: gap shrinks toward ~1x with equal caps",
+        ]
+    )
+    write_result(results_dir, "ablation_equal_caps", text)
+    assert equal_gap < base_gap * 0.7
+
+
+def test_ablation_scale_invariance(benchmark, results_dir):
+    """Shapes are scale-free; counts scale linearly (DESIGN.md §5)."""
+
+    def build():
+        return _summit(scale=4e-4), _summit(scale=1.2e-3)
+
+    small, large = benchmark.pedantic(build, rounds=1, iterations=1)
+    vol_s, vol_l = layer_volumes(small), layer_volumes(large)
+    cdf_s = {
+        (c.layer, c.direction): c.percent_below(1e9)
+        for c in transfer_cdfs(small)
+    }
+    cdf_l = {
+        (c.layer, c.direction): c.percent_below(1e9)
+        for c in transfer_cdfs(large)
+    }
+    lines = ["Ablation 3 - scale invariance (summit, 4e-4 vs 1.2e-3)"]
+    lines.append(
+        f"  extrapolated PFS files: {vol_s.pfs.files / small.scale:.3e} vs "
+        f"{vol_l.pfs.files / large.scale:.3e}"
+    )
+    for key in cdf_s:
+        lines.append(
+            f"  <1GB {key}: {cdf_s[key]:.2f}% vs {cdf_l.get(key, float('nan')):.2f}%"
+        )
+    write_result(results_dir, "ablation_scale", "\n".join(lines))
+
+    ratio = (vol_s.pfs.files / small.scale) / (vol_l.pfs.files / large.scale)
+    assert 0.8 < ratio < 1.25
+    for key, val in cdf_s.items():
+        if key in cdf_l:
+            assert abs(val - cdf_l[key]) < 2.5, key

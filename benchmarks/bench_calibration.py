@@ -1,0 +1,28 @@
+"""Calibration audit: every tuned marginal vs its published target."""
+
+from conftest import write_result
+
+from repro.analysis.report import render_table
+from repro.core.calibration import calibration_report, miscalibrated
+
+
+def test_calibration(benchmark, summit_store, cori_store, results_dir):
+    reports = benchmark(
+        lambda: {
+            "summit": calibration_report(summit_store),
+            "cori": calibration_report(cori_store),
+        }
+    )
+    rows = []
+    for platform, report in reports.items():
+        for r in report:
+            rows.append([platform, *r.to_rows()[0]])
+    text = render_table(
+        ["system", "quantity", "paper", "measured", "ratio"],
+        rows,
+        title="Calibration audit (full-year extrapolation)",
+    )
+    write_result(results_dir, "calibration", text)
+    for platform, report in reports.items():
+        bad = miscalibrated(report, factor=3.0)
+        assert not bad, (platform, [r.quantity for r in bad])

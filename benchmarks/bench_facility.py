@@ -1,0 +1,80 @@
+"""Facility-level experiments: layer demand replay and variability.
+
+Follow-on analyses the paper's conclusions motivate: the operator's
+aggregate view of the unbalanced layers (replay), and the production-load
+variability signature behind the Figure 11/12 whiskers (TOKIO-flavored).
+"""
+
+from conftest import write_result
+
+from repro.analysis import bandwidth_variability, median_iqr_ratio
+from repro.analysis.report import render_table
+from repro.iosim.replay import FacilityReplay
+from repro.platforms import cori, summit
+
+
+def test_facility_replay(benchmark, summit_store, cori_store, results_dir):
+    def run():
+        return [
+            FacilityReplay(summit_store, summit()),
+            FacilityReplay(cori_store, cori()),
+        ]
+
+    replays = benchmark(run)
+    rows = []
+    for r in replays:
+        rows.extend(r.summary_rows())
+    text = render_table(
+        ["system", "layer", "dir", "mean util", "peak util", ">80% of time"],
+        rows,
+        title="Facility replay - layer demand vs capacity",
+    )
+    write_result(results_dir, "facility_replay", text)
+
+    summit_replay, cori_replay = replays
+    # The unbalanced-layers finding, facility view: PFS carries far more
+    # relative load than the in-system layer on both platforms.
+    for replay in replays:
+        pfs = replay.demand("pfs", "write").mean_utilization() + replay.demand(
+            "pfs", "read"
+        ).mean_utilization()
+        ins = replay.demand("insystem", "write").mean_utilization() + replay.demand(
+            "insystem", "read"
+        ).mean_utilization()
+        assert pfs > 3 * ins, replay.store.platform
+    # Summit's write demand is bursty: peaks far above the mean.
+    pfs_w = summit_replay.demand("pfs", "write")
+    assert pfs_w.peak_utilization() > 3 * pfs_w.mean_utilization()
+
+
+def test_bandwidth_variability(benchmark, summit_store, cori_store, results_dir):
+    def run():
+        return (
+            bandwidth_variability(summit_store),
+            bandwidth_variability(cori_store),
+        )
+
+    summit_cells, cori_cells = benchmark(run)
+    lines = ["Production-load variability (shared files)"]
+    for name, cells in (("summit", summit_cells), ("cori", cori_cells)):
+        lines.append(
+            f"  {name}: {len(cells)} populated cells, median IQR ratio "
+            f"{median_iqr_ratio(cells):.2f}"
+        )
+        for c in cells[:6]:
+            lines.append(
+                f"    {c.layer:9s} {c.interface:6s} {c.direction:5s} "
+                f"{c.bin_label:8s}: n={c.n:5d} median "
+                f"{c.median / 1e6:9.1f} MB/s IQR ratio {c.iqr_ratio:5.2f} "
+                f"p90/p10 {c.p90_over_p10:6.2f}"
+            )
+    write_result(results_dir, "facility_variability", "\n".join(lines))
+
+    # The paper's box plots span multiples under production load.
+    assert median_iqr_ratio(summit_cells) > 1.5
+    assert median_iqr_ratio(cori_cells) > 1.5
+    # PFS populations vary more than in-system ones (shared vs exclusive).
+    pfs = [c.iqr_ratio for c in summit_cells if c.layer == "pfs"]
+    ins = [c.iqr_ratio for c in summit_cells if c.layer == "insystem"]
+    if pfs and ins:
+        assert sorted(pfs)[len(pfs) // 2] > sorted(ins)[len(ins) // 2]

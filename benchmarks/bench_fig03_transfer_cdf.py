@@ -1,0 +1,30 @@
+"""Figure 3: per-file transfer-size CDFs — finding B (small transfers)."""
+
+from conftest import write_result
+
+from repro.analysis import transfer_cdfs
+from repro.analysis.report import HEADERS, render_results
+from repro.core import expectations as exp
+
+
+def test_fig3(benchmark, summit_store, cori_store, results_dir):
+    curves = benchmark(
+        lambda: transfer_cdfs(summit_store) + transfer_cdfs(cori_store)
+    )
+    text = render_results(
+        "Figure 3 - CDF of per-file transfer size", HEADERS["fig3"], curves
+    )
+    lines = [text, "", "paper <1GB fractions:"]
+    for c in curves:
+        paper = exp.SUB_1GB_FILE_FRACTION[(c.platform, c.layer, c.direction)]
+        lines.append(
+            f"  {c.platform} {c.layer} {c.direction}: paper "
+            f"{100 * paper:.1f}% measured {c.percent_below(1e9):.1f}%"
+        )
+    write_result(results_dir, "fig03", "\n".join(lines))
+
+    for c in curves:
+        paper = exp.SUB_1GB_FILE_FRACTION[(c.platform, c.layer, c.direction)]
+        assert c.percent_below(1e9) >= 100 * paper - 4.0, (
+            c.platform, c.layer, c.direction,
+        )

@@ -1,0 +1,33 @@
+"""Figure 6: RO/RW/WO classification (POSIX+STDIO) — Recommendation 3."""
+
+from conftest import write_result
+
+from repro.analysis import file_classification
+from repro.analysis.report import HEADERS, render_results
+from repro.core import expectations as exp
+
+
+def test_fig6(benchmark, summit_store, cori_store, results_dir):
+    results = benchmark(
+        lambda: [
+            file_classification(summit_store),
+            file_classification(cori_store),
+        ]
+    )
+    text = render_results(
+        "Figure 6 - file classification, POSIX+STDIO",
+        HEADERS["fig6"],
+        results,
+    )
+    lines = [text, "", "stageable (RO+WO) share of PFS files:"]
+    for r in results:
+        paper = exp.STAGEABLE_PFS_FRACTION[r.platform]
+        lines.append(
+            f"  {r.platform}: paper {100 * paper:.1f}% measured "
+            f"{100 * r.stageable_pfs_fraction():.1f}%"
+        )
+    write_result(results_dir, "fig06", "\n".join(lines))
+
+    for r in results:
+        paper = exp.STAGEABLE_PFS_FRACTION[r.platform]
+        assert r.stageable_pfs_fraction() > paper - 0.07

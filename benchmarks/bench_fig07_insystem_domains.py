@@ -1,0 +1,40 @@
+"""Figure 7: in-system layer usage across science domains."""
+
+from conftest import write_result
+
+from repro.analysis import insystem_domain_usage
+from repro.analysis.report import HEADERS, render_results
+from repro.core import expectations as exp
+
+
+def test_fig7(benchmark, summit_store, cori_store, results_dir):
+    results = benchmark(
+        lambda: [
+            insystem_domain_usage(summit_store),
+            insystem_domain_usage(cori_store),
+        ]
+    )
+    text = render_results(
+        "Figure 7 - in-system usage by science domain",
+        HEADERS["fig7"],
+        results,
+    )
+    summit, cori = results
+    lines = [
+        text,
+        "",
+        f"summit CS+physics SCNL job share: paper ~60%, measured "
+        f"{100 * summit.job_share('computer science', 'physics'):.1f}% "
+        f"(over {summit.jobs_total} SCNL jobs)",
+        f"cori top CBB domains: read={cori.top_domain('read')!r} "
+        f"write={cori.top_domain('write')!r} (paper: physics, 71.95%)",
+        f"cori physics share of CBB transfer: "
+        f"{100 * cori.domain_share('physics'):.1f}%",
+    ]
+    write_result(results_dir, "fig07", "\n".join(lines))
+
+    # Widespread domain usage on both in-system layers.
+    assert len([d for d in summit.volumes if d]) >= 3
+    assert len([d for d in cori.volumes if d]) >= 8
+    # Physics carries the most CBB transfer.
+    assert cori.domain_share("physics") > 0.25

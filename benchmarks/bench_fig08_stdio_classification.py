@@ -1,0 +1,43 @@
+"""Figure 8: RO/RW/WO classification for STDIO-only files."""
+
+from conftest import write_result
+
+from repro.analysis import file_classification
+from repro.analysis.report import HEADERS, render_results
+
+
+def test_fig8(benchmark, summit_store, cori_store, results_dir):
+    results = benchmark(
+        lambda: [
+            file_classification(summit_store, stdio_only=True),
+            file_classification(cori_store, stdio_only=True),
+        ]
+    )
+    all_results = [
+        file_classification(summit_store),
+        file_classification(cori_store),
+    ]
+    text = render_results(
+        "Figure 8 - file classification, STDIO only",
+        HEADERS["fig6"],
+        results,
+    )
+    lines = [text, "", "in-system share of files, STDIO vs all interfaces:"]
+    for stdio_fc, all_fc in zip(results, all_results):
+        for cls in ("read-only", "read-write", "write-only"):
+            lines.append(
+                f"  {stdio_fc.platform} {cls}: stdio "
+                f"{100 * stdio_fc.insystem_share(cls):.1f}% vs all "
+                f"{100 * all_fc.insystem_share(cls):.1f}%"
+            )
+    write_result(results_dir, "fig08", "\n".join(lines))
+
+    # The paper's Figure 8 finding: STDIO-managed files use the in-system
+    # layer relatively much more than the overall population does.
+    summit_stdio, _ = results
+    summit_all, _ = all_results
+    for cls in ("read-only", "write-only"):
+        assert (
+            summit_stdio.insystem_share(cls)
+            > summit_all.insystem_share(cls)
+        ), cls

@@ -1,0 +1,39 @@
+"""Figure 9: Summit transfer-size CDFs split by I/O interface."""
+
+from conftest import write_result
+
+from repro.analysis import interface_transfer_cdfs
+from repro.analysis.report import HEADERS, render_results
+
+
+def test_fig9(benchmark, summit_store, results_dir):
+    curves = benchmark(lambda: interface_transfer_cdfs(summit_store))
+    text = render_results(
+        "Figure 9 - Summit transfer CDFs per interface",
+        HEADERS["fig9"],
+        curves,
+    )
+    by = {(c.interface, c.layer, c.direction): c for c in curves}
+    stdio_scnl_r = by[("STDIO", "insystem", "read")]
+    stdio_pfs_r = by[("STDIO", "pfs", "read")]
+    stdio_pfs_w = by[("STDIO", "pfs", "write")]
+    lines = [
+        text,
+        "",
+        "paper: STDIO reads <1GB: >=98.7% (SCNL) / ~100% (PFS); "
+        "STDIO writes <1GB: >=97.6% (PFS)",
+        f"measured: {stdio_scnl_r.percent_below(1e9):.1f}% / "
+        f"{stdio_pfs_r.percent_below(1e9):.1f}% / "
+        f"{stdio_pfs_w.percent_below(1e9):.1f}%",
+    ]
+    write_result(results_dir, "fig09", "\n".join(lines))
+
+    assert stdio_scnl_r.percent_below(1e9) >= 95.0
+    assert stdio_pfs_r.percent_below(1e9) >= 98.0
+    assert stdio_pfs_w.percent_below(1e9) >= 95.0
+    # STDIO transfers skew smaller than POSIX on the PFS.
+    posix_pfs_r = by[("POSIX", "pfs", "read")]
+    assert (
+        stdio_pfs_r.percent_below(100e6)
+        >= posix_pfs_r.percent_below(100e6) - 5
+    )

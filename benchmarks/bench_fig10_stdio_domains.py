@@ -1,0 +1,41 @@
+"""Figure 10: STDIO transfer grouped by science domain — finding D."""
+
+from conftest import write_result
+
+from repro.analysis import stdio_domain_usage
+from repro.analysis.report import HEADERS, render_results
+from repro.core import expectations as exp
+
+
+def test_fig10(benchmark, summit_store, cori_store, results_dir):
+    results = benchmark(
+        lambda: [
+            stdio_domain_usage(summit_store),
+            stdio_domain_usage(cori_store),
+        ]
+    )
+    text = render_results(
+        "Figure 10 - STDIO transfer by science domain",
+        HEADERS["fig7"],
+        results,
+    )
+    summit, cori = results
+    lines = [
+        text,
+        "",
+        f"cori STDIO jobs with a domain: paper "
+        f"{100 * exp.CORI_STDIO_DOMAIN_COVERAGE:.2f}% measured "
+        f"{100 * cori.domain_coverage():.2f}%",
+        f"summit STDIO domains with traffic: "
+        f"{len([d for d in summit.volumes if d])}",
+    ]
+    write_result(results_dir, "fig10", "\n".join(lines))
+
+    # STDIO usage is widespread across domains on both platforms.
+    assert len([d for d in summit.volumes if d]) >= 8
+    assert len([d for d in cori.volumes if d]) >= 8
+    assert 0.84 < cori.domain_coverage() < 0.96
+    # Summit logging/visualization traffic exists in both directions.
+    total_r = sum(r for r, _ in summit.volumes.values())
+    total_w = sum(w for _, w in summit.volumes.values())
+    assert total_r > 0 and total_w > 0

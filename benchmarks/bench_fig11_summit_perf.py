@@ -1,0 +1,47 @@
+"""Figure 11: Summit POSIX vs STDIO bandwidth by transfer-size bin."""
+
+import math
+
+from conftest import write_result
+
+from repro.analysis import performance_by_bin
+from repro.analysis.performance import panel
+from repro.analysis.report import HEADERS, render_results
+
+
+def test_fig11(benchmark, summit_store, results_dir):
+    panels = benchmark(lambda: performance_by_bin(summit_store))
+    text = render_results(
+        "Figure 11 - Summit shared-file bandwidth, POSIX vs STDIO",
+        HEADERS["fig11"],
+        panels,
+    )
+    pfs_read = panel(panels, "pfs", "read")
+    scnl_read = panel(panels, "insystem", "read")
+    scnl_write = panel(panels, "insystem", "write")
+    lines = [
+        text,
+        "",
+        "median POSIX/STDIO speedups (paper -> measured):",
+        f"  PFS read 100M-1G (paper ~3x): "
+        f"{pfs_read.median_speedup('100M_1G'):.2f}x",
+        f"  PFS read 100G-1T (paper ~40x): "
+        f"{pfs_read.median_speedup('100G_1T'):.2f}x",
+        f"  SCNL read 100M-1G (paper ~5x): "
+        f"{scnl_read.median_speedup('100M_1G'):.2f}x",
+        f"  SCNL write 100M-1G (paper: STDIO 1.5x faster): "
+        f"{scnl_write.median_speedup('100M_1G'):.2f}x",
+    ]
+    write_result(results_dir, "fig11", "\n".join(lines))
+
+    # Finding E: POSIX generally beats STDIO; reads more than writes;
+    # SCNL writes are where STDIO fights back.
+    small = pfs_read.median_speedup("100M_1G")
+    assert small > 1.5
+    big = pfs_read.median_speedup("100G_1T")
+    if math.isfinite(big):
+        assert big > small * 0.8 or big > 5.0
+    assert scnl_read.median_speedup("100M_1G") > 1.5
+    sw = scnl_write.median_speedup("100M_1G")
+    if math.isfinite(sw):
+        assert sw < 1.2  # STDIO at least competitive

@@ -1,0 +1,46 @@
+"""Figure 12: Cori POSIX vs STDIO bandwidth by transfer-size bin."""
+
+import math
+
+from conftest import write_result
+
+from repro.analysis import performance_by_bin
+from repro.analysis.performance import panel
+from repro.analysis.report import HEADERS, render_results
+
+
+def test_fig12(benchmark, cori_store, results_dir):
+    panels = benchmark(lambda: performance_by_bin(cori_store))
+    text = render_results(
+        "Figure 12 - Cori shared-file bandwidth, POSIX vs STDIO",
+        HEADERS["fig11"],
+        panels,
+    )
+    pfs_read = panel(panels, "pfs", "read")
+    pfs_write = panel(panels, "pfs", "write")
+    lines = [
+        text,
+        "",
+        "median POSIX/STDIO speedups (paper -> measured):",
+        f"  PFS read 1G-10G (paper 6.78x): "
+        f"{pfs_read.median_speedup('1G_10G'):.2f}x",
+        f"  PFS read 10G-100G (paper 2.9x): "
+        f"{pfs_read.median_speedup('10G_100G'):.2f}x",
+        f"  PFS write 100M-1G (paper 3.67x): "
+        f"{pfs_write.median_speedup('100M_1G'):.2f}x",
+        f"  PFS write 1G-10G (paper 2.02x): "
+        f"{pfs_write.median_speedup('1G_10G'):.2f}x",
+    ]
+    write_result(results_dir, "fig12", "\n".join(lines))
+
+    # POSIX wins Cori PFS reads and writes in the populated bins.
+    read_ratios = [
+        pfs_read.median_speedup(b) for b in ("100M_1G", "1G_10G", "10G_100G")
+    ]
+    finite_reads = [r for r in read_ratios if math.isfinite(r)]
+    assert finite_reads and all(r > 1.5 for r in finite_reads)
+    write_ratios = [
+        pfs_write.median_speedup(b) for b in ("100M_1G", "1G_10G")
+    ]
+    finite_writes = [r for r in write_ratios if math.isfinite(r)]
+    assert finite_writes and all(r > 1.2 for r in finite_writes)

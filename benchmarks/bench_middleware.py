@@ -1,0 +1,44 @@
+"""Middleware experiments: HDF5-style aggregation on vs off.
+
+The follow-on experiment Recommendations 4/6 define: run the same
+row-wise checkpoint writer through the HDF5-like library with middleware
+aggregation enabled and disabled, and measure what the paper's metrics
+(operation counts, priced time, flash write amplification) say.
+"""
+
+from conftest import write_result
+
+from repro.darshan.stdio_ext import accumulate_stdio_ext
+from repro.middleware import H5File
+from repro.platforms import summit
+from repro.units import MiB
+
+
+def _writer(aggregate, layer="pfs"):
+    f = H5File(
+        summit(), layer, "/gpfs/alpine/sim/ckpt.h5",
+        aggregate=aggregate, cache_chunk_bytes=1 * MiB,
+    )
+    d = f.create_dataset("field", (8192, 512), itemsize=8)  # 32 MiB
+    for row in range(8192):
+        d.write_slab((row, 0), (1, 512))
+    return f.close()
+
+
+def test_aggregation_on_vs_off(benchmark, results_dir):
+    raw, agg = benchmark.pedantic(
+        lambda: (_writer(False), _writer(True)), rounds=1, iterations=1
+    )
+    text = "\n".join(
+        [
+            "HDF5-style middleware aggregation (row-wise 4 KiB checkpoint writer)",
+            f"  downstream writes: {raw.downstream_writes} -> "
+            f"{agg.downstream_writes} ({agg.aggregation_factor:.0f}x fewer)",
+            f"  priced write time: {raw.write_seconds:.3f}s -> "
+            f"{agg.write_seconds:.3f}s "
+            f"({raw.write_seconds / agg.write_seconds:.1f}x faster)",
+        ]
+    )
+    write_result(results_dir, "middleware_aggregation", text)
+    assert agg.downstream_writes < raw.downstream_writes / 50
+    assert agg.write_seconds < raw.write_seconds / 5

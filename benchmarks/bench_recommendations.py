@@ -1,0 +1,52 @@
+"""Quantifying the paper's recommendations on the synthetic year.
+
+Not a paper exhibit, but the natural follow-on experiment the paper's
+conclusions call for: price each recommendation's opportunity with the
+performance model and verify the direction of the prediction.
+"""
+
+from conftest import write_result
+
+from repro.optimize import assess_staging, find_aggregation_opportunities
+from repro.platforms import cori, summit
+
+
+def test_aggregation_opportunity(benchmark, summit_store, results_dir):
+    opps = benchmark(
+        lambda: find_aggregation_opportunities(summit_store, summit())
+    )
+    lines = ["Recommendation 2/6 - aggregation opportunities (Summit)"]
+    for o in opps[:8]:
+        lines.append(
+            f"  {o.layer:9s} {o.interface:6s} {o.direction:5s}: "
+            f"{o.nfiles:8d} files, speedup {o.speedup:8.1f}x, "
+            f"saves {o.saved_seconds:,.0f} s"
+        )
+    write_result(results_dir, "rec_aggregation", "\n".join(lines))
+    assert opps
+    assert all(o.speedup >= 1.0 for o in opps)
+    # The headline case: tiny POSIX PFS reads gain an order of magnitude.
+    best = max(o.speedup for o in opps if o.direction == "read")
+    assert best > 10
+
+
+def test_staging_opportunity(benchmark, summit_store, cori_store, results_dir):
+    results = benchmark(
+        lambda: [
+            assess_staging(summit_store, summit(), sample=100_000),
+            assess_staging(cori_store, cori(), sample=100_000),
+        ]
+    )
+    lines = ["Recommendation 3 - staging assessment"]
+    for a in results:
+        lines.append(
+            f"  {a.platform}: stageable "
+            f"{100 * a.stageable_file_fraction:.1f}% of PFS files; "
+            f"in-job {a.direct_seconds:,.0f}s -> {a.staged_seconds:,.0f}s "
+            f"({a.in_job_speedup:.1f}x), movement {a.movement_seconds:,.0f}s, "
+            f"worthwhile={a.worthwhile}"
+        )
+    write_result(results_dir, "rec_staging", "\n".join(lines))
+    for a in results:
+        assert a.stageable_file_fraction > 0.8  # the paper's >90% finding
+        assert a.in_job_speedup > 1.0

@@ -1,0 +1,35 @@
+"""Table 2: dataset summary (logs, jobs, files, node-hours)."""
+
+from conftest import write_result
+
+from repro.analysis import dataset_summary
+from repro.analysis.report import HEADERS, render_results
+from repro.core import expectations as exp
+
+
+def test_table2(benchmark, summit_store, cori_store, results_dir):
+    results = benchmark(
+        lambda: [dataset_summary(summit_store), dataset_summary(cori_store)]
+    )
+    text = render_results(
+        "Table 2 - dataset summary (full-year extrapolation)",
+        HEADERS["table2"],
+        results,
+    )
+    lines = [text, "", "paper reference:"]
+    for r in results:
+        paper = exp.TABLE2[r.platform]
+        lines.append(
+            f"  {r.platform}: logs {paper['logs']:.2e} (measured "
+            f"{r.logs_scaled:.2e}), jobs {paper['jobs']:.2e} "
+            f"({r.jobs_scaled:.2e}), files {paper['files']:.2e} "
+            f"({r.files_scaled:.2e}), node-hours {paper['node_hours']:.2e} "
+            f"({r.node_hours_scaled:.2e})"
+        )
+    write_result(results_dir, "table2", "\n".join(lines))
+    # Shape: extrapolated counts within ~2x of the paper.
+    for r in results:
+        paper = exp.TABLE2[r.platform]
+        assert 0.4 < r.jobs_scaled / paper["jobs"] < 2.5
+        assert 0.4 < r.files_scaled / paper["files"] < 2.5
+        assert 0.3 < r.logs_scaled / paper["logs"] < 3.0

@@ -1,0 +1,42 @@
+"""Table 3: files and transfer volume per storage layer — finding A."""
+
+from conftest import write_result
+
+from repro.analysis import layer_volumes
+from repro.analysis.report import HEADERS, render_results
+from repro.core import expectations as exp
+
+
+def test_table3(benchmark, summit_store, cori_store, results_dir):
+    results = benchmark(
+        lambda: [layer_volumes(summit_store), layer_volumes(cori_store)]
+    )
+    text = render_results(
+        "Table 3 - files and transfer volume per layer",
+        HEADERS["table3"],
+        results,
+    )
+    lines = [text, "", "headline ratios (paper vs measured):"]
+    for r in results:
+        for layer, row in (("insystem", r.insystem), ("pfs", r.pfs)):
+            paper = exp.READ_OVER_WRITE[(r.platform, layer)]
+            lines.append(
+                f"  {r.platform} {layer}: R/W paper {paper:.3f} "
+                f"measured {row.read_write_ratio():.3f}"
+            )
+        lines.append(
+            f"  {r.platform} PFS/in-system files: paper "
+            f"{exp.PFS_OVER_INSYSTEM_FILES[r.platform]:.2f}x measured "
+            f"{r.pfs_over_insystem_files():.2f}x"
+        )
+    write_result(results_dir, "table3", "\n".join(lines))
+
+    summit, cori = results
+    # Finding A: Summit's layers show opposite dominance; Cori reads win.
+    assert summit.insystem.read_write_ratio() > 1.2
+    assert summit.pfs.read_write_ratio() < 0.1
+    assert cori.insystem.read_write_ratio() > 1.2
+    assert cori.pfs.read_write_ratio() > 2.0
+    # Finding C: PFS far more popular on both systems.
+    assert summit.pfs_over_insystem_files() > 1.5
+    assert cori.pfs_over_insystem_files() > 10

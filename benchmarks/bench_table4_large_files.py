@@ -1,0 +1,36 @@
+"""Table 4: >1 TB files per layer — where the giants live."""
+
+from conftest import write_result
+
+from repro.analysis import large_files
+from repro.analysis.report import HEADERS, render_results
+from repro.core import expectations as exp
+
+
+def test_table4(benchmark, summit_store, cori_store, results_dir):
+    results = benchmark(
+        lambda: [large_files(summit_store), large_files(cori_store)]
+    )
+    text = render_results(
+        "Table 4 - files with >1TB transfer (full-year extrapolation)",
+        HEADERS["table4"],
+        results,
+    )
+    lines = [
+        text,
+        "",
+        "paper: summit SCNL 0/0, PFS 7232/78; "
+        "cori CBB 513/950, PFS 74/10045",
+        f"note: counts this small are Poisson-noisy at scale "
+        f"{summit_store.scale:.0e}; the placement shape is the result",
+    ]
+    write_result(results_dir, "table4", "\n".join(lines))
+
+    summit, cori = results
+    # Summit: >1TB files only on the PFS.
+    assert summit.counts["insystem"] == (0, 0)
+    assert summit.counts["pfs"][0] > 0
+    # Cori: big writes dominated by the PFS; big reads present on CBB.
+    total_w = cori.counts["pfs"][1] + cori.counts["insystem"][1]
+    if total_w >= 5:
+        assert cori.pfs_write_share() > 0.6

@@ -1,0 +1,31 @@
+"""Table 5: job layer exclusivity — the staging-style asymmetry."""
+
+from conftest import write_result
+
+from repro.analysis import layer_exclusivity
+from repro.analysis.report import HEADERS, render_results
+from repro.core import expectations as exp
+
+
+def test_table5(benchmark, summit_store, cori_store, results_dir):
+    results = benchmark(
+        lambda: [layer_exclusivity(summit_store), layer_exclusivity(cori_store)]
+    )
+    text = render_results(
+        "Table 5 - job layer exclusivity (full-year extrapolation)",
+        HEADERS["table5"],
+        results,
+    )
+    lines = [
+        text,
+        "",
+        f"paper: summit 0 / 3.42K / 241.5K; cori 103.46K / 35.9K / 579.91K "
+        f"(CBB-only {100 * exp.CORI_CBB_ONLY_FRACTION:.2f}%)",
+    ]
+    write_result(results_dir, "table5", "\n".join(lines))
+
+    summit, cori = results
+    assert summit.insystem_only_fraction() < 0.01
+    assert 0.09 < cori.insystem_only_fraction() < 0.22
+    # Summit SCNL users are rare (both-layers jobs ~1.4%).
+    assert summit.both / summit.total < 0.05

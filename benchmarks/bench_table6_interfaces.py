@@ -1,0 +1,38 @@
+"""Table 6: interface usage per layer — finding D (the rise of STDIO)."""
+
+from conftest import write_result
+
+from repro.analysis import interface_usage
+from repro.analysis.report import HEADERS, render_results
+from repro.core import expectations as exp
+
+
+def test_table6(benchmark, summit_store, cori_store, results_dir):
+    results = benchmark(
+        lambda: [interface_usage(summit_store), interface_usage(cori_store)]
+    )
+    text = render_results(
+        "Table 6 - files per interface per layer (full-year extrapolation)",
+        HEADERS["table6"],
+        results,
+    )
+    lines = [text, ""]
+    for r in results:
+        paper = exp.STDIO_OVERALL_SHARE[r.platform]
+        lines.append(
+            f"  {r.platform} STDIO share: paper {100 * paper:.1f}% "
+            f"measured {100 * r.stdio_share():.1f}%"
+        )
+    lines.append(
+        f"  summit SCNL STDIO/POSIX: paper "
+        f"{exp.SUMMIT_SCNL_STDIO_OVER_POSIX}x measured "
+        f"{results[0].stdio_over_posix('insystem'):.2f}x"
+    )
+    write_result(results_dir, "table6", "\n".join(lines))
+
+    summit, cori = results
+    assert summit.stdio_over_posix("insystem") > 2.0
+    assert 0.25 < summit.stdio_share() < 0.55
+    assert 0.08 < cori.stdio_share() < 0.22
+    # Cori: MPI-IO strong; nearly all CBB POSIX is MPI-IO underneath.
+    assert cori.counts["insystem"]["MPI-IO"] >= 0.8 * cori.counts["insystem"]["POSIX"]

@@ -1,0 +1,54 @@
+"""Shared bench fixtures.
+
+Every bench regenerates one exhibit of the paper from the same two
+synthetic year-long stores (one per platform), times the analysis with
+pytest-benchmark, verifies the exhibit's headline shape, and writes the
+rendered table to ``benchmarks/results/<exhibit>.txt`` so the run leaves
+a reviewable artifact (pytest captures stdout).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core import CharacterizationStudy, StudyConfig
+
+#: Bench scale: ~1/1000 of each platform's year. Big enough for stable
+#: shapes (the shape checks pass across seeds at this scale), small
+#: enough to regenerate in seconds.
+BENCH_SCALE = 1e-3
+BENCH_SEED = 20220627
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def study():
+    return CharacterizationStudy(
+        StudyConfig(seed=BENCH_SEED, scale=BENCH_SCALE)
+    )
+
+
+@pytest.fixture(scope="session")
+def summit_store(study):
+    return study.store("summit")
+
+
+@pytest.fixture(scope="session")
+def cori_store(study):
+    return study.store("cori")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: str, name: str, text: str) -> None:
+    """Persist a rendered exhibit for post-run review."""
+    with open(os.path.join(results_dir, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+    print(text)

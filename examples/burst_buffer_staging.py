@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""DataWarp burst-buffer staging on Cori — Recommendation 3 quantified.
+
+Walks a data-analysis job through Cori's two-layer subsystem twice:
+
+* **Direct**: every input is read from Lustre (default stripe count 1!)
+  and every product written back to it, inside the job.
+* **Staged**: the scheduler executes ``#DW stage_in`` before the job, the
+  job reads/writes its job-exclusive CBB namespace at burst-buffer speed,
+  and ``stage_out`` runs after exit — the movement never burns node-hours.
+
+The example also shows why Table 5 looks the way it does: the staged
+job's Darshan window contains *only* CBB traffic.
+
+Run:  python examples/burst_buffer_staging.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.iosim import (
+    DataWarpManager,
+    LustreFilesystem,
+    PerfModel,
+    StagingEngine,
+    StagingStyle,
+)
+from repro.iosim.datawarp import StageDirective, StageKind
+from repro.platforms import cori
+from repro.platforms.interfaces import IOInterface
+from repro.units import GB, GiB, MiB, format_size
+
+
+def main() -> int:
+    machine = cori()
+    scratch, cbb = machine.pfs, machine.in_system
+    perf = PerfModel()
+    rng = np.random.default_rng(7)
+
+    lustre = LustreFilesystem(
+        ost_count=scratch.params["ost_count"],
+        mds_count=scratch.params["mds_count"],
+        default_stripe_size=scratch.params["stripe_size"],
+        default_stripe_count=scratch.params["stripe_count"],
+    )
+    dw = DataWarpManager(
+        pool_bytes=cbb.capacity_bytes,
+        bb_node_count=cbb.server_count,
+        granularity=cbb.params["granularity"],
+    )
+
+    nprocs = 2048
+    inputs = [(f"/global/cscratch1/proj/in_{i:02d}.h5", 40 * GiB) for i in range(8)]
+    outputs = [(f"/global/cscratch1/proj/out_{i:02d}.h5", 10 * GiB) for i in range(4)]
+
+    # ---- direct: everything on Lustre inside the job -------------------
+    direct = 0.0
+    for path, size in inputs:
+        layout = lustre.create(path, rng)  # default stripe count 1
+        direct += perf.single_transfer_time(
+            scratch, IOInterface.POSIX, "read",
+            nbytes=size, request_size=1 * MiB,
+            nprocs=nprocs, file_parallelism=layout.parallelism(size),
+            shared=True,
+        )
+    for path, size in outputs:
+        layout = lustre.create(path, rng)
+        direct += perf.single_transfer_time(
+            scratch, IOInterface.MPIIO, "write",
+            nbytes=size, request_size=4 * MiB,
+            nprocs=nprocs, file_parallelism=layout.parallelism(size),
+            shared=True, collective=True,
+        )
+
+    # ---- staged: #DW directives + job-exclusive CBB namespace ----------
+    total_in = sum(s for _, s in inputs)
+    total_out = sum(s for _, s in outputs)
+    job_id = 555
+    alloc = dw.allocate(job_id, int(1.2 * (total_in + total_out)))
+    print(
+        f"DataWarp allocation: requested "
+        f"{format_size(int(1.2 * (total_in + total_out)))}, granted "
+        f"{format_size(alloc.granted_bytes)} over {alloc.bb_nodes} BB nodes"
+    )
+    for path, size in inputs:
+        dw.stage_in(
+            job_id,
+            StageDirective(StageKind.IN, path, f"/bb{path}", size),
+        )
+
+    staged = 0.0
+    for path, size in inputs:
+        staged += perf.single_transfer_time(
+            cbb, IOInterface.POSIX, "read",
+            nbytes=size, request_size=4 * MiB,
+            nprocs=nprocs,
+            file_parallelism=min(alloc.bb_nodes, size // (1024 * MiB) + 1),
+            shared=True,
+        )
+    for path, size in outputs:
+        dw.write(job_id, f"/bb{path}", size)
+        staged += perf.single_transfer_time(
+            cbb, IOInterface.MPIIO, "write",
+            nbytes=size, request_size=4 * MiB,
+            nprocs=nprocs,
+            file_parallelism=min(alloc.bb_nodes, size // (1024 * MiB) + 1),
+            shared=True, collective=True,
+        )
+        dw.stage_out(
+            job_id,
+            StageDirective(StageKind.OUT, path, f"/bb{path}", size),
+        )
+
+    engine = StagingEngine(machine, perf, StagingStyle.SCHEDULER)
+    plans = engine.plan_for_files(
+        [(p, s, "read-only") for p, s in inputs]
+        + [(p, s, "write-only") for p, s in outputs]
+    )
+    stage_cost = engine.staging_time(plans, nprocs=nprocs)
+    dw.release(job_id)
+
+    print(f"\nI/O inside the job window ({nprocs} ranks):")
+    print(f"  direct to Lustre : {direct:8.1f} s")
+    print(f"  via CBB          : {staged:8.1f} s  "
+          f"({direct / staged:.1f}x faster)")
+    print(f"  staging movement : {stage_cost:8.1f} s "
+          "(outside the job window — scheduler-driven, costs no node-hours)")
+    print(
+        "\nDarshan view of the staged job: CBB traffic only — this is how "
+        "14.38% of Cori jobs\nbecome 'CBB-exclusive' in Table 5 while "
+        "their data still flows through Lustre."
+    )
+    visible = engine.visible_in_darshan_window()
+    print(f"staging visible in the Darshan window: {visible}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""The facility operator's view: layer demand, bursts, and middleware fixes.
+
+1. Replays a synthetic Summit year as time-binned bandwidth demand per
+   storage layer — showing the paper's unbalanced-layer finding at the
+   facility level (the PFS carries sustained load with violent bursts
+   while SCNL idles).
+2. Probes the layers IOR-style around the clock (TOKIO-fashion) to show
+   production-load variability.
+3. Demonstrates the middleware fixes the paper recommends: the adaptive
+   layer placer and the write-back chunk cache, each priced/measured.
+
+Run:  python examples/facility_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.darshan.accumulate import OP_WRITE, make_ops
+from repro.darshan.stdio_ext import accumulate_stdio_ext
+from repro.iosim import FacilityReplay, IorConfig, probe_series
+from repro.middleware import AccessPlan, WriteBackChunkCache, place_dataset
+from repro.platforms import summit
+from repro.units import GiB, KiB, MiB, format_size
+from repro.workloads.generator import (
+    GeneratorConfig,
+    WorkloadGenerator,
+    generate_with_shadows,
+)
+
+
+def main() -> int:
+    machine = summit()
+    store = generate_with_shadows(
+        WorkloadGenerator("summit", GeneratorConfig(scale=5e-4)), 20220627
+    )
+
+    # ---- 1. layer demand ------------------------------------------------
+    replay = FacilityReplay(store, machine)
+    print(render_table(
+        ["system", "layer", "dir", "mean util", "peak util", ">80% of time"],
+        replay.summary_rows(),
+        title="Layer demand over the year (full-scale extrapolation)",
+    ))
+    pfs_w = replay.demand("pfs", "write")
+    scnl_w = replay.demand("insystem", "write")
+    print(
+        f"\nThe capacity layer carries "
+        f"{pfs_w.mean_utilization() / max(scnl_w.mean_utilization(), 1e-9):,.0f}x "
+        "the relative write load of the performance layer — the paper's\n"
+        "unbalanced-layers finding, seen from the machine room. Write "
+        f"demand peaks at {pfs_w.peak_utilization():,.1f}x of Alpine's "
+        "peak: the burst the in-system layer exists to absorb."
+    )
+
+    # ---- 2. TOKIO-style probing -----------------------------------------
+    cfg = IorConfig(tasks=128, transfer_size=4 * MiB, block_size=512 * MiB)
+    hours = np.arange(0, 24)
+    series = probe_series(
+        machine, "pfs", cfg, "write",
+        times_of_day=np.repeat(hours * 3600.0, 200), seed=11,
+    ).reshape(24, 200).mean(axis=1)
+    print("\nIOR probe, mean delivered write bandwidth by hour of day:")
+    worst = int(series.argmin())
+    best = int(series.argmax())
+    for h in (0, 6, 12, 15, 18, 21):
+        bar = "#" * int(40 * series[h] / series.max())
+        print(f"  {h:02d}:00 {format_size(series[h])}/s {bar}")
+    print(f"  best {best:02d}:00, worst {worst:02d}:00 "
+          f"({series[best] / series[worst]:.2f}x swing)")
+
+    # ---- 3a. adaptive placement ----------------------------------------
+    print("\nAdaptive placement decisions (middleware-level, priced):")
+    plans = [
+        ("small persistent input", AccessPlan(
+            bytes_read=64 * MiB, bytes_written=0,
+            request_size=1 * MiB, nprocs=8)),
+        ("hot scratch, re-read", AccessPlan(
+            bytes_read=200 * GiB, bytes_written=200 * GiB,
+            request_size=64 * KiB, nprocs=512,
+            persistent_input=False, persistent_output=False)),
+        ("large streaming input", AccessPlan(
+            bytes_read=500 * GiB, bytes_written=0,
+            request_size=4 * MiB, nprocs=1024)),
+    ]
+    for name, plan in plans:
+        d = place_dataset(machine, plan, count_staging_in_job=True)
+        print(
+            f"  {name:24s} -> {d.layer_key:9s} "
+            f"(pfs {d.pfs_seconds:8.1f}s vs in-system "
+            f"{d.insystem_seconds:8.1f}s + staging {d.staging_seconds:6.1f}s)"
+        )
+
+    # ---- 3b. write-back chunk cache -------------------------------------
+    rng = np.random.default_rng(3)
+    offsets = (rng.permutation(2000) * 6_000).tolist()
+    raw = make_ops([OP_WRITE] * 2000, offsets, [512] * 2000,
+                   np.arange(2000, dtype=float), [0.0001] * 2000)
+    cached, stats = WriteBackChunkCache.apply_to_stream(
+        raw, chunk_size=256 * KiB, capacity_chunks=32
+    )
+    waf_raw = accumulate_stdio_ext(1, 0, raw).write_amplification()
+    waf_cached = accumulate_stdio_ext(1, 0, cached).write_amplification()
+    print(
+        f"\nWrite-back chunk cache on a random 512B write stream "
+        f"(Recommendation 4):\n"
+        f"  {stats.app_writes} app writes -> {stats.flushed_writes} "
+        f"chunk-aligned flushes ({stats.write_reduction:.0f}x fewer ops)\n"
+        f"  estimated flash write amplification: {waf_raw:.1f} -> "
+        f"{waf_cached:.1f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""HDF5-style checkpointing with and without middleware aggregation.
+
+Drives the HDF5-like library (`repro.middleware.h5sim`) the way a
+simulation code checkpoints: a 2-D field dataset written row by row in
+small slabs, to three targets:
+
+1. Alpine, aggregation OFF — every 4 KiB row write hits GPFS;
+2. Alpine, aggregation ON — the write-back chunk cache coalesces rows
+   into 1 MiB chunk flushes (Recommendation 6's middleware aggregation);
+3. SCNL, aggregation ON — the adaptive-placement choice for hot scratch.
+
+Each run ends with a genuine Darshan-style POSIX record, so the exact
+counters the paper analyzes (op counts, size histograms, timers) show
+the optimization working.
+
+Run:  python examples/hdf5_checkpointing.py
+"""
+
+from __future__ import annotations
+
+from repro.darshan.records import iter_size_bins
+from repro.middleware import H5File
+from repro.platforms import summit
+from repro.units import MiB, format_size
+
+
+def checkpoint(layer_key: str, aggregate: bool):
+    f = H5File(
+        summit(), layer_key, f"/x/ckpt_{layer_key}_{aggregate}.h5",
+        aggregate=aggregate, cache_chunk_bytes=1 * MiB, nprocs=96,
+    )
+    field = f.create_dataset("pressure", (16384, 512), itemsize=8)  # 64 MiB
+    for row in range(16384):
+        field.write_slab((row, 0), (1, 512))  # 4 KiB application writes
+    return f.close()
+
+
+def describe(tag: str, report) -> None:
+    rec = report.record
+    hist = {label: n for label, n in iter_size_bins(rec, "write") if n}
+    print(
+        f"{tag:28s} {rec['WRITES']:6d} syscalls  "
+        f"{format_size(rec.bytes_written):>10} in {report.write_seconds:7.2f}s "
+        f"({format_size(rec.write_bandwidth()):>10}/s)  bins: {hist}"
+    )
+
+
+def main() -> int:
+    print("64 MiB checkpoint written as 16,384 x 4 KiB row slabs:\n")
+    raw = checkpoint("pfs", aggregate=False)
+    describe("Alpine, aggregation OFF", raw)
+    agg = checkpoint("pfs", aggregate=True)
+    describe("Alpine, aggregation ON", agg)
+    scnl = checkpoint("insystem", aggregate=True)
+    describe("SCNL,   aggregation ON", scnl)
+
+    print(
+        f"\naggregation turned {raw.record['WRITES']} application-sized "
+        f"system calls into {agg.record['WRITES']} chunk-aligned ones "
+        f"({agg.aggregation_factor:.0f}x) and cut the priced write time "
+        f"{raw.write_seconds / agg.write_seconds:.0f}x — Recommendation 6, "
+        "executed inside the library where the paper says it belongs."
+    )
+    print(
+        f"placing the same checkpoint on SCNL runs it another "
+        f"{agg.write_seconds / scnl.write_seconds:.1f}x faster "
+        "(the in-system layer doing its job)."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Quickstart: run the full characterization study at a small scale.
+
+Generates a synthetic year for Summit and Cori (see DESIGN.md for how the
+population is calibrated to the paper's published statistics), runs every
+table/figure analysis from the HPDC '22 study, prints the rendered
+exhibits, and checks the paper's headline shapes.
+
+Run:  python examples/quickstart.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import CharacterizationStudy, StudyConfig
+
+
+def main() -> int:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 5e-4
+    study = CharacterizationStudy(StudyConfig(seed=20220627, scale=scale))
+
+    failures = 0
+    for platform in ("summit", "cori"):
+        print("=" * 78)
+        print(f"{platform.upper()} — synthetic year at scale {scale:g}")
+        print("=" * 78)
+        print(study.render(platform))
+        print()
+        print(f"--- paper-shape checks ({platform}) ---")
+        for check in study.shape_checks(platform):
+            print(check)
+            failures += not check.passed
+        print()
+
+    if failures:
+        print(f"{failures} shape check(s) failed")
+        return 1
+    print("all paper shapes reproduced")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

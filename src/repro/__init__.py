@@ -1,0 +1,20 @@
+"""repro — reproduction of the HPDC '22 multi-layer supercomputer I/O study.
+
+See README.md for the tour; the main entry points:
+
+* :class:`repro.core.CharacterizationStudy` — generate a synthetic year
+  and run every table/figure analysis of the paper.
+* :class:`repro.workloads.generator.WorkloadGenerator` — the calibrated
+  population generator.
+* :mod:`repro.darshan` — the Darshan-style log model and binary format.
+* :mod:`repro.iosim` — GPFS/Lustre/DataWarp/NVMe substrates and the
+  performance model.
+* :mod:`repro.analysis` — the paper's analyses.
+* :mod:`repro.optimize` — the paper's recommendations as advisors.
+
+Command line: ``python -m repro --help``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

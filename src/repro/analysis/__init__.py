@@ -1,0 +1,75 @@
+"""The paper's analyses (§3), one module per table/figure family.
+
+Every analysis consumes a :class:`~repro.store.recordstore.RecordStore`
+and returns a small result object with ``to_rows()`` for rendering via
+:mod:`repro.analysis.report`. The mapping to the paper:
+
+========================  =====================================
+Module                    Reproduces
+========================  =====================================
+``dataset_summary``       Table 2
+``layer_volumes``         Table 3
+``large_files``           Table 4
+``exclusivity``           Table 5
+``interface_usage``       Table 6
+``transfer_cdfs``         Figures 3 and 9
+``request_cdfs``          Figures 4 and 5
+``file_classification``   Figures 6 and 8
+``domain_usage``          Figures 7 and 10
+``performance``           Figures 11 and 12
+========================  =====================================
+"""
+
+from repro.analysis.cdf import boxplot_stats, cdf_at
+from repro.analysis.dataset_summary import DatasetSummary, dataset_summary
+from repro.analysis.layer_volumes import LayerVolumes, layer_volumes
+from repro.analysis.large_files import LargeFiles, large_files
+from repro.analysis.exclusivity import LayerExclusivity, layer_exclusivity
+from repro.analysis.interface_usage import InterfaceUsage, interface_usage
+from repro.analysis.transfer_cdfs import (
+    interface_transfer_cdfs,
+    transfer_cdfs,
+)
+from repro.analysis.request_cdfs import request_cdfs
+from repro.analysis.file_classification import file_classification
+from repro.analysis.domain_usage import insystem_domain_usage, stdio_domain_usage
+from repro.analysis.performance import performance_by_bin
+from repro.analysis.users import UserActivity, user_activity
+from repro.analysis.temporal import TemporalProfile, temporal_profile
+from repro.analysis.variability import (
+    VariabilityCell,
+    bandwidth_variability,
+    median_iqr_ratio,
+)
+from repro.analysis.tuning import TuningReport, tuning_report
+
+__all__ = [
+    "TuningReport",
+    "tuning_report",
+    "UserActivity",
+    "user_activity",
+    "TemporalProfile",
+    "temporal_profile",
+    "VariabilityCell",
+    "bandwidth_variability",
+    "median_iqr_ratio",
+    "boxplot_stats",
+    "cdf_at",
+    "DatasetSummary",
+    "dataset_summary",
+    "LayerVolumes",
+    "layer_volumes",
+    "LargeFiles",
+    "large_files",
+    "LayerExclusivity",
+    "layer_exclusivity",
+    "InterfaceUsage",
+    "interface_usage",
+    "transfer_cdfs",
+    "interface_transfer_cdfs",
+    "request_cdfs",
+    "file_classification",
+    "insystem_domain_usage",
+    "stdio_domain_usage",
+    "performance_by_bin",
+]

@@ -1,0 +1,76 @@
+"""Distribution helpers: CDF evaluation and box-plot statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+def cdf_at(values: np.ndarray, thresholds: np.ndarray) -> np.ndarray:
+    """Fraction of ``values`` <= each threshold (empirical CDF).
+
+    Returns percentages in [0, 100]. Empty input raises
+    :class:`AnalysisError` — a silent all-zero CDF would read as "no
+    small files" rather than "no data".
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        raise AnalysisError("cannot build a CDF over an empty selection")
+    values = np.sort(values)
+    counts = np.searchsorted(values, np.asarray(thresholds), side="right")
+    return 100.0 * counts / values.size
+
+
+def weighted_cdf(weights_per_bin: np.ndarray) -> np.ndarray:
+    """Cumulative percentage per ordered bin from per-bin totals.
+
+    Used for the request-size CDFs (Figures 4/5), where Darshan only
+    provides binned counts.
+    """
+    w = np.asarray(weights_per_bin, dtype=np.float64)
+    total = w.sum()
+    if total <= 0:
+        raise AnalysisError("cannot build a CDF from zero total weight")
+    return 100.0 * np.cumsum(w) / total
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number summary plus count — one box of Figures 11/12."""
+
+    n: int
+    median: float
+    q1: float
+    q3: float
+    whisker_lo: float
+    whisker_hi: float
+
+    @classmethod
+    def empty(cls) -> "BoxStats":
+        nan = float("nan")
+        return cls(0, nan, nan, nan, nan, nan)
+
+
+def boxplot_stats(values: np.ndarray) -> BoxStats:
+    """Tukey box-plot statistics (1.5 IQR whiskers clipped to data)."""
+    values = np.asarray(values, dtype=np.float64)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return BoxStats.empty()
+    q1, med, q3 = np.percentile(values, [25, 50, 75])
+    iqr = q3 - q1
+    lo_fence, hi_fence = q1 - 1.5 * iqr, q3 + 1.5 * iqr
+    inside = values[(values >= lo_fence) & (values <= hi_fence)]
+    if inside.size == 0:
+        inside = values
+    return BoxStats(
+        n=int(values.size),
+        median=float(med),
+        q1=float(q1),
+        q3=float(q3),
+        whisker_lo=float(inside.min()),
+        whisker_hi=float(inside.max()),
+    )

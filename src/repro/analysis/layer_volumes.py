@@ -1,0 +1,75 @@
+"""Table 3: file counts and total data-transfer volume per storage layer.
+
+§3.1 accounting: a file accessed via MPI-IO is measured through its POSIX
+record (MPI-IO issues POSIX underneath); STDIO files through STDIO. So
+both counts and volumes select POSIX + STDIO rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.platforms.interfaces import IOInterface
+from repro.store.recordstore import RecordStore
+from repro.store.schema import LAYER_INSYSTEM, LAYER_PFS
+from repro.units import format_count, format_size
+
+
+@dataclass(frozen=True)
+class LayerRow:
+    layer: str
+    files: int
+    bytes_read: int
+    bytes_written: int
+
+    def read_write_ratio(self) -> float:
+        """Read volume over write volume (>1 = read-dominated)."""
+        return self.bytes_read / self.bytes_written if self.bytes_written else float("inf")
+
+
+@dataclass(frozen=True)
+class LayerVolumes:
+    platform: str
+    scale: float
+    insystem: LayerRow
+    pfs: LayerRow
+
+    def pfs_over_insystem_files(self) -> float:
+        """The paper's 3.63x (Summit) / 28.87x (Cori) file-count ratio."""
+        return self.pfs.files / self.insystem.files if self.insystem.files else float("inf")
+
+    def to_rows(self) -> list[list[str]]:
+        rows = []
+        for row in (self.insystem, self.pfs):
+            rows.append(
+                [
+                    self.platform,
+                    row.layer,
+                    format_count(row.files / self.scale),
+                    format_size(row.bytes_read / self.scale),
+                    format_size(row.bytes_written / self.scale),
+                    f"{row.read_write_ratio():.2f}",
+                ]
+            )
+        return rows
+
+
+def layer_volumes(store: RecordStore) -> LayerVolumes:
+    """Compute Table 3 for one platform."""
+    f = store.files
+    unique = f[f["interface"] != int(IOInterface.MPIIO)]
+    rows = {}
+    for name, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS)):
+        sel = unique[unique["layer"] == code]
+        rows[name] = LayerRow(
+            layer=name,
+            files=len(sel),
+            bytes_read=int(sel["bytes_read"].sum()),
+            bytes_written=int(sel["bytes_written"].sum()),
+        )
+    return LayerVolumes(
+        platform=store.platform,
+        scale=store.scale,
+        insystem=rows["insystem"],
+        pfs=rows["pfs"],
+    )

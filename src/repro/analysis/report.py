@@ -1,0 +1,64 @@
+"""ASCII rendering of analysis results — the bench harness output."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[str]], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    rows = [list(map(str, r)) for r in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_results(title: str, headers: Sequence[str], results) -> str:
+    """Render objects exposing ``to_rows()`` into one table."""
+    if not isinstance(results, (list, tuple)):
+        results = [results]
+    rows: list[list[str]] = []
+    for r in results:
+        rows.extend(r.to_rows())
+    return render_table(headers, rows, title=title)
+
+
+#: Canonical headers per experiment, used by the bench harness.
+HEADERS = {
+    "table2": ["system", "logs", "jobs", "files", "node-hours", "logs/job"],
+    "table3": ["system", "layer", "files", "read", "write", "R/W"],
+    "table4": ["system", "layer", ">1TB read files", ">1TB write files"],
+    "table5": ["system", "in-system only", "both", "PFS only", "in-sys-only %"],
+    "table6": ["system", "layer", "POSIX", "MPI-IO", "STDIO"],
+    "fig3": ["system", "layer", "ifaces", "dir", "files", "<=1GB", "<=10GB", "<=100GB", "<=1TB"],
+    "fig9": ["system", "layer", "iface", "dir", "files", "<=100MB", "<=1GB", "<=10GB"],
+    "fig4": ["system", "layer", "dir", "jobs", "calls",
+             "0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M",
+             "1M_4M", "4M_10M", "10M_100M", "100M_1G", "1G_PLUS"],
+    "fig6": ["system", "ifaces", "layer", "read-only", "read-write", "write-only"],
+    "fig7": ["system", "flavor", "domain", "read", "write"],
+    "fig11": ["system", "layer", "dir", "iface", "bin", "n",
+              "median MB/s", "q1 MB/s", "q3 MB/s"],
+    "users": ["system", "users", "top-10% job share", "top-10% byte share",
+              "gini(jobs)", "gini(bytes)"],
+    "temporal": ["system", "dir", "peak/mean", "busiest hour"],
+    "variability": ["layer", "iface", "dir", "bin", "n", "median MB/s",
+                    "IQR ratio", "p90/p10"],
+    "tuning": ["system", "users", "improving", "flat", "regressing"],
+}

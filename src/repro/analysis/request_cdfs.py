@@ -1,0 +1,88 @@
+"""Figures 4 and 5: CDFs of per-process request sizes over Darshan bins.
+
+Darshan provides request sizes only as per-file histograms (POSIX and
+MPI-IO; STDIO has none — §2.2), so the CDF is over *calls*: the per-bin
+totals summed over files, cumulated across the ten bins. Figure 5 is the
+same analysis restricted to large jobs (> 1,024 processes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cdf import weighted_cdf
+from repro.darshan.bins import ACCESS_SIZE_BINS
+from repro.platforms.interfaces import IOInterface
+from repro.store.recordstore import RecordStore
+from repro.store.schema import LAYER_CODES
+
+
+@dataclass(frozen=True)
+class RequestCdf:
+    """One curve: cumulative % of calls per access-size bin."""
+
+    platform: str
+    layer: str
+    direction: str
+    large_jobs_only: bool
+    total_calls: int
+    bin_labels: tuple[str, ...]
+    cumulative_percent: tuple[float, ...]
+
+    def percent_in_bin(self, label: str) -> float:
+        """Non-cumulative share of calls in one bin."""
+        i = self.bin_labels.index(label)
+        prev = self.cumulative_percent[i - 1] if i else 0.0
+        return self.cumulative_percent[i] - prev
+
+    def to_rows(self) -> list[list[str]]:
+        return [
+            [
+                self.platform,
+                self.layer,
+                self.direction,
+                "large" if self.large_jobs_only else "all",
+                str(self.total_calls),
+                *[f"{p:.1f}" for p in self.cumulative_percent],
+            ]
+        ]
+
+
+def request_cdfs(
+    store: RecordStore, *, large_jobs_only: bool = False
+) -> list[RequestCdf]:
+    """Figure 4 (``large_jobs_only=False``) or Figure 5 (``True``).
+
+    POSIX rows only: the POSIX module's histograms reflect the actual
+    file-system requests (including MPI-IO traffic through its shadows),
+    and STDIO has no histograms to contribute.
+    """
+    f = store.files
+    sel = f[f["interface"] == int(IOInterface.POSIX)]
+    if large_jobs_only:
+        sel = sel[sel["nprocs"] > 1024]
+    out = []
+    for layer, code in LAYER_CODES.items():
+        if layer == "other":
+            continue
+        per_layer = sel[sel["layer"] == code]
+        if not len(per_layer):
+            continue
+        for direction, col in (("read", "read_hist"), ("write", "write_hist")):
+            totals = per_layer[col].sum(axis=0)
+            if totals.sum() == 0:
+                continue
+            out.append(
+                RequestCdf(
+                    platform=store.platform,
+                    layer=layer,
+                    direction=direction,
+                    large_jobs_only=large_jobs_only,
+                    total_calls=int(totals.sum()),
+                    bin_labels=ACCESS_SIZE_BINS.labels,
+                    cumulative_percent=tuple(weighted_cdf(totals)),
+                )
+            )
+    return out

@@ -1,0 +1,143 @@
+"""Do users tune their I/O across successive executions? (§5 future work)
+
+The paper closes with: *"Another focus of this future study will be how
+many users tune their I/O in subsequent application executions."* This
+module implements that study over a store: for each user with enough
+jobs, order the jobs in time, extract per-job tuning signals — mean POSIX
+request size and MPI-IO adoption — and classify the user's trajectory as
+improving, flat, or regressing by rank correlation against time.
+
+Run against the synthetic population it returns "flat" for almost
+everyone, which is precisely the paper's suspicion about production users
+(optimizations "available for quite some time" going unused); the tests
+also verify the detector fires on hand-built stores with real trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.platforms.interfaces import IOInterface
+from repro.store.recordstore import RecordStore
+
+
+@dataclass(frozen=True)
+class UserTrajectory:
+    """One user's tuning signal over their job sequence."""
+
+    user_id: int
+    njobs: int
+    #: Per-job mean POSIX request size, time-ordered.
+    request_sizes: np.ndarray
+    #: Per-job MPI-IO share of interface rows, time-ordered.
+    mpiio_shares: np.ndarray
+    #: Spearman rank correlation of request size against job order.
+    trend: float
+
+    @property
+    def classification(self) -> str:
+        if not np.isfinite(self.trend):
+            return "flat"
+        if self.trend > 0.35:
+            return "improving"
+        if self.trend < -0.35:
+            return "regressing"
+        return "flat"
+
+
+@dataclass(frozen=True)
+class TuningReport:
+    platform: str
+    trajectories: tuple[UserTrajectory, ...]
+
+    def fraction(self, classification: str) -> float:
+        if not self.trajectories:
+            return float("nan")
+        hits = sum(
+            1 for t in self.trajectories if t.classification == classification
+        )
+        return hits / len(self.trajectories)
+
+    def to_rows(self) -> list[list[str]]:
+        return [
+            [
+                self.platform,
+                str(len(self.trajectories)),
+                f"{100 * self.fraction('improving'):.1f}%",
+                f"{100 * self.fraction('flat'):.1f}%",
+                f"{100 * self.fraction('regressing'):.1f}%",
+            ]
+        ]
+
+
+def _spearman(x: np.ndarray, y: np.ndarray) -> float:
+    """Spearman rank correlation (scipy-free, ties by average rank)."""
+    if len(x) < 3 or np.all(y == y[0]):
+        return float("nan")
+
+    def ranks(a: np.ndarray) -> np.ndarray:
+        order = np.argsort(a, kind="stable")
+        r = np.empty(len(a), dtype=np.float64)
+        r[order] = np.arange(1, len(a) + 1)
+        # average ties
+        for v in np.unique(a):
+            mask = a == v
+            if mask.sum() > 1:
+                r[mask] = r[mask].mean()
+        return r
+
+    rx, ry = ranks(x), ranks(y)
+    sx, sy = rx.std(), ry.std()
+    if sx == 0 or sy == 0:
+        return float("nan")
+    return float(((rx - rx.mean()) * (ry - ry.mean())).mean() / (sx * sy))
+
+
+def tuning_report(store: RecordStore, *, min_jobs: int = 5) -> TuningReport:
+    """Classify every qualifying user's tuning trajectory."""
+    if min_jobs < 3:
+        raise AnalysisError("min_jobs must be at least 3 for a trend")
+    jobs = store.jobs
+    files = store.files
+    posix = files[files["interface"] == int(IOInterface.POSIX)]
+    mpiio_ids = set(
+        files["record_id"][files["interface"] == int(IOInterface.MPIIO)].tolist()
+    )
+
+    # Per-job aggregates.
+    job_req: dict[int, float] = {}
+    job_mpiio: dict[int, float] = {}
+    for job_id in np.unique(posix["job_id"]):
+        sel = posix[posix["job_id"] == job_id]
+        ops = max(int(sel["reads"].sum() + sel["writes"].sum()), 1)
+        nbytes = int(sel["bytes_read"].sum() + sel["bytes_written"].sum())
+        job_req[int(job_id)] = nbytes / ops
+        shadows = sum(1 for rid in sel["record_id"] if int(rid) in mpiio_ids)
+        job_mpiio[int(job_id)] = shadows / len(sel) if len(sel) else 0.0
+
+    trajectories: list[UserTrajectory] = []
+    for user in np.unique(jobs["user_id"]):
+        rows = jobs[jobs["user_id"] == user]
+        rows = rows[np.argsort(rows["start_time"], kind="stable")]
+        req = np.array(
+            [job_req[int(j)] for j in rows["job_id"] if int(j) in job_req]
+        )
+        mp = np.array(
+            [job_mpiio[int(j)] for j in rows["job_id"] if int(j) in job_mpiio]
+        )
+        if len(req) < min_jobs:
+            continue
+        order = np.arange(len(req), dtype=np.float64)
+        trajectories.append(
+            UserTrajectory(
+                user_id=int(user),
+                njobs=len(req),
+                request_sizes=req,
+                mpiio_shares=mp,
+                trend=_spearman(order, req),
+            )
+        )
+    return TuningReport(platform=store.platform, trajectories=tuple(trajectories))

@@ -1,0 +1,268 @@
+"""Command-line interface.
+
+::
+
+    python -m repro study    --platform summit --scale 1e-3 [--seed N]
+    python -m repro shapes   --platform cori   --scale 1e-3
+    python -m repro generate --platform summit --scale 5e-4 --out year.npz
+    python -m repro analyze  year.npz --exhibit table3
+    python -m repro ior      --platform summit --layer pfs --api mpiio \\
+                             --tasks 512 --direction write
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.report import HEADERS, render_results
+from repro.core import CharacterizationStudy, StudyConfig
+from repro.platforms import get_platform
+from repro.platforms.interfaces import IOInterface
+from repro.store.io import load_store, save_store
+from repro.units import format_size, parse_size
+from repro.workloads.generator import (
+    GeneratorConfig,
+    WorkloadGenerator,
+    generate_with_shadows,
+)
+
+_EXHIBITS = {
+    "table2": ("table2", "Table 2 - dataset summary"),
+    "table3": ("table3", "Table 3 - files and volume per layer"),
+    "table4": ("table4", "Table 4 - >1TB files"),
+    "table5": ("table5", "Table 5 - job layer exclusivity"),
+    "table6": ("table6", "Table 6 - interface usage"),
+    "fig3": ("fig3", "Figure 3 - transfer-size CDFs"),
+    "fig4": ("fig4", "Figure 4 - request-size CDFs"),
+    "fig5": ("fig4", "Figure 5 - request-size CDFs (large jobs)"),
+    "fig6": ("fig6", "Figure 6 - file classification"),
+    "fig7": ("fig7", "Figure 7 - in-system domains"),
+    "fig8": ("fig6", "Figure 8 - STDIO classification"),
+    "fig9": ("fig9", "Figure 9 - interface transfer CDFs"),
+    "fig10": ("fig7", "Figure 10 - STDIO domains"),
+    "fig11": ("fig11", "Figures 11/12 - POSIX vs STDIO bandwidth"),
+    "users": ("users", "User concentration (Lim et al. style)"),
+    "temporal": ("temporal", "Temporal structure (Patel et al. style)"),
+    "variability": ("variability", "Bandwidth variability (TOKIO style)"),
+    "tuning": ("tuning", "User tuning trajectories (§5 future work)"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HPDC'22 multi-layer I/O characterization, reproduced",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--platform", choices=("summit", "cori"), default="summit")
+        p.add_argument("--scale", type=float, default=1e-3)
+        p.add_argument("--seed", type=int, default=20220627)
+
+    p_study = sub.add_parser("study", help="run every analysis, print the report")
+    common(p_study)
+
+    p_shapes = sub.add_parser("shapes", help="run the paper-shape checks")
+    common(p_shapes)
+
+    p_gen = sub.add_parser("generate", help="generate a store to .npz")
+    common(p_gen)
+    p_gen.add_argument("--out", required=True, help="output .npz path")
+
+    p_an = sub.add_parser("analyze", help="run one exhibit over a saved store")
+    p_an.add_argument("store", help=".npz store from 'generate'")
+    p_an.add_argument(
+        "--exhibit", choices=sorted(_EXHIBITS), default="table3"
+    )
+
+    p_adv = sub.add_parser("advise", help="run the optimization advisors")
+    p_adv.add_argument("store", help=".npz store from 'generate'")
+    p_adv.add_argument(
+        "--advisor", choices=("aggregation", "staging"), default="staging"
+    )
+
+    p_rep = sub.add_parser("replay", help="facility layer-demand replay")
+    p_rep.add_argument("store", help=".npz store from 'generate'")
+    p_rep.add_argument("--bin-hours", type=float, default=1.0)
+
+    p_ior = sub.add_parser("ior", help="run an IOR-style probe")
+    p_ior.add_argument("--platform", choices=("summit", "cori"), default="summit")
+    p_ior.add_argument("--layer", choices=("pfs", "insystem"), default="pfs")
+    p_ior.add_argument(
+        "--api", choices=("posix", "mpiio", "stdio"), default="posix"
+    )
+    p_ior.add_argument("--tasks", type=int, default=64)
+    p_ior.add_argument("--transfer-size", default="1MiB")
+    p_ior.add_argument("--block-size", default="256MiB")
+    p_ior.add_argument("--direction", choices=("read", "write"), default="write")
+    p_ior.add_argument("--collective", action="store_true")
+    p_ior.add_argument("--file-per-proc", action="store_true")
+    p_ior.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _cmd_study(args) -> int:
+    study = CharacterizationStudy(
+        StudyConfig(seed=args.seed, scale=args.scale, platforms=(args.platform,))
+    )
+    print(study.render(args.platform))
+    return 0
+
+
+def _cmd_shapes(args) -> int:
+    study = CharacterizationStudy(
+        StudyConfig(seed=args.seed, scale=args.scale, platforms=(args.platform,))
+    )
+    checks = study.shape_checks(args.platform)
+    for c in checks:
+        print(c)
+    failed = sum(not c.passed for c in checks)
+    print(f"{len(checks) - failed}/{len(checks)} shapes reproduced")
+    return 1 if failed else 0
+
+
+def _cmd_generate(args) -> int:
+    gen = WorkloadGenerator(args.platform, GeneratorConfig(scale=args.scale))
+    store = generate_with_shadows(gen, args.seed)
+    save_store(store, args.out)
+    print(f"wrote {store!r} to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import (
+        bandwidth_variability,
+        dataset_summary,
+        file_classification,
+        insystem_domain_usage,
+        interface_transfer_cdfs,
+        interface_usage,
+        large_files,
+        layer_exclusivity,
+        layer_volumes,
+        performance_by_bin,
+        request_cdfs,
+        stdio_domain_usage,
+        temporal_profile,
+        transfer_cdfs,
+        tuning_report,
+        user_activity,
+    )
+
+    store = load_store(args.store)
+    runners = {
+        "table2": lambda: dataset_summary(store),
+        "table3": lambda: layer_volumes(store),
+        "table4": lambda: large_files(store),
+        "table5": lambda: layer_exclusivity(store),
+        "table6": lambda: interface_usage(store),
+        "fig3": lambda: transfer_cdfs(store),
+        "fig4": lambda: request_cdfs(store),
+        "fig5": lambda: request_cdfs(store, large_jobs_only=True),
+        "fig6": lambda: file_classification(store),
+        "fig7": lambda: insystem_domain_usage(store),
+        "fig8": lambda: file_classification(store, stdio_only=True),
+        "fig9": lambda: interface_transfer_cdfs(store),
+        "fig10": lambda: stdio_domain_usage(store),
+        "fig11": lambda: performance_by_bin(store),
+        "users": lambda: user_activity(store),
+        "temporal": lambda: temporal_profile(store),
+        "variability": lambda: bandwidth_variability(store),
+        "tuning": lambda: tuning_report(store),
+    }
+    header_key, title = _EXHIBITS[args.exhibit]
+    print(render_results(title, HEADERS[header_key], runners[args.exhibit]()))
+    return 0
+
+
+def _cmd_advise(args) -> int:
+    from repro.optimize import assess_staging, find_aggregation_opportunities
+
+    store = load_store(args.store)
+    machine = get_platform(store.platform)
+    if args.advisor == "staging":
+        a = assess_staging(store, machine)
+        print(
+            f"stageable PFS files: {100 * a.stageable_file_fraction:.1f}% "
+            f"({format_size(a.stageable_bytes)})"
+        )
+        print(
+            f"in-job I/O: direct {a.direct_seconds:,.0f}s vs staged "
+            f"{a.staged_seconds:,.0f}s ({a.in_job_speedup:.1f}x); "
+            f"movement {a.movement_seconds:,.0f}s; worthwhile: {a.worthwhile}"
+        )
+    else:
+        for o in find_aggregation_opportunities(store, machine)[:10]:
+            print(
+                f"{o.layer:9s} {o.interface:6s} {o.direction:5s}: "
+                f"{o.nfiles:8d} files, mean request "
+                f"{format_size(o.mean_request)}, speedup {o.speedup:.1f}x, "
+                f"saves {o.saved_seconds:,.0f}s"
+            )
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.analysis.report import render_table
+    from repro.iosim.replay import FacilityReplay
+
+    store = load_store(args.store)
+    machine = get_platform(store.platform)
+    replay = FacilityReplay(
+        store, machine, bin_seconds=args.bin_hours * 3600.0
+    )
+    print(
+        render_table(
+            ["system", "layer", "dir", "mean util", "peak util", ">80% of time"],
+            replay.summary_rows(),
+            title="Facility replay - layer demand vs capacity",
+        )
+    )
+    return 0
+
+
+def _cmd_ior(args) -> int:
+    from repro.iosim.ior import IorConfig, run_ior
+
+    machine = get_platform(args.platform)
+    config = IorConfig(
+        api=IOInterface.from_name(args.api),
+        tasks=args.tasks,
+        transfer_size=parse_size(args.transfer_size),
+        block_size=parse_size(args.block_size),
+        collective=args.collective,
+        file_per_proc=args.file_per_proc,
+    )
+    result = run_ior(
+        machine, args.layer, config, args.direction,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(
+        f"IOR {args.api.upper()} {args.direction} on "
+        f"{machine.layers[args.layer].name}: "
+        f"{format_size(result.config.aggregate_bytes)} in "
+        f"{result.seconds:.2f}s = {format_size(result.bandwidth)}/s"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "study": _cmd_study,
+        "shapes": _cmd_shapes,
+        "generate": _cmd_generate,
+        "analyze": _cmd_analyze,
+        "advise": _cmd_advise,
+        "replay": _cmd_replay,
+        "ior": _cmd_ior,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Public study API.
+
+Typical use::
+
+    from repro.core import CharacterizationStudy, StudyConfig
+
+    study = CharacterizationStudy(StudyConfig(seed=7, scale=1e-3))
+    results = study.run("summit")
+    print(study.render("summit"))
+    checks = study.shape_checks("summit")
+
+:class:`CharacterizationStudy` generates (and caches) each platform's
+synthetic year, runs every table/figure analysis, and compares the shapes
+against the paper's published values (:mod:`repro.core.expectations`).
+"""
+
+from repro.core.config import StudyConfig
+from repro.core.study import CharacterizationStudy, StudyResults
+from repro.core.compare import ShapeCheck, run_shape_checks
+from repro.core.calibration import CalibrationRow, calibration_report, miscalibrated
+from repro.core import expectations
+
+__all__ = [
+    "StudyConfig",
+    "CharacterizationStudy",
+    "StudyResults",
+    "ShapeCheck",
+    "run_shape_checks",
+    "CalibrationRow",
+    "calibration_report",
+    "miscalibrated",
+    "expectations",
+]

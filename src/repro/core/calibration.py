@@ -1,0 +1,114 @@
+"""Calibration report: generator output vs. the paper's published numbers.
+
+The workload mixes (:mod:`repro.workloads.mixes`) were tuned against the
+paper's Tables 2–6; this module makes that tuning auditable. It computes
+every calibrated marginal from a store, pairs it with the published
+target, and reports the ratio — the table EXPERIMENTS.md quotes, and the
+regression net that catches an accidental de-calibration when someone
+edits an archetype.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis import (
+    dataset_summary,
+    interface_usage,
+    layer_volumes,
+)
+from repro.core import expectations as exp
+from repro.store.recordstore import RecordStore
+
+
+@dataclass(frozen=True)
+class CalibrationRow:
+    """One calibrated marginal: target vs measured."""
+
+    quantity: str
+    target: float
+    measured: float
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.target if self.target else float("inf")
+
+    def within(self, factor: float) -> bool:
+        return self.target > 0 and 1 / factor <= self.ratio <= factor
+
+    def to_rows(self) -> list[list[str]]:
+        return [
+            [
+                self.quantity,
+                f"{self.target:.4g}",
+                f"{self.measured:.4g}",
+                f"{self.ratio:.2f}x",
+            ]
+        ]
+
+
+def calibration_report(store: RecordStore) -> list[CalibrationRow]:
+    """All calibrated marginals for one platform's store (full-year)."""
+    p = store.platform
+    rows: list[CalibrationRow] = []
+
+    t2 = dataset_summary(store)
+    paper2 = exp.TABLE2[p]
+    rows.append(CalibrationRow("jobs", paper2["jobs"], t2.jobs_scaled))
+    rows.append(CalibrationRow("darshan logs", paper2["logs"], t2.logs_scaled))
+    rows.append(CalibrationRow("files", paper2["files"], t2.files_scaled))
+    rows.append(
+        CalibrationRow("node-hours", paper2["node_hours"], t2.node_hours_scaled)
+    )
+
+    t3 = layer_volumes(store)
+    for layer, row in (("insystem", t3.insystem), ("pfs", t3.pfs)):
+        files_t, read_t, write_t = exp.TABLE3[p][layer]
+        rows.append(
+            CalibrationRow(f"{layer} files", files_t, row.files / store.scale)
+        )
+        rows.append(
+            CalibrationRow(
+                f"{layer} bytes read", read_t, row.bytes_read / store.scale
+            )
+        )
+        rows.append(
+            CalibrationRow(
+                f"{layer} bytes written", write_t, row.bytes_written / store.scale
+            )
+        )
+        rows.append(
+            CalibrationRow(
+                f"{layer} R/W ratio",
+                exp.READ_OVER_WRITE[(p, layer)],
+                row.read_write_ratio(),
+            )
+        )
+
+    t6 = interface_usage(store)
+    for layer in ("insystem", "pfs"):
+        posix_t, mpiio_t, stdio_t = exp.TABLE6[p][layer]
+        per = t6.counts[layer]
+        for iface, target in (
+            ("POSIX", posix_t), ("MPI-IO", mpiio_t), ("STDIO", stdio_t)
+        ):
+            if target < 1e6:
+                continue  # sub-million targets are noise at bench scales
+            rows.append(
+                CalibrationRow(
+                    f"{layer} {iface} files", target, per[iface] / store.scale
+                )
+            )
+    rows.append(
+        CalibrationRow(
+            "STDIO overall share", exp.STDIO_OVERALL_SHARE[p], t6.stdio_share()
+        )
+    )
+    return rows
+
+
+def miscalibrated(
+    rows: list[CalibrationRow], *, factor: float = 3.0
+) -> list[CalibrationRow]:
+    """Rows whose measured value strays beyond ``factor`` of the target."""
+    return [r for r in rows if not r.within(factor)]

@@ -1,0 +1,138 @@
+"""The paper's published numbers, verbatim, as calibration/check targets.
+
+Everything here is transcribed from the HPDC '22 paper; the shape checks
+(:mod:`repro.core.compare`) and EXPERIMENTS.md compare the synthetic
+study's output against these. Counts are full-year; volumes in bytes.
+"""
+
+from __future__ import annotations
+
+from repro.units import PB, TB
+
+# --------------------------------------------------------------------- Table 2
+TABLE2 = {
+    "summit": {
+        "year": 2020,
+        "darshan_version": "3.1.7",
+        "logs": 7.74e6,
+        "jobs": 281.6e3,
+        "files": 1294.85e6,
+        "node_hours": 16.4e6,
+        "logs_per_job_max": 34_341,
+    },
+    "cori": {
+        "year": 2019,
+        "darshan_version": "3.0/3.1",
+        "logs": 4.36e6,
+        "jobs": 749.5e3,
+        "files": 416.91e6,
+        "node_hours": 45.5e6,
+        "logs_per_job_max": 9_999,
+    },
+}
+
+# --------------------------------------------------------------------- Table 3
+#: {platform: {layer: (files, bytes_read, bytes_written)}}
+TABLE3 = {
+    "summit": {
+        "insystem": (279.39e6, 4.43 * PB, 2.69 * PB),
+        "pfs": (1015.46e6, 197.75 * PB, 8278.05 * PB),
+    },
+    "cori": {
+        "insystem": (13.96e6, 13.71 * PB, 4.34 * PB),
+        "pfs": (402.95e6, 171.64 * PB, 26.10 * PB),
+    },
+}
+
+#: Derived headline ratios quoted in §3.2.1.
+PFS_OVER_INSYSTEM_FILES = {"summit": 3.63, "cori": 28.87}
+READ_OVER_WRITE = {
+    ("summit", "insystem"): 4.43 / 2.69,     # ~1.65, read-leaning
+    ("summit", "pfs"): 197.75 / 8278.05,     # ~0.024, write-dominated
+    ("cori", "insystem"): 3.16,
+    ("cori", "pfs"): 6.58,
+}
+
+# --------------------------------------------------------------------- Table 4
+#: {platform: {layer: (>1TB read files, >1TB write files)}}
+TABLE4 = {
+    "summit": {"insystem": (0, 0), "pfs": (7232, 78)},
+    "cori": {"insystem": (513, 950), "pfs": (74, 10_045)},
+}
+TABLE4_THRESHOLD = 1 * TB
+#: Cori's quoted shares: 91.35% of >1TB writes on PFS; 87.39% of >1TB
+#: reads from CBB.
+CORI_PFS_WRITE_SHARE = 0.9135
+CORI_CBB_READ_SHARE = 0.8739
+
+# --------------------------------------------------------------------- Table 5
+#: {platform: (in-system only, both, PFS only)} in jobs.
+TABLE5 = {
+    "summit": (0, 3.42e3, 241.5e3),
+    "cori": (103.46e3, 35.9e3, 579.91e3),
+}
+CORI_CBB_ONLY_FRACTION = 0.1438
+
+# --------------------------------------------------------------------- Table 6
+#: {platform: {layer: (POSIX, MPI-IO, STDIO)}} in files (usage counts).
+TABLE6 = {
+    "summit": {
+        "insystem": (52e6, 6, 227e6),
+        "pfs": (743e6, 157e6, 404e6),
+    },
+    "cori": {
+        "insystem": (13e6, 13e6, 0.65e6),
+        "pfs": (313e6, 207e6, 89e6),
+    },
+}
+STDIO_OVERALL_SHARE = {"summit": 0.398, "cori": 0.142}
+SUMMIT_SCNL_STDIO_OVER_POSIX = 4.37
+
+# ------------------------------------------------------------------ Figure 3/9
+#: Quoted CDF points: {(platform, layer, direction): fraction below 1 GB}.
+SUB_1GB_FILE_FRACTION = {
+    ("summit", "pfs", "read"): 0.97,
+    ("summit", "pfs", "write"): 0.99,
+    ("summit", "insystem", "read"): 0.99,
+    ("summit", "insystem", "write"): 0.99,
+    ("cori", "insystem", "read"): 0.9904,
+    ("cori", "insystem", "write"): 0.9777,
+    ("cori", "pfs", "read"): 0.9905,
+    ("cori", "pfs", "write"): 0.9091,
+}
+
+# ------------------------------------------------------------------- Figure 4
+#: Quoted request-size concentrations (§3.2.1).
+SUMMIT_PFS_READ_TINY_BINS = ("0_100", "1K_10K")   # ~45% of calls each
+SUMMIT_SCNL_10K_100K_READ = 0.83
+SUMMIT_SCNL_10K_100K_WRITE = 0.60
+
+# ------------------------------------------------------------------- Figure 6
+#: RO+WO (stageable) share of PFS files.
+STAGEABLE_PFS_FRACTION = {"summit": 0.957, "cori": 0.901}
+
+# ------------------------------------------------------------------- Figure 7
+#: Figure 7b: physics carries 71.95% of CBB data transfer.
+CORI_CBB_PHYSICS_SHARE = 0.7195
+#: Figure 7a: computer science + physics cover ~60% of SCNL jobs.
+SUMMIT_SCNL_CS_PHYSICS_JOB_SHARE = 0.60
+
+# ------------------------------------------------------------------ Figure 10
+#: 90.02% of Cori STDIO jobs had a domain attached.
+CORI_STDIO_DOMAIN_COVERAGE = 0.9002
+
+# --------------------------------------------------------------- Figures 11/12
+#: Quoted median POSIX-over-STDIO speedups; (platform, layer, direction,
+#: transfer bin label) -> ratio. Values > 1 mean POSIX wins.
+PERF_SPEEDUPS = {
+    ("summit", "pfs", "read", "100G_1T"): 40.0,
+    ("summit", "pfs", "read", "small"): 3.0,     # < 100 GB
+    ("summit", "insystem", "read", "100M_1G"): 5.0,
+    ("summit", "insystem", "read", "10G_100G"): 8.0,
+    ("summit", "pfs", "write", "100M_1G"): 1.6,
+    ("summit", "insystem", "write", "100M_1G"): 1 / 1.5,  # STDIO wins
+    ("cori", "pfs", "read", "1G_10G"): 6.78,
+    ("cori", "pfs", "read", "10G_100G"): 2.9,
+    ("cori", "pfs", "write", "100M_1G"): 3.67,
+    ("cori", "pfs", "write", "1G_10G"): 2.02,
+}

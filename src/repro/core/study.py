@@ -1,0 +1,141 @@
+"""The end-to-end study pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import (
+    dataset_summary,
+    file_classification,
+    insystem_domain_usage,
+    interface_transfer_cdfs,
+    interface_usage,
+    large_files,
+    layer_exclusivity,
+    layer_volumes,
+    performance_by_bin,
+    request_cdfs,
+    stdio_domain_usage,
+    transfer_cdfs,
+)
+from repro.analysis.report import HEADERS, render_results
+from repro.core.config import StudyConfig
+from repro.store.recordstore import RecordStore
+from repro.workloads.generator import (
+    GeneratorConfig,
+    WorkloadGenerator,
+    generate_with_shadows,
+)
+
+
+@dataclass
+class StudyResults:
+    """All analyses for one platform, keyed like the paper's exhibits."""
+
+    platform: str
+    table2: object = None
+    table3: object = None
+    table4: object = None
+    table5: object = None
+    table6: object = None
+    fig3: list = field(default_factory=list)
+    fig4: list = field(default_factory=list)
+    fig5: list = field(default_factory=list)
+    fig6: object = None
+    fig7: object = None
+    fig8: object = None
+    fig9: list = field(default_factory=list)
+    fig10: object = None
+    fig11_12: list = field(default_factory=list)
+
+
+class CharacterizationStudy:
+    """Generates each platform's synthetic year and runs every analysis."""
+
+    def __init__(self, config: StudyConfig | None = None):
+        self.config = config or StudyConfig()
+        self._stores: dict[str, RecordStore] = {}
+        self._results: dict[str, StudyResults] = {}
+
+    # ------------------------------------------------------------------
+    def store(self, platform: str) -> RecordStore:
+        """The platform's synthetic year (generated once, then cached)."""
+        key = platform.lower()
+        if key not in self.config.platforms:
+            raise ValueError(
+                f"{platform!r} not in configured platforms {self.config.platforms}"
+            )
+        if key not in self._stores:
+            gen = WorkloadGenerator(key, self.config.generator_config())
+            self._stores[key] = generate_with_shadows(gen, self.config.seed)
+        return self._stores[key]
+
+    def run(self, platform: str) -> StudyResults:
+        """Run every table/figure analysis for one platform (cached)."""
+        key = platform.lower()
+        if key in self._results:
+            return self._results[key]
+        store = self.store(key)
+        results = StudyResults(platform=key)
+        results.table2 = dataset_summary(store)
+        results.table3 = layer_volumes(store)
+        results.table4 = large_files(store)
+        results.table5 = layer_exclusivity(store)
+        results.table6 = interface_usage(store)
+        results.fig3 = transfer_cdfs(store)
+        results.fig4 = request_cdfs(store)
+        results.fig5 = request_cdfs(store, large_jobs_only=True)
+        results.fig6 = file_classification(store)
+        results.fig7 = insystem_domain_usage(store)
+        results.fig8 = file_classification(store, stdio_only=True)
+        results.fig9 = interface_transfer_cdfs(store)
+        results.fig10 = stdio_domain_usage(store)
+        results.fig11_12 = performance_by_bin(store)
+        self._results[key] = results
+        return results
+
+    def run_all(self) -> dict[str, StudyResults]:
+        return {p: self.run(p) for p in self.config.platforms}
+
+    # ------------------------------------------------------------------
+    def shape_checks(self, platform: str):
+        """Paper-vs-measured shape checks for one platform."""
+        from repro.core.compare import run_shape_checks
+
+        return run_shape_checks(self.run(platform))
+
+    def render(self, platform: str) -> str:
+        """Full ASCII report for one platform."""
+        r = self.run(platform)
+        perf_fig = "Figure 11" if r.platform == "summit" else "Figure 12"
+        sections = [
+            render_results("Table 2 - dataset summary (full-year extrapolation)",
+                           HEADERS["table2"], r.table2),
+            render_results("Table 3 - files and transfer volume per layer",
+                           HEADERS["table3"], r.table3),
+            render_results("Table 4 - files with >1TB transfer",
+                           HEADERS["table4"], r.table4),
+            render_results("Table 5 - job layer exclusivity",
+                           HEADERS["table5"], r.table5),
+            render_results("Table 6 - interface usage per layer",
+                           HEADERS["table6"], r.table6),
+            render_results("Figure 3 - per-file transfer-size CDFs",
+                           HEADERS["fig3"], r.fig3),
+            render_results("Figure 4 - request-size CDFs (cumulative % of calls)",
+                           HEADERS["fig4"], r.fig4),
+            render_results("Figure 5 - request-size CDFs, jobs >1024 procs",
+                           HEADERS["fig4"], r.fig5),
+            render_results("Figure 6 - RO/RW/WO classification (POSIX+STDIO)",
+                           HEADERS["fig6"], r.fig6),
+            render_results("Figure 7 - in-system usage by domain",
+                           HEADERS["fig7"], r.fig7),
+            render_results("Figure 8 - RO/RW/WO classification (STDIO only)",
+                           HEADERS["fig6"], r.fig8),
+            render_results("Figure 9 - transfer CDFs per interface",
+                           HEADERS["fig9"], r.fig9),
+            render_results("Figure 10 - STDIO transfer by domain",
+                           HEADERS["fig7"], r.fig10),
+            render_results(f"{perf_fig} - POSIX vs STDIO bandwidth by bin",
+                           HEADERS["fig11"], r.fig11_12),
+        ]
+        return "\n\n".join(sections)

@@ -1,0 +1,61 @@
+"""A from-scratch Darshan-style I/O characterization log model.
+
+This subpackage reimplements the pieces of Darshan (Carns et al., TOS 2011)
+that the HPDC '22 study depends on:
+
+* **Counter semantics** (:mod:`repro.darshan.counters`): per-file integer
+  counters and floating-point timers for the POSIX, MPI-IO, STDIO, and
+  LUSTRE modules, matching the names and meanings the paper analyzes
+  (``POSIX_BYTES_READ``, ``STDIO_F_WRITE_TIME``,
+  ``POSIX_SIZE_READ_100K_1M``, …).
+* **Access-size histograms** (:mod:`repro.darshan.bins`): the ten
+  request-size bins used in Figures 4–5 and the transfer-size bins used in
+  Figures 3, 9, 11, 12.
+* **Records** (:mod:`repro.darshan.records`): the job record, per-module
+  file records (with the shared-file ``rank == -1`` convention §3.4 relies
+  on), and name records mapping record ids to paths.
+* **Self-describing binary format** (:mod:`repro.darshan.format`): a
+  compressed, CRC-checked container with a region table, in the spirit of
+  the real ``.darshan`` format, plus a parser.
+* **Accumulation** (:mod:`repro.darshan.accumulate`): building counter
+  records from streams of I/O operations, which is what the Darshan runtime
+  does inside an instrumented application.
+* **Validation** (:mod:`repro.darshan.validate`): semantic invariants a
+  well-formed log must satisfy.
+"""
+
+from repro.darshan.bins import (
+    ACCESS_SIZE_BINS,
+    TRANSFER_SIZE_BINS,
+    SizeBins,
+)
+from repro.darshan.constants import ModuleId
+from repro.darshan.counters import counter_index, module_counters
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import (
+    SHARED_FILE_RANK,
+    FileRecord,
+    JobRecord,
+    NameRecord,
+)
+from repro.darshan.format import read_log, read_log_bytes, write_log, write_log_bytes
+from repro.darshan.validate import validate_log
+
+__all__ = [
+    "ACCESS_SIZE_BINS",
+    "TRANSFER_SIZE_BINS",
+    "SizeBins",
+    "ModuleId",
+    "counter_index",
+    "module_counters",
+    "DarshanLog",
+    "SHARED_FILE_RANK",
+    "FileRecord",
+    "JobRecord",
+    "NameRecord",
+    "read_log",
+    "read_log_bytes",
+    "write_log",
+    "write_log_bytes",
+    "validate_log",
+]

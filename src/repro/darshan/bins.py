@@ -1,0 +1,134 @@
+"""Size-bin definitions used throughout the study.
+
+Two bin families appear in the paper:
+
+* **Access-size bins** — the ten histogram bins Darshan keeps per file for
+  POSIX and MPI-IO request sizes (§2.2): 0–100 B, 100 B–1 KB, 1 KB–10 KB,
+  10 KB–100 KB, 100 KB–1 MB, 1 MB–4 MB, 4 MB–10 MB, 10 MB–100 MB,
+  100 MB–1 GB, >1 GB. Figures 4 and 5 are CDFs over these bins. Darshan
+  does **not** keep these for STDIO — neither do we
+  (:data:`repro.darshan.counters.STDIO_COUNTERS` has no ``SIZE_`` entries),
+  which is exactly the instrumentation gap Recommendation 4 calls out.
+* **Transfer-size bins** — bins of *total per-file* data transfer used to
+  group files in Figures 3, 9, 11, and 12: 0–100 MB, 100 MB–1 GB, 1–10 GB,
+  10–100 GB, 100 GB–1 TB, >1 TB.
+
+Bin edges are decimal (1 KB = 1000 B), matching Darshan's counter names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.units import GB, KB, MB, TB
+
+
+@dataclass(frozen=True)
+class SizeBins:
+    """An ordered set of half-open size bins ``[edge[i], edge[i+1])``.
+
+    ``edges`` has ``nbins + 1`` entries; the last is ``inf``. ``labels``
+    mirror the Darshan counter-suffix style (``0_100``, ``100K_1M``,
+    ``1G_PLUS``).
+    """
+
+    name: str
+    edges: tuple[float, ...]
+    labels: tuple[str, ...]
+    _edges_array: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.edges) != len(self.labels) + 1:
+            raise ValueError(
+                f"{self.name}: need len(edges) == len(labels) + 1, "
+                f"got {len(self.edges)} edges / {len(self.labels)} labels"
+            )
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+            raise ValueError(f"{self.name}: edges must be strictly increasing")
+        if self.edges[0] != 0:
+            raise ValueError(f"{self.name}: first edge must be 0")
+        if not np.isinf(self.edges[-1]):
+            raise ValueError(f"{self.name}: last edge must be inf")
+        object.__setattr__(
+            self, "_edges_array", np.asarray(self.edges, dtype=np.float64)
+        )
+
+    @property
+    def nbins(self) -> int:
+        return len(self.labels)
+
+    def index_of(self, size: float) -> int:
+        """Bin index for a single size in bytes."""
+        if size < 0:
+            raise ValueError(f"negative size: {size}")
+        # searchsorted(side='right') - 1 maps edge values into the bin they
+        # open, i.e. size == 100 lands in the 100_1K bin, matching Darshan.
+        return int(np.searchsorted(self._edges_array, size, side="right") - 1)
+
+    def index_array(self, sizes: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`index_of` for an array of sizes in bytes."""
+        sizes = np.asarray(sizes)
+        if sizes.size and sizes.min() < 0:
+            raise ValueError("negative sizes in input")
+        return np.searchsorted(self._edges_array, sizes, side="right") - 1
+
+    def histogram(self, sizes: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+        """Count (or weight-sum) sizes per bin. Returns shape ``(nbins,)``."""
+        idx = self.index_array(sizes)
+        return np.bincount(idx, weights=weights, minlength=self.nbins).astype(
+            np.int64 if weights is None else np.float64
+        )
+
+    def label_of(self, size: float) -> str:
+        return self.labels[self.index_of(size)]
+
+    def upper_edges(self) -> np.ndarray:
+        """Finite upper edges with ``inf`` kept for the last bin."""
+        return self._edges_array[1:].copy()
+
+
+def _labels_from_edges(edges: Sequence[float]) -> tuple[str, ...]:
+    """Render Darshan-style bin labels from numeric edges."""
+
+    def fmt(v: float) -> str:
+        if v == 0:
+            return "0"
+        for unit, factor in (("T", TB), ("G", GB), ("M", MB), ("K", KB)):
+            if v >= factor:
+                q = v / factor
+                return f"{int(q)}{unit}" if q == int(q) else f"{q:g}{unit}"
+        return str(int(v))
+
+    labels = []
+    for lo, hi in zip(edges, edges[1:]):
+        if np.isinf(hi):
+            labels.append(f"{fmt(lo)}_PLUS")
+        else:
+            labels.append(f"{fmt(lo)}_{fmt(hi)}")
+    return tuple(labels)
+
+
+_ACCESS_EDGES = (0, 100, 1 * KB, 10 * KB, 100 * KB, 1 * MB, 4 * MB, 10 * MB, 100 * MB, 1 * GB, float("inf"))
+
+#: The ten Darshan request-size histogram bins (Figures 4–5).
+ACCESS_SIZE_BINS = SizeBins(
+    name="access_size",
+    edges=_ACCESS_EDGES,
+    labels=_labels_from_edges(_ACCESS_EDGES),
+)
+
+_TRANSFER_EDGES = (0, 100 * MB, 1 * GB, 10 * GB, 100 * GB, 1 * TB, float("inf"))
+
+#: Per-file total transfer-size bins (Figures 3, 9, 11, 12, Table 4).
+TRANSFER_SIZE_BINS = SizeBins(
+    name="transfer_size",
+    edges=_TRANSFER_EDGES,
+    labels=_labels_from_edges(_TRANSFER_EDGES),
+)
+
+#: Convenience aliases for the figure axes.
+ONE_GB_BIN_INDEX = TRANSFER_SIZE_BINS.labels.index("1G_10G")
+ONE_TB_PLUS_LABEL = "1T_PLUS"

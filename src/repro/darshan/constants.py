@@ -1,0 +1,54 @@
+"""Format-level constants for the repro Darshan-style log.
+
+The real Darshan log begins with a version string and a compressed job
+region followed by per-module regions located through a region table. We
+keep that architecture (self-describing, per-module regions, compression)
+with our own magic and version so nobody mistakes these files for real
+``.darshan`` logs.
+"""
+
+from __future__ import annotations
+
+import enum
+
+#: Magic bytes at offset 0 of every serialized log.
+LOG_MAGIC = b"RPRODSHN"
+
+#: Format version written into the header. Parsers refuse newer majors.
+FORMAT_VERSION_MAJOR = 1
+FORMAT_VERSION_MINOR = 0
+
+#: The Darshan runtime version we emulate (Summit ran 3.1.7; Cori 3.0/3.1).
+EMULATED_DARSHAN_VERSION = "3.1.7"
+
+
+class ModuleId(enum.IntEnum):
+    """Instrumentation modules, mirroring Darshan's module taxonomy.
+
+    Values are stable on-disk identifiers; never renumber.
+    """
+
+    POSIX = 1
+    MPIIO = 2
+    STDIO = 3
+    LUSTRE = 4
+
+    @property
+    def prefix(self) -> str:
+        """Counter-name prefix (``POSIX_...``, ``MPIIO_...``)."""
+        return self.name
+
+    @classmethod
+    def from_prefix(cls, prefix: str) -> "ModuleId":
+        try:
+            return cls[prefix.upper().replace("-", "")]
+        except KeyError:
+            raise ValueError(f"unknown module prefix {prefix!r}") from None
+
+
+#: Modules that observe data-path I/O (LUSTRE only records layout metadata).
+DATA_MODULES = (ModuleId.POSIX, ModuleId.MPIIO, ModuleId.STDIO)
+
+#: Compression codecs supported by the container.
+COMPRESSION_NONE = 0
+COMPRESSION_ZLIB = 1

@@ -1,0 +1,350 @@
+"""Self-describing binary container for Darshan-style logs.
+
+Layout (all integers little-endian)::
+
+    +--------------------------------------------------------------+
+    | magic (8)  | ver major (u16) | ver minor (u16)               |
+    | emulated darshan version (16, NUL padded)                    |
+    | region count (u32)                                           |
+    +--------------------------------------------------------------+
+    | region table: one 40-byte descriptor per region              |
+    |   kind (u16) | module (u16) | codec (u16) | reserved (u16)   |
+    |   offset (u64) | raw_len (u64) | comp_len (u64) | crc32 (u32)|
+    |   reserved (u32)                                             |
+    +--------------------------------------------------------------+
+    | region payloads (zlib-compressed by default)                 |
+    +--------------------------------------------------------------+
+
+Regions: one JOB region, one NAMES region, and one MODULE region per
+instrumented module. Module payloads store the record arrays columnar
+(ids, ranks, counter matrix, fcounter matrix) so a million-record log
+serializes without a per-record Python loop — see the hpc-parallel guide's
+advice on batch array I/O.
+
+The real Darshan format differs in detail but shares the architecture:
+self-describing header, compressed regions, per-module record blocks. The
+parser validates magic, version, CRCs, and counter-array shapes, raising
+:class:`repro.errors.LogFormatError` on any mismatch.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from typing import BinaryIO, Union
+
+import numpy as np
+
+from repro.darshan.constants import (
+    COMPRESSION_NONE,
+    COMPRESSION_ZLIB,
+    EMULATED_DARSHAN_VERSION,
+    FORMAT_VERSION_MAJOR,
+    FORMAT_VERSION_MINOR,
+    LOG_MAGIC,
+    ModuleId,
+)
+from repro.darshan.counters import module_counters, module_fcounters
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import FileRecord, JobRecord, NameRecord
+from repro.errors import LogFormatError
+
+_HEADER = struct.Struct("<8sHH16sI")
+_REGION = struct.Struct("<HHHHQQQII")
+
+_KIND_JOB = 1
+_KIND_NAMES = 2
+_KIND_MODULE = 3
+_KIND_DXT = 4
+
+
+# -- string helpers ---------------------------------------------------------
+def _pack_str(buf: io.BytesIO, s: str) -> None:
+    data = s.encode("utf-8")
+    buf.write(struct.pack("<I", len(data)))
+    buf.write(data)
+
+
+def _unpack_str(view: memoryview, off: int) -> tuple[str, int]:
+    if off + 4 > len(view):
+        raise LogFormatError("truncated string length")
+    (n,) = struct.unpack_from("<I", view, off)
+    off += 4
+    if off + n > len(view):
+        raise LogFormatError("truncated string payload")
+    return bytes(view[off : off + n]).decode("utf-8"), off + n
+
+
+# -- region payload encoders --------------------------------------------------
+def _encode_job(job: JobRecord) -> bytes:
+    buf = io.BytesIO()
+    buf.write(struct.pack("<QQIdd", job.job_id, job.user_id, job.nprocs,
+                          job.start_time, job.end_time))
+    _pack_str(buf, job.platform)
+    _pack_str(buf, job.domain)
+    buf.write(struct.pack("<I", len(job.metadata)))
+    for key in sorted(job.metadata):
+        _pack_str(buf, key)
+        _pack_str(buf, job.metadata[key])
+    return buf.getvalue()
+
+
+def _decode_job(payload: bytes) -> JobRecord:
+    view = memoryview(payload)
+    need = struct.calcsize("<QQIdd")
+    if len(view) < need:
+        raise LogFormatError("truncated job record")
+    job_id, user_id, nprocs, start, end = struct.unpack_from("<QQIdd", view, 0)
+    off = need
+    platform, off = _unpack_str(view, off)
+    domain, off = _unpack_str(view, off)
+    if off + 4 > len(view):
+        raise LogFormatError("truncated job metadata count")
+    (nmeta,) = struct.unpack_from("<I", view, off)
+    off += 4
+    metadata: dict[str, str] = {}
+    for _ in range(nmeta):
+        key, off = _unpack_str(view, off)
+        value, off = _unpack_str(view, off)
+        metadata[key] = value
+    return JobRecord(
+        job_id=job_id, user_id=user_id, nprocs=nprocs,
+        start_time=start, end_time=end,
+        platform=platform, domain=domain, metadata=metadata,
+    )
+
+
+def _encode_names(names: dict[int, NameRecord]) -> bytes:
+    buf = io.BytesIO()
+    buf.write(struct.pack("<Q", len(names)))
+    for record_id in sorted(names):
+        nr = names[record_id]
+        buf.write(struct.pack("<Q", nr.record_id))
+        _pack_str(buf, nr.path)
+        _pack_str(buf, nr.mount_point)
+        _pack_str(buf, nr.layer)
+    return buf.getvalue()
+
+
+def _decode_names(payload: bytes) -> list[NameRecord]:
+    view = memoryview(payload)
+    if len(view) < 8:
+        raise LogFormatError("truncated name region")
+    (count,) = struct.unpack_from("<Q", view, 0)
+    off = 8
+    out: list[NameRecord] = []
+    for _ in range(count):
+        if off + 8 > len(view):
+            raise LogFormatError("truncated name record id")
+        (record_id,) = struct.unpack_from("<Q", view, off)
+        off += 8
+        path, off = _unpack_str(view, off)
+        mount, off = _unpack_str(view, off)
+        layer, off = _unpack_str(view, off)
+        out.append(NameRecord(record_id, path, mount, layer))
+    return out
+
+
+def _encode_module(module: ModuleId, records: list[FileRecord]) -> bytes:
+    ncounters = len(module_counters(module))
+    nfcounters = len(module_fcounters(module))
+    n = len(records)
+    ids = np.fromiter((r.record_id for r in records), dtype=np.uint64, count=n)
+    ranks = np.fromiter((r.rank for r in records), dtype=np.int64, count=n)
+    counters = (
+        np.stack([r.counters for r in records])
+        if n else np.empty((0, ncounters), dtype=np.int64)
+    )
+    fcounters = (
+        np.stack([r.fcounters for r in records])
+        if n and nfcounters else np.empty((n, nfcounters), dtype=np.float64)
+    )
+    buf = io.BytesIO()
+    buf.write(struct.pack("<QII", n, ncounters, nfcounters))
+    buf.write(ids.tobytes())
+    buf.write(ranks.tobytes())
+    buf.write(np.ascontiguousarray(counters, dtype=np.int64).tobytes())
+    buf.write(np.ascontiguousarray(fcounters, dtype=np.float64).tobytes())
+    return buf.getvalue()
+
+
+def _decode_module(module: ModuleId, payload: bytes) -> list[FileRecord]:
+    view = memoryview(payload)
+    head = struct.calcsize("<QII")
+    if len(view) < head:
+        raise LogFormatError("truncated module region header")
+    n, ncounters, nfcounters = struct.unpack_from("<QII", view, 0)
+    if ncounters != len(module_counters(module)):
+        raise LogFormatError(
+            f"{module.prefix}: file has {ncounters} counters, registry has "
+            f"{len(module_counters(module))} — version mismatch"
+        )
+    if nfcounters != len(module_fcounters(module)):
+        raise LogFormatError(
+            f"{module.prefix}: file has {nfcounters} fcounters, registry has "
+            f"{len(module_fcounters(module))}"
+        )
+    off = head
+    expect = n * 8 + n * 8 + n * ncounters * 8 + n * nfcounters * 8
+    if len(view) - off != expect:
+        raise LogFormatError(
+            f"{module.prefix}: module payload is {len(view) - off} bytes, "
+            f"expected {expect}"
+        )
+    ids = np.frombuffer(view, dtype=np.uint64, count=n, offset=off); off += n * 8
+    ranks = np.frombuffer(view, dtype=np.int64, count=n, offset=off); off += n * 8
+    counters = np.frombuffer(
+        view, dtype=np.int64, count=n * ncounters, offset=off
+    ).reshape(n, ncounters)
+    off += n * ncounters * 8
+    fcounters = np.frombuffer(
+        view, dtype=np.float64, count=n * nfcounters, offset=off
+    ).reshape(n, nfcounters)
+    return [
+        FileRecord(
+            module,
+            int(ids[i]),
+            int(ranks[i]),
+            counters[i].copy(),
+            fcounters[i].copy(),
+        )
+        for i in range(n)
+    ]
+
+
+# -- container ----------------------------------------------------------------
+def write_log_bytes(log: DarshanLog, *, compress: bool = True) -> bytes:
+    """Serialize a log to bytes."""
+    regions: list[tuple[int, int, bytes]] = [(_KIND_JOB, 0, _encode_job(log.job))]
+    regions.append((_KIND_NAMES, 0, _encode_names(log.name_records())))
+    for module in log.modules:
+        regions.append(
+            (_KIND_MODULE, int(module), _encode_module(module, log.records(module)))
+        )
+    if log.dxt_enabled:
+        from repro.darshan.dxt import encode_traces
+
+        regions.append((_KIND_DXT, 0, encode_traces(log.traces())))
+
+    codec = COMPRESSION_ZLIB if compress else COMPRESSION_NONE
+    header = _HEADER.pack(
+        LOG_MAGIC,
+        FORMAT_VERSION_MAJOR,
+        FORMAT_VERSION_MINOR,
+        EMULATED_DARSHAN_VERSION.encode("ascii").ljust(16, b"\0"),
+        len(regions),
+    )
+    table_size = _REGION.size * len(regions)
+    offset = len(header) + table_size
+    table = io.BytesIO()
+    body = io.BytesIO()
+    for kind, module, raw in regions:
+        payload = zlib.compress(raw, 6) if compress else raw
+        table.write(
+            _REGION.pack(
+                kind, module, codec, 0,
+                offset, len(raw), len(payload),
+                zlib.crc32(raw) & 0xFFFFFFFF, 0,
+            )
+        )
+        body.write(payload)
+        offset += len(payload)
+    return header + table.getvalue() + body.getvalue()
+
+
+def write_log(log: DarshanLog, path_or_file: Union[str, BinaryIO], *, compress: bool = True) -> None:
+    """Serialize a log to a file path or binary file object."""
+    data = write_log_bytes(log, compress=compress)
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "wb") as fh:
+            fh.write(data)
+    else:
+        path_or_file.write(data)
+
+
+def read_log_bytes(data: bytes) -> DarshanLog:
+    """Parse a serialized log, validating magic, version, shapes, and CRCs."""
+    if len(data) < _HEADER.size:
+        raise LogFormatError("file shorter than header")
+    magic, major, minor, darshan_ver, nregions = _HEADER.unpack_from(data, 0)
+    if magic != LOG_MAGIC:
+        raise LogFormatError(f"bad magic {magic!r}")
+    if major != FORMAT_VERSION_MAJOR:
+        raise LogFormatError(
+            f"unsupported format version {major}.{minor} "
+            f"(this build reads {FORMAT_VERSION_MAJOR}.x)"
+        )
+    del darshan_ver  # informational only
+    table_off = _HEADER.size
+    table_end = table_off + nregions * _REGION.size
+    if len(data) < table_end:
+        raise LogFormatError("truncated region table")
+
+    job: JobRecord | None = None
+    names: list[NameRecord] = []
+    module_payloads: list[tuple[ModuleId, bytes]] = []
+    dxt_payloads: list[bytes] = []
+    for i in range(nregions):
+        kind, module_raw, codec, _r0, offset, raw_len, comp_len, crc, _r1 = (
+            _REGION.unpack_from(data, table_off + i * _REGION.size)
+        )
+        if offset + comp_len > len(data):
+            raise LogFormatError(f"region {i}: payload extends past end of file")
+        payload = data[offset : offset + comp_len]
+        if codec == COMPRESSION_ZLIB:
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as exc:
+                raise LogFormatError(f"region {i}: corrupt zlib stream") from exc
+        elif codec != COMPRESSION_NONE:
+            raise LogFormatError(f"region {i}: unknown codec {codec}")
+        if len(payload) != raw_len:
+            raise LogFormatError(
+                f"region {i}: decompressed to {len(payload)} bytes, "
+                f"header says {raw_len}"
+            )
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            raise LogFormatError(f"region {i}: CRC mismatch")
+        if kind == _KIND_JOB:
+            if job is not None:
+                raise LogFormatError("duplicate job region")
+            job = _decode_job(payload)
+        elif kind == _KIND_NAMES:
+            names.extend(_decode_names(payload))
+        elif kind == _KIND_MODULE:
+            try:
+                module = ModuleId(module_raw)
+            except ValueError:
+                raise LogFormatError(f"region {i}: unknown module id {module_raw}") from None
+            module_payloads.append((module, payload))
+        elif kind == _KIND_DXT:
+            dxt_payloads.append(payload)
+        else:
+            raise LogFormatError(f"region {i}: unknown region kind {kind}")
+
+    if job is None:
+        raise LogFormatError("log has no job region")
+    log = DarshanLog(job)
+    for nr in names:
+        log.register_name(nr)
+    for module, payload in module_payloads:
+        for record in _decode_module(module, payload):
+            log.add_record(record)
+    if dxt_payloads:
+        from repro.darshan.dxt import decode_traces
+
+        for payload in dxt_payloads:
+            for trace in decode_traces(payload):
+                log.attach_trace(trace)
+    return log
+
+
+def read_log(path_or_file: Union[str, BinaryIO]) -> DarshanLog:
+    """Parse a log from a file path or binary file object."""
+    if isinstance(path_or_file, str):
+        with open(path_or_file, "rb") as fh:
+            data = fh.read()
+    else:
+        data = path_or_file.read()
+    return read_log_bytes(data)

@@ -1,0 +1,174 @@
+"""STDIO extended instrumentation — the counters Recommendation 4 asks for.
+
+The paper's Recommendation 4: *"we recommend that the counters of the
+process-level (e.g., operations on fread/fwrite, I/O request sizes and
+timestamps) and SSD-oriented I/O characterizations (e.g., rewrite,
+static/dynamic data) should be considered in I/O monitoring tools such as
+Darshan."*
+
+This module implements that proposal so its value can be demonstrated on
+the simulator: given the operation stream of an STDIO-managed file (which
+the baseline STDIO module reduces to byte/op totals only), it produces
+
+* the **request-size histogram** STDIO currently lacks;
+* **sequential / consecutive / random** access classification;
+* **rewrite statistics**: bytes written more than once, the rewritten
+  extent, and a static/dynamic split of the file's address space — the
+  inputs to flash write-amplification reasoning (Hu et al., SYSTOR '09);
+* a first-order **write-amplification factor (WAF)** estimate for an
+  SSD-backed layer, from the rewrite ratio and the device erase-block
+  granularity.
+
+``repro.optimize.ssd`` consumes these to rank files/jobs by expected
+flash wear, exactly the optimization loop the paper proposes for the
+in-system layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.darshan.accumulate import OP_DTYPE, OP_READ, OP_WRITE
+from repro.darshan.bins import ACCESS_SIZE_BINS
+from repro.units import KiB, MiB
+
+
+@dataclass(frozen=True)
+class StdioExtRecord:
+    """Extended per-file STDIO statistics (the proposed counters)."""
+
+    record_id: int
+    rank: int
+    #: Request-size histograms over the standard ten bins.
+    read_size_hist: np.ndarray
+    write_size_hist: np.ndarray
+    #: Sequentiality (Darshan definitions; see accumulate._sequentiality).
+    consec_reads: int
+    consec_writes: int
+    seq_reads: int
+    seq_writes: int
+    #: Bytes written to extents that had already been written in this
+    #: open ("dynamic data"); first-writes are "static data".
+    bytes_rewritten: int
+    bytes_first_written: int
+    #: Distinct byte extent touched by writes.
+    write_extent: int
+
+    @property
+    def rewrite_ratio(self) -> float:
+        """Rewritten share of written bytes (0 = write-once/static)."""
+        total = self.bytes_rewritten + self.bytes_first_written
+        return self.bytes_rewritten / total if total else 0.0
+
+    @property
+    def random_write_fraction(self) -> float:
+        """Share of non-sequential writes (flash-hostile)."""
+        writes = int(self.write_size_hist.sum())
+        if writes <= 1:
+            return 0.0
+        return 1.0 - self.seq_writes / (writes - 1)
+
+    def write_amplification(
+        self, erase_block: int = 256 * KiB, over_provision: float = 0.1
+    ) -> float:
+        """First-order WAF estimate for an SSD-backed layer.
+
+        Sequential first-writes approach WAF 1; random writes and
+        rewrites force read-modify-write at erase-block granularity. The
+        model: each random-or-rewritten write of mean size ``s`` costs
+        ``erase_block / s`` physical writes, damped by over-provisioning.
+        Deliberately simple — it ranks files, it does not price devices.
+        """
+        writes = int(self.write_size_hist.sum())
+        if writes == 0:
+            return 1.0
+        total_written = self.bytes_rewritten + self.bytes_first_written
+        mean_size = max(total_written / writes, 1.0)
+        hostile_fraction = min(
+            1.0, self.random_write_fraction + self.rewrite_ratio
+        )
+        raw = 1.0 + hostile_fraction * max(erase_block / mean_size - 1.0, 0.0)
+        return 1.0 + (raw - 1.0) / (1.0 + over_provision * 10.0)
+
+
+def _sequentiality(offsets: np.ndarray, sizes: np.ndarray) -> tuple[int, int]:
+    if len(offsets) < 2:
+        return 0, 0
+    prev_end = offsets[:-1] + sizes[:-1]
+    consec = int(np.count_nonzero(offsets[1:] == prev_end))
+    seq = int(np.count_nonzero(offsets[1:] >= prev_end))
+    return consec, seq
+
+
+def _rewrite_stats(offsets: np.ndarray, sizes: np.ndarray) -> tuple[int, int, int]:
+    """(bytes_rewritten, bytes_first_written, extent) for a write stream.
+
+    Sweep-line over write intervals in arrival order: bytes covering
+    already-written extents count as rewrites. O(n log n) with interval
+    merging; write streams are per-file and modest.
+    """
+    written: list[tuple[int, int]] = []  # disjoint sorted intervals
+    rewritten = 0
+    first = 0
+    for off, size in zip(offsets, sizes):
+        if size <= 0:
+            continue
+        lo, hi = int(off), int(off + size)
+        overlap = 0
+        for a, b in written:
+            if b <= lo or a >= hi:
+                continue
+            overlap += min(b, hi) - max(a, lo)
+        rewritten += overlap
+        first += (hi - lo) - overlap
+        # merge interval in
+        merged = [(lo, hi)]
+        for a, b in written:
+            m_lo, m_hi = merged[-1]
+            if b < m_lo or a > m_hi:
+                merged.append((a, b))
+            else:
+                merged[-1] = (min(a, m_lo), max(b, m_hi))
+        written = sorted(merged)
+        # normalize adjacency
+        norm: list[tuple[int, int]] = []
+        for a, b in written:
+            if norm and a <= norm[-1][1]:
+                norm[-1] = (norm[-1][0], max(b, norm[-1][1]))
+            else:
+                norm.append((a, b))
+        written = norm
+    extent = sum(b - a for a, b in written)
+    return rewritten, first, extent
+
+
+def accumulate_stdio_ext(
+    record_id: int, rank: int, ops: np.ndarray
+) -> StdioExtRecord:
+    """Reduce an STDIO operation stream to the extended record.
+
+    The same input the baseline accumulator sees — this is what the
+    Darshan runtime *could* compute today if the counters existed.
+    """
+    if ops.dtype != OP_DTYPE:
+        raise TypeError(f"ops must have OP_DTYPE, got {ops.dtype}")
+    reads = ops[ops["kind"] == OP_READ]
+    writes = ops[ops["kind"] == OP_WRITE]
+    consec_r, seq_r = _sequentiality(reads["offset"], reads["size"])
+    consec_w, seq_w = _sequentiality(writes["offset"], writes["size"])
+    rewritten, first, extent = _rewrite_stats(writes["offset"], writes["size"])
+    return StdioExtRecord(
+        record_id=record_id,
+        rank=rank,
+        read_size_hist=ACCESS_SIZE_BINS.histogram(reads["size"]),
+        write_size_hist=ACCESS_SIZE_BINS.histogram(writes["size"]),
+        consec_reads=consec_r,
+        consec_writes=consec_w,
+        seq_reads=seq_r,
+        seq_writes=seq_w,
+        bytes_rewritten=rewritten,
+        bytes_first_written=first,
+        write_extent=extent,
+    )

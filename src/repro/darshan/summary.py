@@ -1,0 +1,116 @@
+"""Human-readable log summaries, in the style of ``darshan-parser``.
+
+Facility staff triage individual Darshan logs with ``darshan-parser`` /
+pydarshan's job summary: per-module aggregate counters, the busiest files,
+and derived rates. This module renders the same view for our logs — used
+by the log-forensics example and handy in tests when a generated log
+needs eyeballing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.darshan.constants import DATA_MODULES, ModuleId
+from repro.darshan.log import DarshanLog
+from repro.units import format_size
+
+
+@dataclass(frozen=True)
+class ModuleSummary:
+    """Aggregates for one instrumentation module within one log."""
+
+    module: ModuleId
+    nrecords: int
+    nfiles: int
+    bytes_read: int
+    bytes_written: int
+    read_time: float
+    write_time: float
+    meta_time: float
+
+    @property
+    def read_bandwidth(self) -> float:
+        return self.bytes_read / self.read_time if self.read_time > 0 else 0.0
+
+    @property
+    def write_bandwidth(self) -> float:
+        return (
+            self.bytes_written / self.write_time if self.write_time > 0 else 0.0
+        )
+
+
+def summarize_module(log: DarshanLog, module: ModuleId) -> ModuleSummary:
+    """Aggregate one module's records."""
+    records = log.records(module)
+    bytes_read = sum(r.bytes_read for r in records)
+    bytes_written = sum(r.bytes_written for r in records)
+    read_time = sum(r.read_time for r in records)
+    write_time = sum(r.write_time for r in records)
+    meta_time = 0.0
+    for r in records:
+        try:
+            meta_time += float(r.get("F_META_TIME"))
+        except KeyError:
+            pass
+    return ModuleSummary(
+        module=module,
+        nrecords=len(records),
+        nfiles=len({r.record_id for r in records}),
+        bytes_read=bytes_read,
+        bytes_written=bytes_written,
+        read_time=read_time,
+        write_time=write_time,
+        meta_time=meta_time,
+    )
+
+
+def top_files(
+    log: DarshanLog, k: int = 5
+) -> list[tuple[str, int]]:
+    """The k busiest files by total transfer (POSIX+STDIO accounting)."""
+    volumes: dict[int, int] = {}
+    for module in (ModuleId.POSIX, ModuleId.STDIO):
+        for r in log.records(module):
+            volumes[r.record_id] = (
+                volumes.get(r.record_id, 0) + r.transfer_size()
+            )
+    ranked = sorted(volumes.items(), key=lambda kv: -kv[1])[:k]
+    return [(log.path_of(rid), vol) for rid, vol in ranked]
+
+
+def render_log_summary(log: DarshanLog, *, top_k: int = 5) -> str:
+    """The darshan-parser-style text report for one log."""
+    job = log.job
+    lines = [
+        f"# job {job.job_id} (user {job.user_id}) on {job.platform or '?'}"
+        + (f" [{job.domain}]" if job.domain else ""),
+        f"# nprocs {job.nprocs}, runtime {job.runtime:.0f}s"
+        + (f", {len(log.traces())} DXT traces" if log.dxt_enabled else ""),
+    ]
+    total_read, total_written = log.total_bytes()
+    lines.append(
+        f"# total: read {format_size(total_read)}, "
+        f"written {format_size(total_written)}, {log.nfiles()} files"
+    )
+    for module in DATA_MODULES:
+        s = summarize_module(log, module)
+        if not s.nrecords:
+            continue
+        lines.append(
+            f"{s.module.prefix:6s} {s.nrecords:6d} records "
+            f"{s.nfiles:6d} files  R {format_size(s.bytes_read):>10} "
+            f"@ {format_size(s.read_bandwidth):>10}/s  "
+            f"W {format_size(s.bytes_written):>10} "
+            f"@ {format_size(s.write_bandwidth):>10}/s  "
+            f"meta {s.meta_time:.3f}s"
+        )
+    lustre = log.records(ModuleId.LUSTRE)
+    if lustre:
+        lines.append(f"LUSTRE {len(lustre):6d} layout records")
+    busiest = top_files(log, top_k)
+    if busiest:
+        lines.append(f"top {len(busiest)} files by transfer:")
+        for path, vol in busiest:
+            lines.append(f"  {format_size(vol):>10}  {path}")
+    return "\n".join(lines)

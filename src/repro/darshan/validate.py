@@ -1,0 +1,104 @@
+"""Semantic invariants for in-memory logs.
+
+These are the properties a well-formed Darshan-style log must satisfy.
+The writer never produces violations (tested), and the study pipeline
+validates a sample of generated logs as a self-check.
+"""
+
+from __future__ import annotations
+
+from repro.darshan.bins import ACCESS_SIZE_BINS
+from repro.darshan.constants import ModuleId
+from repro.darshan.counters import has_size_histogram, module_counters
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import FileRecord
+from repro.errors import LogValidationError
+
+
+def validate_record(record: FileRecord) -> None:
+    """Raise :class:`LogValidationError` if a file record is inconsistent."""
+    if (record.counters < 0).any():
+        bad = [
+            name
+            for name, v in zip(module_counters(record.module), record.counters)
+            if v < 0 and not name.startswith("MAX_BYTE")
+        ]
+        if bad:
+            raise LogValidationError(
+                f"{record!r}: negative counters {bad}"
+            )
+    for name in ("F_READ_TIME", "F_WRITE_TIME", "F_META_TIME"):
+        try:
+            if record.get(name) < 0:
+                raise LogValidationError(f"{record!r}: negative {name}")
+        except KeyError:
+            continue
+
+    if has_size_histogram(record.module):
+        _validate_histograms(record)
+
+    # Bytes without any time is physically impossible for a data module
+    # (it would imply infinite bandwidth in the performance analysis).
+    if record.bytes_read > 0 and record.read_time <= 0:
+        raise LogValidationError(f"{record!r}: bytes read but zero read time")
+    if record.bytes_written > 0 and record.write_time <= 0:
+        raise LogValidationError(f"{record!r}: bytes written but zero write time")
+
+
+def _validate_histograms(record: FileRecord) -> None:
+    """Histogram totals must equal operation counts, and byte totals must
+    be achievable given the histogram's bin edges."""
+    for direction, count_names in (
+        ("READ", ("READS", "INDEP_READS", "COLL_READS", "NB_READS")),
+        ("WRITE", ("WRITES", "INDEP_WRITES", "COLL_WRITES", "NB_WRITES")),
+    ):
+        hist_total = 0
+        for label in ACCESS_SIZE_BINS.labels:
+            hist_total += int(record.get(f"SIZE_{direction}_{label}"))
+        op_total = 0
+        for name in count_names:
+            try:
+                op_total += int(record.get(name))
+            except KeyError:
+                continue
+        if hist_total != op_total:
+            raise LogValidationError(
+                f"{record!r}: {direction} histogram sums to {hist_total} "
+                f"but op counters sum to {op_total}"
+            )
+        # Lower bound on achievable bytes: each op in bin i moved at least
+        # edge[i] bytes (upper bound is unbounded for the 1G+ bin).
+        min_bytes = 0
+        for i, label in enumerate(ACCESS_SIZE_BINS.labels):
+            n = int(record.get(f"SIZE_{direction}_{label}"))
+            min_bytes += n * int(ACCESS_SIZE_BINS.edges[i])
+        actual = record.bytes_read if direction == "READ" else record.bytes_written
+        if actual < min_bytes:
+            raise LogValidationError(
+                f"{record!r}: {direction} bytes {actual} below histogram "
+                f"lower bound {min_bytes}"
+            )
+
+
+def validate_log(log: DarshanLog) -> None:
+    """Validate a whole log: job record, name bindings, every file record."""
+    job = log.job
+    if job.end_time < job.start_time:
+        raise LogValidationError(
+            f"job {job.job_id}: end before start"
+        )
+    names = log.name_records()
+    for record in log.iter_records():
+        if record.record_id not in names:
+            raise LogValidationError(
+                f"record id {record.record_id:#x} has no name record"
+            )
+        validate_record(record)
+    # STDIO must not carry size histograms (instrumentation-gap fidelity).
+    for record in log.records(ModuleId.STDIO):
+        for counter in module_counters(ModuleId.STDIO):
+            if counter.startswith("SIZE_"):
+                raise LogValidationError(
+                    "STDIO registry unexpectedly grew size histograms"
+                )
+        break  # registry is global; checking one record suffices

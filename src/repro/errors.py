@@ -1,0 +1,61 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised deliberately by this library derive from :class:`ReproError`
+so downstream users can catch library failures without masking programming
+errors (``TypeError``, ``ValueError`` from misuse are still raised directly
+where appropriate).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class LogFormatError(ReproError):
+    """A serialized Darshan-style log is malformed or unsupported.
+
+    Raised by :mod:`repro.darshan.format` when magic bytes, versions,
+    checksums, or region tables do not validate.
+    """
+
+
+class LogValidationError(ReproError):
+    """An in-memory log violates a semantic invariant.
+
+    Raised by :mod:`repro.darshan.validate`, e.g. negative counters, byte
+    totals inconsistent with histogram bins, or end time before start time.
+    """
+
+
+class ConfigurationError(ReproError):
+    """A platform, workload, or study configuration is inconsistent."""
+
+
+class SimulationError(ReproError):
+    """A storage-substrate simulator was driven into an invalid state.
+
+    e.g. staging a file into a DataWarp allocation that was never created,
+    or writing past a node-local device's capacity.
+    """
+
+
+class SchedulerError(ReproError):
+    """The batch scheduler rejected a job or directive."""
+
+
+class StoreError(ReproError):
+    """The columnar record store was used inconsistently.
+
+    e.g. concatenating stores with mismatching schemas or filtering with a
+    mask of the wrong length.
+    """
+
+
+class AnalysisError(ReproError):
+    """An analysis was asked for something the data cannot answer.
+
+    e.g. requesting a CDF over an empty selection or a performance
+    distribution for a bin with no observations when strict mode is on.
+    """

@@ -1,0 +1,23 @@
+"""The simulated Darshan runtime.
+
+The workload generator's hot path emits columnar records directly; this
+subpackage provides the *object path* that mirrors what the real Darshan
+runtime does inside an application (Figure 2 of the paper):
+
+* :mod:`opstream` — synthesize per-file I/O operation streams consistent
+  with a target byte total / operation count / request-size histogram;
+* :mod:`runtime` — run those streams through the counter accumulator
+  (:mod:`repro.darshan.accumulate`) and assemble complete
+  :class:`~repro.darshan.log.DarshanLog` objects, which can be written to
+  disk with :func:`repro.darshan.format.write_log` and re-ingested with
+  :func:`repro.store.ingest.ingest_logs`.
+
+The integration tests materialize logs from generated store rows and
+assert the round trip (store → logs → bytes → logs → store) preserves the
+analyzed quantities.
+"""
+
+from repro.instrument.opstream import synthesize_ops
+from repro.instrument.runtime import LogMaterializer
+
+__all__ = ["synthesize_ops", "LogMaterializer"]

@@ -1,0 +1,158 @@
+"""Materializing DarshanLog objects from store rows.
+
+The inverse of :func:`repro.store.ingest.ingest_logs`: take the columnar
+rows of one Darshan log and rebuild the full object — job record, name
+records with synthetic paths on the right mount points, per-module file
+records produced by running synthesized operation streams through the
+real counter accumulator. Writing the result with
+:func:`repro.darshan.format.write_log` yields a complete on-disk log, the
+same artifact the paper's pipeline starts from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.darshan.accumulate import accumulate
+from repro.darshan.constants import ModuleId
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import FileRecord, JobRecord, NameRecord
+from repro.errors import StoreError
+from repro.instrument.opstream import synthesize_ops
+from repro.platforms.interfaces import IOInterface
+from repro.platforms.machine import Machine
+from repro.store.recordstore import RecordStore
+from repro.store.schema import LAYER_INSYSTEM, LAYER_PFS
+from repro.units import MiB
+
+
+class LogMaterializer:
+    """Builds DarshanLog objects for the logs present in a RecordStore."""
+
+    def __init__(self, machine: Machine, store: RecordStore):
+        self.machine = machine
+        self.store = store
+
+    def log_ids(self, limit: int | None = None) -> np.ndarray:
+        """Distinct log ids in the store (optionally the first ``limit``)."""
+        ids = np.unique(self.store.files["log_id"])
+        return ids[:limit] if limit is not None else ids
+
+    def materialize(self, log_id: int, *, dxt: bool = False) -> DarshanLog:
+        """Build the full DarshanLog for one log id.
+
+        ``dxt=True`` also attaches DXT traces for POSIX/MPI-IO records —
+        the high-resolution mode that is off by default on the target
+        systems (§2.2).
+        """
+        rows = self.store.files[self.store.files["log_id"] == log_id]
+        if not len(rows):
+            raise StoreError(f"no rows for log id {log_id}")
+        job_id = int(rows["job_id"][0])
+        jrows = self.store.jobs[self.store.jobs["job_id"] == job_id]
+        if not len(jrows):
+            raise StoreError(f"no job row for job {job_id}")
+        jrow = jrows[0]
+        domain = (
+            self.store.domains[jrow["domain"]] if jrow["domain"] >= 0 else ""
+        )
+        job = JobRecord(
+            job_id=job_id,
+            user_id=int(jrow["user_id"]),
+            nprocs=int(jrow["nprocs"]),
+            start_time=float(jrow["start_time"]),
+            end_time=float(jrow["start_time"] + jrow["runtime"]),
+            platform=self.store.platform,
+            domain=domain,
+            metadata={"nnodes": str(int(jrow["nnodes"]))},
+        )
+        log = DarshanLog(job)
+        lustre_done: set[int] = set()
+        for row in rows:
+            self._add_row(log, row, lustre_done, dxt=dxt)
+        return log
+
+    # ------------------------------------------------------------------
+    def _path_for(self, row) -> tuple[str, str]:
+        """(path, mount) for a row; deterministic in the record id."""
+        layer = (
+            self.machine.pfs
+            if row["layer"] == LAYER_PFS
+            else self.machine.in_system
+        )
+        ext_code = int(row["ext"])
+        ext = (
+            "." + self.store.extensions[ext_code]
+            if 0 <= ext_code < len(self.store.extensions)
+            else ""
+        )
+        rid = int(row["record_id"])
+        return (
+            f"{layer.mount_point}/u{int(row['user_id'])}/j{int(row['job_id'])}"
+            f"/f{rid:016x}{ext}",
+            layer.mount_point,
+        )
+
+    def _add_row(
+        self, log: DarshanLog, row, lustre_done: set[int], *, dxt: bool = False
+    ) -> None:
+        interface = IOInterface(int(row["interface"]))
+        path, mount = self._path_for(row)
+        layer_key = "pfs" if row["layer"] == LAYER_PFS else "insystem"
+        record_id = int(row["record_id"])
+        name = NameRecord(record_id, path, mount, layer_key)
+        try:
+            log.register_name(name)
+        except ValueError:
+            pass  # the MPI-IO row and its POSIX shadow share the name
+        ops = synthesize_ops(
+            bytes_read=int(row["bytes_read"]),
+            bytes_written=int(row["bytes_written"]),
+            read_ops=int(row["reads"]),
+            write_ops=int(row["writes"]),
+            read_time=float(row["read_time"]),
+            write_time=float(row["write_time"]),
+            meta_time=float(row["meta_time"]),
+            read_hist=row["read_hist"] if interface.records_request_sizes else None,
+            write_hist=row["write_hist"] if interface.records_request_sizes else None,
+            start_time=float(log.job.start_time),
+        )
+        record = accumulate(
+            interface.module,
+            record_id,
+            int(row["rank"]),
+            ops,
+            collective=interface is IOInterface.MPIIO,
+        )
+        log.add_record(record)
+        if dxt and interface in (IOInterface.POSIX, IOInterface.MPIIO):
+            from repro.darshan.dxt import DxtTrace
+
+            log.attach_trace(
+                DxtTrace.from_ops(
+                    interface.module, record_id, int(row["rank"]), ops
+                )
+            )
+        # Lustre layout records for PFS files on a Lustre deployment
+        # (one per file, regardless of how many interfaces touched it).
+        if (
+            row["layer"] == LAYER_PFS
+            and self.machine.pfs.technology == "Lustre"
+            and record_id not in lustre_done
+        ):
+            lustre_done.add(record_id)
+            log.add_record(self._lustre_record(row, record_id))
+
+    def _lustre_record(self, row, record_id: int) -> FileRecord:
+        params = self.machine.pfs.params
+        rec = FileRecord(ModuleId.LUSTRE, record_id, rank=int(row["rank"]))
+        rec.set("OSTS", params.get("ost_count", 248))
+        rec.set("MDTS", params.get("mds_count", 5))
+        rec.set("STRIPE_SIZE", params.get("stripe_size", 1 * MiB))
+        rec.set("STRIPE_WIDTH", params.get("stripe_count", 1))
+        rec.set("STRIPE_OFFSET", record_id % params.get("ost_count", 248))
+        return rec
+
+    def materialize_many(self, limit: int) -> list[DarshanLog]:
+        """Materialize up to ``limit`` logs (store order)."""
+        return [self.materialize(int(i)) for i in self.log_ids(limit)]

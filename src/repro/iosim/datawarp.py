@@ -1,0 +1,176 @@
+"""Cray DataWarp burst-buffer model (Cori CBB).
+
+§2.1.2: CBB is flash attached to dedicated service (burst-buffer) nodes.
+DataWarp gives each job an exclusively-accessed namespace sized by a job-
+script directive; allocations are carved in fixed *granularity* units and
+striped across BB nodes, so a bigger request buys more nodes and therefore
+more bandwidth. The scheduler integration executes ``stage_in`` before the
+job starts and ``stage_out`` after it exits — which is why 14.38% of Cori
+jobs touch CBB exclusively (Table 5): their PFS traffic happened outside
+the job's Darshan window.
+
+The manager tracks pool capacity, allocation lifecycle, staged files, and
+answers the parallelism query (#BB nodes of an allocation) for the
+performance model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.units import GB
+
+
+class StageKind(enum.Enum):
+    IN = "stage_in"
+    OUT = "stage_out"
+
+
+@dataclass(frozen=True)
+class StageDirective:
+    """A #DW stage_in/stage_out job-script directive."""
+
+    kind: StageKind
+    #: PFS-side path (source for IN, destination for OUT).
+    pfs_path: str
+    #: BB-side path within the job's namespace.
+    bb_path: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise SimulationError("staged size must be non-negative")
+
+
+@dataclass
+class Allocation:
+    """One job's DataWarp allocation."""
+
+    job_id: int
+    requested_bytes: int
+    granted_bytes: int
+    bb_nodes: int
+    files: dict[str, int] = field(default_factory=dict)
+    staged_in: list[StageDirective] = field(default_factory=list)
+    staged_out: list[StageDirective] = field(default_factory=list)
+    active: bool = True
+
+    def used(self) -> int:
+        return sum(self.files.values())
+
+
+class DataWarpManager:
+    """The DataWarp pool: grants allocations, executes staging directives."""
+
+    def __init__(
+        self,
+        pool_bytes: int,
+        bb_node_count: int,
+        granularity: int = 20 * GB,
+    ):
+        if pool_bytes <= 0 or bb_node_count <= 0 or granularity <= 0:
+            raise SimulationError("pool, node count, and granularity must be positive")
+        self.pool_bytes = pool_bytes
+        self.bb_node_count = bb_node_count
+        self.granularity = granularity
+        self._free = pool_bytes
+        self._allocations: dict[int, Allocation] = {}
+
+    # -- allocation lifecycle ---------------------------------------------------
+    def allocate(self, job_id: int, capacity_request: int) -> Allocation:
+        """Grant an allocation rounded up to granularity units.
+
+        The allocation is striped over ``min(units, bb_node_count)`` BB
+        nodes — DataWarp's bandwidth-scales-with-capacity behaviour.
+        """
+        if job_id in self._allocations:
+            raise SimulationError(f"job {job_id} already holds an allocation")
+        if capacity_request <= 0:
+            raise SimulationError("capacity request must be positive")
+        units = -(-capacity_request // self.granularity)
+        granted = units * self.granularity
+        if granted > self._free:
+            raise SimulationError(
+                f"pool exhausted: need {granted}, free {self._free}"
+            )
+        self._free -= granted
+        alloc = Allocation(
+            job_id=job_id,
+            requested_bytes=capacity_request,
+            granted_bytes=granted,
+            bb_nodes=min(units, self.bb_node_count),
+        )
+        self._allocations[job_id] = alloc
+        return alloc
+
+    def release(self, job_id: int) -> None:
+        """Tear down at job end (after stage_out directives ran)."""
+        alloc = self._get(job_id)
+        self._free += alloc.granted_bytes
+        alloc.active = False
+        del self._allocations[job_id]
+
+    def _get(self, job_id: int) -> Allocation:
+        try:
+            return self._allocations[job_id]
+        except KeyError:
+            raise SimulationError(f"job {job_id} holds no allocation") from None
+
+    # -- file + staging operations ---------------------------------------------
+    def write(self, job_id: int, bb_path: str, size: int) -> None:
+        alloc = self._get(job_id)
+        if size < 0:
+            raise SimulationError("size must be non-negative")
+        old = alloc.files.get(bb_path, 0)
+        if alloc.used() - old + size > alloc.granted_bytes:
+            raise SimulationError(
+                f"job {job_id}: allocation overflow "
+                f"({alloc.used() - old + size} > {alloc.granted_bytes})"
+            )
+        alloc.files[bb_path] = size
+
+    def read(self, job_id: int, bb_path: str) -> int:
+        alloc = self._get(job_id)
+        try:
+            return alloc.files[bb_path]
+        except KeyError:
+            raise SimulationError(f"job {job_id}: no such BB file {bb_path!r}") from None
+
+    def stage_in(self, job_id: int, directive: StageDirective) -> None:
+        """Execute a stage_in before job start: PFS file appears on the BB."""
+        if directive.kind is not StageKind.IN:
+            raise SimulationError("stage_in needs an IN directive")
+        alloc = self._get(job_id)
+        self.write(job_id, directive.bb_path, directive.size)
+        alloc.staged_in.append(directive)
+
+    def stage_out(self, job_id: int, directive: StageDirective) -> int:
+        """Execute a stage_out after job exit: BB file is copied to the PFS.
+
+        Returns the number of bytes moved.
+        """
+        if directive.kind is not StageKind.OUT:
+            raise SimulationError("stage_out needs an OUT directive")
+        alloc = self._get(job_id)
+        if directive.bb_path not in alloc.files:
+            raise SimulationError(
+                f"job {job_id}: stage_out of missing file {directive.bb_path!r}"
+            )
+        alloc.staged_out.append(directive)
+        return alloc.files[directive.bb_path]
+
+    # -- queries ------------------------------------------------------------------
+    def free_bytes(self) -> int:
+        return self._free
+
+    def allocation(self, job_id: int) -> Allocation:
+        return self._get(job_id)
+
+    def job_parallelism(self, job_id: int) -> int:
+        """BB-node count of the job's allocation (its bandwidth share)."""
+        return self._get(job_id).bb_nodes
+
+    def active_jobs(self) -> list[int]:
+        return sorted(self._allocations)

@@ -1,0 +1,108 @@
+"""Degraded-layer scenarios: what production failures do to delivered I/O.
+
+Facilities run the paper's subsystems through disk rebuilds, OSS
+failovers, and burst-buffer node drains; delivered bandwidth sags long
+before anything is "down". This module builds degraded variants of a
+platform — fewer servers, reduced peaks, rebuild-traffic contention — so
+any experiment in the suite (IOR probes, Figure 11-style panels, staging
+assessments) can be replayed under failure and compared against healthy
+baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+from repro.iosim.contention import ContentionModel
+from repro.iosim.perfmodel import PerfModel
+from repro.platforms.machine import Machine
+from repro.platforms.storage import StorageLayer
+
+
+@dataclass(frozen=True)
+class DegradationScenario:
+    """One failure mode's effect on a storage layer."""
+
+    name: str
+    #: Fraction of the layer's servers unavailable (failed/draining).
+    servers_offline: float = 0.0
+    #: Extra bandwidth lost to rebuild/failover traffic on the survivors.
+    rebuild_overhead: float = 0.0
+    #: Contention worsens: availability Beta shifts toward low fractions.
+    contention_alpha: float = 2.0
+    contention_beta: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.servers_offline < 1:
+            raise ConfigurationError("servers_offline must be in [0, 1)")
+        if not 0 <= self.rebuild_overhead < 1:
+            raise ConfigurationError("rebuild_overhead must be in [0, 1)")
+
+    @property
+    def capacity_factor(self) -> float:
+        """Surviving fraction of nominal bandwidth."""
+        return (1.0 - self.servers_offline) * (1.0 - self.rebuild_overhead)
+
+
+#: An OSS/NSD enclosure failure mid-rebuild: ~10% of servers out, heavy
+#: rebuild reads on the rest.
+REBUILD_STORM = DegradationScenario(
+    name="rebuild-storm",
+    servers_offline=0.10,
+    rebuild_overhead=0.35,
+    contention_alpha=1.6,
+    contention_beta=3.5,
+)
+
+#: Rolling burst-buffer drain for maintenance: a quarter of BB nodes out.
+BB_DRAIN = DegradationScenario(
+    name="bb-drain",
+    servers_offline=0.25,
+    rebuild_overhead=0.05,
+)
+
+
+def degrade_layer(layer: StorageLayer, scenario: DegradationScenario) -> StorageLayer:
+    """A degraded copy of a storage layer."""
+    surviving = max(
+        int(round(layer.server_count * (1.0 - scenario.servers_offline))), 1
+    )
+    factor = scenario.capacity_factor
+    return replace(
+        layer,
+        server_count=surviving,
+        peak_read_bw=layer.peak_read_bw * factor,
+        peak_write_bw=layer.peak_write_bw * factor,
+    )
+
+
+def degrade_machine(
+    machine: Machine, layer_key: str, scenario: DegradationScenario
+) -> Machine:
+    """A machine with one layer degraded."""
+    if layer_key not in machine.layers:
+        raise ConfigurationError(f"{machine.name} has no layer {layer_key!r}")
+    layers = dict(machine.layers)
+    layers[layer_key] = degrade_layer(layers[layer_key], scenario)
+    return replace(machine, layers=layers)
+
+
+def degraded_perf_model(
+    base: PerfModel, layer_key: str, scenario: DegradationScenario
+) -> PerfModel:
+    """A perf model whose contention reflects the failure's interference.
+
+    The degraded layer's *kind* ('pfs'/'insystem') gets the scenario's
+    harsher availability distribution; other layers keep their defaults.
+    """
+    kind = "pfs" if layer_key == "pfs" else "insystem"
+    contention = dict(base.contention)
+    healthy = ContentionModel.for_layer_kind(kind)
+    contention[kind] = ContentionModel(
+        alpha=scenario.contention_alpha,
+        beta=scenario.contention_beta,
+        floor=healthy.floor,
+        diurnal_amplitude=healthy.diurnal_amplitude,
+    )
+    return replace(base, contention=contention)

@@ -1,0 +1,139 @@
+"""GPFS (IBM Spectrum Scale) block placement, as deployed on Alpine.
+
+§2.1.1: *"GPFS first partitions the file data into a sequence of equal-size
+data blocks (GPFS block) and then distributes the block sequence across an
+NSD sequence in a round-robin way. The NSD sequence starts from a randomly
+chosen NSD server and may span over the entire server pool... the GPFS
+block size is configured as 16 MB."*
+
+The simulator implements exactly that: deterministic round-robin placement
+from a per-file random start, plus the queries the performance model needs
+(how many distinct NSDs serve a file or a byte range — the file's I/O
+parallelism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class GpfsFileLayout:
+    """Placement of one file: blocks ``i`` live on NSD ``(start + i) % n``."""
+
+    file_size: int
+    block_size: int
+    nsd_count: int
+    start_nsd: int
+
+    def __post_init__(self) -> None:
+        if self.file_size < 0:
+            raise SimulationError("file_size must be non-negative")
+        if self.block_size <= 0 or self.nsd_count <= 0:
+            raise SimulationError("block_size and nsd_count must be positive")
+        if not 0 <= self.start_nsd < self.nsd_count:
+            raise SimulationError(
+                f"start_nsd {self.start_nsd} out of range [0, {self.nsd_count})"
+            )
+
+    @property
+    def nblocks(self) -> int:
+        """Number of GPFS blocks the file occupies (0 for an empty file)."""
+        return -(-self.file_size // self.block_size) if self.file_size else 0
+
+    def nsd_of_block(self, block: int) -> int:
+        """NSD server index holding a given block."""
+        if not 0 <= block < max(self.nblocks, 1):
+            raise SimulationError(f"block {block} out of range for {self.nblocks}-block file")
+        return (self.start_nsd + block) % self.nsd_count
+
+    def nsds_for_range(self, offset: int, length: int) -> np.ndarray:
+        """Distinct NSD indices serving a byte range, ascending."""
+        if offset < 0 or length < 0:
+            raise SimulationError("offset/length must be non-negative")
+        if length == 0 or self.file_size == 0:
+            return np.empty(0, dtype=np.int64)
+        end = min(offset + length, self.file_size)
+        if offset >= end:
+            return np.empty(0, dtype=np.int64)
+        first = offset // self.block_size
+        last = (end - 1) // self.block_size
+        nblocks = last - first + 1
+        if nblocks >= self.nsd_count:
+            return np.arange(self.nsd_count, dtype=np.int64)
+        blocks = np.arange(first, last + 1, dtype=np.int64)
+        return np.unique((self.start_nsd + blocks) % self.nsd_count)
+
+    def parallelism(self) -> int:
+        """Distinct NSDs serving the whole file — its server-side parallelism."""
+        return min(self.nblocks, self.nsd_count) if self.nblocks else 0
+
+    def blocks_per_nsd(self) -> np.ndarray:
+        """Block count per NSD, shape ``(nsd_count,)`` — for balance checks."""
+        counts = np.zeros(self.nsd_count, dtype=np.int64)
+        nblocks = self.nblocks
+        if nblocks == 0:
+            return counts
+        full_rounds, rem = divmod(nblocks, self.nsd_count)
+        counts += full_rounds
+        if rem:
+            tail = (self.start_nsd + np.arange(rem)) % self.nsd_count
+            counts[tail] += 1
+        return counts
+
+
+class GpfsFilesystem:
+    """A GPFS deployment: places files and answers layout queries."""
+
+    def __init__(self, nsd_count: int, block_size: int = 16 * MiB):
+        if nsd_count <= 0:
+            raise SimulationError("nsd_count must be positive")
+        if block_size <= 0:
+            raise SimulationError("block_size must be positive")
+        self.nsd_count = nsd_count
+        self.block_size = block_size
+        self._layouts: dict[str, GpfsFileLayout] = {}
+
+    def create(self, path: str, file_size: int, rng: np.random.Generator) -> GpfsFileLayout:
+        """Place a file; the NSD sequence starts at a random server."""
+        if path in self._layouts:
+            raise SimulationError(f"{path!r} already exists")
+        layout = GpfsFileLayout(
+            file_size=file_size,
+            block_size=self.block_size,
+            nsd_count=self.nsd_count,
+            start_nsd=int(rng.integers(0, self.nsd_count)),
+        )
+        self._layouts[path] = layout
+        return layout
+
+    def layout(self, path: str) -> GpfsFileLayout:
+        try:
+            return self._layouts[path]
+        except KeyError:
+            raise SimulationError(f"no such file {path!r}") from None
+
+    def remove(self, path: str) -> None:
+        if path not in self._layouts:
+            raise SimulationError(f"no such file {path!r}")
+        del self._layouts[path]
+
+    def nfiles(self) -> int:
+        return len(self._layouts)
+
+    def server_load(self) -> np.ndarray:
+        """Aggregate block count per NSD across all files."""
+        load = np.zeros(self.nsd_count, dtype=np.int64)
+        for layout in self._layouts.values():
+            load += layout.blocks_per_nsd()
+        return load
+
+    def file_parallelism(self, file_size: int) -> int:
+        """Parallelism a file of this size gets, independent of placement."""
+        nblocks = -(-file_size // self.block_size) if file_size else 0
+        return min(nblocks, self.nsd_count)

@@ -1,0 +1,185 @@
+"""An IOR-style synthetic benchmark runner over the simulated substrates.
+
+TOKIO (Lockwood et al., SC '18 — reference [11] of the paper) probes
+production file systems by periodically running fixed I/O benchmarks and
+tracking the delivered bandwidth over time. This module provides the same
+instrument for the simulator: an :class:`IorConfig` mirrors the knobs of
+the real IOR benchmark (api, transferSize, blockSize, segmentCount,
+filePerProc, collective, tasks), :func:`run_ior` executes it against a
+platform layer through the performance model, and :func:`probe_series`
+repeats it across a time span to expose the contention model's diurnal
+structure — the "performance variation under production load" view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.iosim.contention import ContentionModel
+from repro.iosim.perfmodel import PerfModel, TransferSpec
+from repro.platforms.interfaces import IOInterface
+from repro.platforms.machine import Machine
+from repro.platforms.storage import StorageLayer
+from repro.units import GiB, MiB
+
+
+@dataclass(frozen=True)
+class IorConfig:
+    """The subset of IOR parameters that matter to the model."""
+
+    api: IOInterface = IOInterface.POSIX
+    tasks: int = 64
+    #: Bytes per I/O call (IOR -t).
+    transfer_size: int = 1 * MiB
+    #: Contiguous bytes per task per segment (IOR -b).
+    block_size: int = 256 * MiB
+    #: Segments per task (IOR -s).
+    segment_count: int = 1
+    #: One file per task (IOR -F) vs a single shared file.
+    file_per_proc: bool = False
+    #: Collective MPI-IO (IOR -c); ignored for other APIs.
+    collective: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tasks <= 0:
+            raise ConfigurationError("tasks must be positive")
+        if self.transfer_size <= 0 or self.block_size <= 0:
+            raise ConfigurationError("sizes must be positive")
+        if self.segment_count <= 0:
+            raise ConfigurationError("segment_count must be positive")
+        if self.block_size % self.transfer_size:
+            raise ConfigurationError(
+                "block_size must be a multiple of transfer_size (as in IOR)"
+            )
+
+    @property
+    def aggregate_bytes(self) -> int:
+        return self.tasks * self.block_size * self.segment_count
+
+    @property
+    def file_size(self) -> int:
+        if self.file_per_proc:
+            return self.block_size * self.segment_count
+        return self.aggregate_bytes
+
+
+@dataclass(frozen=True)
+class IorResult:
+    """One benchmark execution's outcome."""
+
+    config: IorConfig
+    direction: str
+    seconds: float
+    #: Aggregate delivered bandwidth, bytes/second.
+    bandwidth: float
+
+
+def _layout_parallelism(layer: StorageLayer, file_size: int) -> float:
+    """Layout parallelism for a benchmark file on a layer."""
+    block = layer.params.get("block_size")
+    if block:  # GPFS
+        return float(min(-(-file_size // block), layer.server_count))
+    stripe = layer.params.get("stripe_size")
+    if stripe:  # Lustre: benchmark teams stripe wide, unlike the default
+        stripes = -(-file_size // stripe)
+        return float(min(stripes, layer.server_count))
+    return float(min(max(file_size // (128 * MiB), 1), layer.server_count))
+
+
+def run_ior(
+    machine: Machine,
+    layer_key: str,
+    config: IorConfig,
+    direction: str,
+    *,
+    perf: PerfModel | None = None,
+    rng: np.random.Generator | None = None,
+) -> IorResult:
+    """Execute one IOR run against a platform layer."""
+    if direction not in ("read", "write"):
+        raise ConfigurationError(f"direction must be read/write, got {direction!r}")
+    layer = machine.layers[layer_key]
+    perf = perf or PerfModel()
+    rng = rng if rng is not None else np.random.default_rng(0)
+
+    par = _layout_parallelism(layer, config.file_size)
+    if config.file_per_proc:
+        # N independent single-task files, concurrent: time is the max,
+        # which the model prices as one file at per-task parallelism with
+        # the aggregate capped by the layer share.
+        spec = TransferSpec(
+            nbytes=np.full(config.tasks, float(config.file_size)),
+            request_size=np.full(config.tasks, float(config.transfer_size)),
+            nprocs=np.ones(config.tasks),
+            file_parallelism=np.full(config.tasks, par),
+            shared=np.zeros(config.tasks, dtype=bool),
+            collective=np.zeros(config.tasks, dtype=bool),
+        )
+        times = perf.transfer_time(layer, config.api, direction, spec, rng)
+        seconds = float(times.max())
+    else:
+        spec = TransferSpec(
+            nbytes=np.array([float(config.aggregate_bytes)]),
+            request_size=np.array([float(config.transfer_size)]),
+            nprocs=np.array([float(config.tasks)]),
+            file_parallelism=np.array([par]),
+            shared=np.array([True]),
+            collective=np.array([config.collective]),
+        )
+        seconds = float(
+            perf.transfer_time(layer, config.api, direction, spec, rng)[0]
+        )
+    return IorResult(
+        config=config,
+        direction=direction,
+        seconds=seconds,
+        bandwidth=config.aggregate_bytes / seconds if seconds > 0 else 0.0,
+    )
+
+
+def probe_series(
+    machine: Machine,
+    layer_key: str,
+    config: IorConfig,
+    direction: str,
+    *,
+    times_of_day: np.ndarray,
+    perf: PerfModel | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """TOKIO-style periodic probing: bandwidth per probe time (bytes/s).
+
+    Exposes the contention model's diurnal structure: probes at the
+    facility's afternoon peak see less of the layer than 3 a.m. probes.
+    """
+    layer = machine.layers[layer_key]
+    perf = perf or PerfModel()
+    rng = np.random.default_rng(seed)
+    times_of_day = np.asarray(times_of_day, dtype=np.float64)
+    n = len(times_of_day)
+    if n == 0:
+        return np.empty(0)
+
+    par = _layout_parallelism(layer, config.file_size)
+    spec = TransferSpec(
+        nbytes=np.full(n, float(config.aggregate_bytes)),
+        request_size=np.full(n, float(config.transfer_size)),
+        nprocs=np.full(n, float(config.tasks)),
+        file_parallelism=np.full(n, par),
+        shared=np.ones(n, dtype=bool),
+        collective=np.full(n, config.collective),
+    )
+    # Price deterministically, then apply time-of-day contention so the
+    # series isolates the production-load signal.
+    saved = perf.deterministic
+    perf.deterministic = True
+    try:
+        base = perf.sample_bandwidth(layer, config.api, direction, spec, rng)
+    finally:
+        perf.deterministic = saved
+    contention = ContentionModel.for_layer_kind(layer.kind.value)
+    frac = contention.sample(rng, n, time_of_day=times_of_day)
+    return base * frac

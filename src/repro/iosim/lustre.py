@@ -1,0 +1,173 @@
+"""Lustre striping and namespace model, as deployed on Cori Scratch.
+
+§2.1.2: *"a file is partitioned into a sequence of equal-size data blocks,
+and each data block is distributed across a sequence of OSTs in a
+round-robin fashion. The block size, the length of the OST sequence, and
+the OST start index are the three configurable parameters in Lustre,
+called stripe size, stripe count, and starting OST... On Cori, the default
+stripe count is 1, and the stripe size is 1 MB."*
+
+Also modeled: the five MDSes each owning a distinct portion of the global
+namespace (top-level directory hash), and OST capacity-aware allocation.
+The LUSTRE Darshan module's counters (``STRIPE_SIZE``, ``STRIPE_WIDTH``,
+``STRIPE_OFFSET``, ``OSTS``, ``MDTS``) are filled from these layouts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """A file's striping: stripe ``i`` lives on OST ``(start + i) % count_pool``
+    within its OST sequence of length ``stripe_count``."""
+
+    stripe_size: int
+    stripe_count: int
+    start_ost: int
+    ost_pool: int  # total OSTs in the file system
+
+    def __post_init__(self) -> None:
+        if self.stripe_size <= 0:
+            raise SimulationError("stripe_size must be positive")
+        if not 1 <= self.stripe_count <= self.ost_pool:
+            raise SimulationError(
+                f"stripe_count {self.stripe_count} out of range [1, {self.ost_pool}]"
+            )
+        if not 0 <= self.start_ost < self.ost_pool:
+            raise SimulationError(
+                f"start_ost {self.start_ost} out of range [0, {self.ost_pool})"
+            )
+
+    def ost_of_offset(self, offset: int) -> int:
+        """OST index serving a byte offset."""
+        if offset < 0:
+            raise SimulationError("offset must be non-negative")
+        stripe_index = (offset // self.stripe_size) % self.stripe_count
+        return (self.start_ost + stripe_index) % self.ost_pool
+
+    def osts(self) -> np.ndarray:
+        """The file's OST sequence, in stripe order."""
+        return (self.start_ost + np.arange(self.stripe_count)) % self.ost_pool
+
+    def parallelism(self, file_size: int) -> int:
+        """Distinct OSTs actually touched by a file of the given size."""
+        if file_size <= 0:
+            return 0
+        stripes = -(-file_size // self.stripe_size)
+        return int(min(stripes, self.stripe_count))
+
+
+class LustreFilesystem:
+    """A Lustre deployment: MDS namespace partitioning + OST placement."""
+
+    def __init__(
+        self,
+        ost_count: int = 248,
+        mds_count: int = 5,
+        default_stripe_size: int = 1 * MiB,
+        default_stripe_count: int = 1,
+    ):
+        if ost_count <= 0 or mds_count <= 0:
+            raise SimulationError("ost_count and mds_count must be positive")
+        if not 1 <= default_stripe_count <= ost_count:
+            raise SimulationError("default_stripe_count out of range")
+        self.ost_count = ost_count
+        self.mds_count = mds_count
+        self.default_stripe_size = default_stripe_size
+        self.default_stripe_count = default_stripe_count
+        self._layouts: dict[str, StripeLayout] = {}
+        self._dir_stripes: dict[str, tuple[int, int]] = {}
+
+    # -- namespace ---------------------------------------------------------
+    def mds_of(self, path: str) -> int:
+        """MDS owning a path. Each MDS owns a distinct namespace portion;
+        we partition by hash of the top-level project directory so a
+        project's metadata load lands on one server, like Cori."""
+        parts = [p for p in path.split("/") if p]
+        top = parts[0] if parts else ""
+        digest = hashlib.md5(top.encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "little") % self.mds_count
+
+    # -- striping ----------------------------------------------------------
+    def set_directory_stripe(self, directory: str, stripe_size: int, stripe_count: int) -> None:
+        """``lfs setstripe`` on a directory: children inherit the layout."""
+        if stripe_size <= 0:
+            raise SimulationError("stripe_size must be positive")
+        if not 1 <= stripe_count <= self.ost_count:
+            raise SimulationError(
+                f"stripe_count {stripe_count} out of range [1, {self.ost_count}]"
+            )
+        self._dir_stripes[directory.rstrip("/")] = (stripe_size, stripe_count)
+
+    def _inherited_stripe(self, path: str) -> tuple[int, int]:
+        """Longest matching directory stripe setting, else defaults."""
+        best: tuple[int, int] | None = None
+        best_len = -1
+        for directory, setting in self._dir_stripes.items():
+            if (path.startswith(directory + "/")) and len(directory) > best_len:
+                best, best_len = setting, len(directory)
+        if best is None:
+            return self.default_stripe_size, self.default_stripe_count
+        return best
+
+    def create(
+        self,
+        path: str,
+        rng: np.random.Generator,
+        *,
+        stripe_size: int | None = None,
+        stripe_count: int | None = None,
+    ) -> StripeLayout:
+        """Create a file; explicit striping overrides directory inheritance."""
+        if path in self._layouts:
+            raise SimulationError(f"{path!r} already exists")
+        inherited_size, inherited_count = self._inherited_stripe(path)
+        layout = StripeLayout(
+            stripe_size=stripe_size if stripe_size is not None else inherited_size,
+            stripe_count=stripe_count if stripe_count is not None else inherited_count,
+            start_ost=int(rng.integers(0, self.ost_count)),
+            ost_pool=self.ost_count,
+        )
+        self._layouts[path] = layout
+        return layout
+
+    def layout(self, path: str) -> StripeLayout:
+        try:
+            return self._layouts[path]
+        except KeyError:
+            raise SimulationError(f"no such file {path!r}") from None
+
+    def remove(self, path: str) -> None:
+        if path not in self._layouts:
+            raise SimulationError(f"no such file {path!r}")
+        del self._layouts[path]
+
+    def nfiles(self) -> int:
+        return len(self._layouts)
+
+    # -- load queries --------------------------------------------------------
+    def ost_usage(self) -> np.ndarray:
+        """Number of files touching each OST (stripe membership count)."""
+        usage = np.zeros(self.ost_count, dtype=np.int64)
+        for layout in self._layouts.values():
+            usage[layout.osts()] += 1
+        return usage
+
+    def mds_usage(self, paths: list[str]) -> np.ndarray:
+        """File count per MDS for a path population — the imbalance
+        Shantharam et al. observed shows up here for skewed projects."""
+        usage = np.zeros(self.mds_count, dtype=np.int64)
+        for p in paths:
+            usage[self.mds_of(p)] += 1
+        return usage
+
+    def file_parallelism(self, path: str, file_size: int) -> int:
+        return self.layout(path).parallelism(file_size)

@@ -1,0 +1,95 @@
+"""Interconnect model: injection and bisection constraints on I/O.
+
+§2.1 names the fabrics — Summit's Mellanox EDR fat-tree and Cori's Cray
+Aries dragonfly — and every byte between compute nodes and either storage
+layer's servers crosses them. Two constraints matter for the I/O model:
+
+* **injection**: a job's aggregate I/O cannot exceed the sum of its
+  nodes' NIC bandwidths (the reason single-node jobs never see a PFS's
+  aggregate peak no matter how wide their files stripe);
+* **bisection**: center-wide traffic shares the fabric's global
+  bandwidth; a single job under production load gets a modest share.
+
+:class:`InterconnectModel` prices both; the performance model consults it
+when the caller provides node counts (the generator does).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import GB
+
+
+class Topology(enum.Enum):
+    FAT_TREE = "fat-tree"
+    DRAGONFLY = "dragonfly"
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Fabric constraints for one machine."""
+
+    topology: Topology
+    #: Per-node injection bandwidth, bytes/s (NIC-limited).
+    injection_per_node: float
+    #: Global (bisection) bandwidth of the fabric, bytes/s.
+    bisection: float
+    #: Share of bisection a single job can claim under production load.
+    job_bisection_share: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.injection_per_node <= 0 or self.bisection <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+        if not 0 < self.job_bisection_share <= 1:
+            raise ConfigurationError("job_bisection_share must be in (0, 1]")
+
+    def injection_cap(self, nnodes: np.ndarray) -> np.ndarray:
+        """Aggregate injection bandwidth for jobs of the given widths."""
+        nnodes = np.asarray(nnodes, dtype=np.float64)
+        if (nnodes < 0).any():
+            raise ConfigurationError("node counts must be non-negative")
+        return np.maximum(nnodes, 1.0) * self.injection_per_node
+
+    def job_cap(self, nnodes: np.ndarray) -> np.ndarray:
+        """Binding fabric constraint per job: min(injection, bisection share).
+
+        Fat-trees deliver full bisection (the share is the production-load
+        allotment); dragonflies route globally through a tapered global
+        link pool, modeled as a lower effective share.
+        """
+        share = self.job_bisection_share
+        if self.topology is Topology.DRAGONFLY:
+            share *= 0.6  # tapered global links + adaptive-routing detours
+        return np.minimum(self.injection_cap(nnodes), self.bisection * share)
+
+
+#: Summit: dual-rail Mellanox EDR (2 x 12.5 GB/s per node), full-bisection
+#: fat-tree across 4,608 nodes.
+SUMMIT_NETWORK = InterconnectModel(
+    topology=Topology.FAT_TREE,
+    injection_per_node=25 * GB,
+    bisection=115_000 * GB / 10,  # ~11.5 TB/s effective global bandwidth
+)
+
+#: Cori: Cray Aries dragonfly, ~10 GB/s injection per node, tapered
+#: global bandwidth around 5.6 TB/s.
+CORI_NETWORK = InterconnectModel(
+    topology=Topology.DRAGONFLY,
+    injection_per_node=10 * GB,
+    bisection=5_600 * GB,
+)
+
+
+def network_for(platform: str) -> InterconnectModel:
+    """The fabric model for a platform name."""
+    key = platform.lower()
+    if key == "summit":
+        return SUMMIT_NETWORK
+    if key == "cori":
+        return CORI_NETWORK
+    raise ConfigurationError(f"no network model for platform {platform!r}")

@@ -1,0 +1,135 @@
+"""Node-local NVMe in-system storage (Summit SCNL).
+
+§2.1.1: SCNL is built from one NVMe device per compute node. Software like
+Spectral and ORNL's UnifyFS presents the distributed devices to a job as a
+*job-exclusive namespace for the job's lifetime*; files not staged out are
+gone when the job exits. That lifecycle is why Summit shows almost no jobs
+touching SCNL exclusively (Table 5): the runtime stages data in/out under
+the covers, leaving only temporaries on the layer.
+
+The simulator tracks per-node capacity, job namespaces, and file placement
+(a file written by rank r lands on r's node — node-local means no remote
+data path), and reports the parallelism queries the performance model
+needs (a job's SCNL bandwidth scales with its node count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class _Namespace:
+    """One job's private view of the node-local layer."""
+
+    job_id: int
+    nodes: tuple[int, ...]
+    files: dict[str, tuple[int, int]] = field(default_factory=dict)  # path -> (node, size)
+    closed: bool = False
+
+
+class NodeLocalStore:
+    """Per-node NVMe devices with job-exclusive namespaces."""
+
+    def __init__(self, node_count: int, per_node_capacity: int):
+        if node_count <= 0:
+            raise SimulationError("node_count must be positive")
+        if per_node_capacity <= 0:
+            raise SimulationError("per_node_capacity must be positive")
+        self.node_count = node_count
+        self.per_node_capacity = per_node_capacity
+        self._used = [0] * node_count
+        self._namespaces: dict[int, _Namespace] = {}
+
+    # -- namespace lifecycle -------------------------------------------------
+    def create_namespace(self, job_id: int, nodes: list[int]) -> None:
+        """Mount the job-exclusive namespace on the job's nodes."""
+        if job_id in self._namespaces:
+            raise SimulationError(f"job {job_id} already has a namespace")
+        if not nodes:
+            raise SimulationError("a namespace needs at least one node")
+        for n in nodes:
+            if not 0 <= n < self.node_count:
+                raise SimulationError(f"node {n} out of range [0, {self.node_count})")
+        if len(set(nodes)) != len(nodes):
+            raise SimulationError("duplicate nodes in namespace")
+        self._namespaces[job_id] = _Namespace(job_id, tuple(nodes))
+
+    def destroy_namespace(self, job_id: int) -> list[str]:
+        """Unmount at job exit; returns the paths of files that vanished
+        (anything not staged out first — the UnifyFS lifecycle)."""
+        ns = self._namespace(job_id)
+        lost = sorted(ns.files)
+        for node, size in ns.files.values():
+            self._used[node] -= size
+        ns.files.clear()
+        ns.closed = True
+        del self._namespaces[job_id]
+        return lost
+
+    def _namespace(self, job_id: int) -> _Namespace:
+        try:
+            return self._namespaces[job_id]
+        except KeyError:
+            raise SimulationError(f"job {job_id} has no namespace") from None
+
+    # -- file operations -------------------------------------------------------
+    def write(self, job_id: int, path: str, size: int, rank: int, nprocs: int) -> int:
+        """Write a file from a rank; it lands on that rank's node.
+
+        Returns the node index used. Ranks map to nodes round-robin
+        (block distribution differs per launcher; round-robin keeps the
+        per-node load balanced, which is the property that matters here).
+        """
+        ns = self._namespace(job_id)
+        if size < 0:
+            raise SimulationError("size must be non-negative")
+        if not 0 <= rank < nprocs:
+            raise SimulationError(f"rank {rank} out of range [0, {nprocs})")
+        node = ns.nodes[rank % len(ns.nodes)]
+        if path in ns.files:
+            old_node, old_size = ns.files[path]
+            self._used[old_node] -= old_size
+        if self._used[node] + size > self.per_node_capacity:
+            raise SimulationError(
+                f"node {node} over capacity: {self._used[node] + size} "
+                f"> {self.per_node_capacity}"
+            )
+        self._used[node] += size
+        ns.files[path] = (node, size)
+        return node
+
+    def read(self, job_id: int, path: str) -> int:
+        """Read a file; returns its size. Node-local reads never cross nodes."""
+        ns = self._namespace(job_id)
+        try:
+            return ns.files[path][1]
+        except KeyError:
+            raise SimulationError(f"job {job_id}: no such file {path!r}") from None
+
+    def remove(self, job_id: int, path: str) -> None:
+        ns = self._namespace(job_id)
+        if path not in ns.files:
+            raise SimulationError(f"job {job_id}: no such file {path!r}")
+        node, size = ns.files.pop(path)
+        self._used[node] -= size
+
+    def files(self, job_id: int) -> dict[str, int]:
+        """path → size for a job's namespace."""
+        ns = self._namespace(job_id)
+        return {p: s for p, (_, s) in ns.files.items()}
+
+    # -- capacity / parallelism -------------------------------------------------
+    def node_used(self, node: int) -> int:
+        if not 0 <= node < self.node_count:
+            raise SimulationError(f"node {node} out of range")
+        return self._used[node]
+
+    def job_parallelism(self, job_id: int) -> int:
+        """SCNL bandwidth scales with the job's node count (one NVMe each)."""
+        return len(self._namespace(job_id).nodes)
+
+    def total_used(self) -> int:
+        return sum(self._used)

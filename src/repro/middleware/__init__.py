@@ -1,0 +1,32 @@
+"""I/O middleware optimizations — what the paper asks HDF5 et al. to do.
+
+Finding A: *"this diversity and complexity demand automatic and dynamic
+management within I/O middleware libraries"*. Recommendation 4: middleware
+should *"separate static/dynamic data and cache rewrites"* for the
+SSD-backed in-system layers. This package implements both proposals so
+they can be evaluated on the simulator:
+
+* :mod:`chunkcache` — a write-back chunk cache that coalesces small and
+  repeated writes into chunk-aligned flushes (caching rewrites, batching
+  random writes). Paired with :mod:`repro.darshan.stdio_ext` it shows the
+  write-amplification reduction directly.
+* :mod:`adaptive` — an adaptive layer placer that decides, per dataset,
+  whether the PFS or the in-system layer serves an access plan faster
+  (the "automatic and dynamic management" loop), pricing both with the
+  performance model.
+"""
+
+from repro.middleware.chunkcache import CacheStats, WriteBackChunkCache
+from repro.middleware.adaptive import AccessPlan, PlacementDecision, place_dataset
+from repro.middleware.h5sim import H5CloseReport, H5Dataset, H5File
+
+__all__ = [
+    "H5File",
+    "H5Dataset",
+    "H5CloseReport",
+    "WriteBackChunkCache",
+    "CacheStats",
+    "AccessPlan",
+    "PlacementDecision",
+    "place_dataset",
+]

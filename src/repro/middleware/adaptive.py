@@ -1,0 +1,145 @@
+"""Adaptive layer placement — Finding A's "automatic and dynamic
+management" inside the middleware.
+
+Given a dataset's *access plan* (how many bytes it will read/write, at
+what request sizes, by how many processes), decide which storage layer
+serves it faster, pricing both with the performance model and charging
+the staging movement that an in-system placement implies (stage-in for
+data that must pre-exist; stage-out for products that must survive the
+job). This is exactly the decision the paper says I/O libraries leave to
+"simple heuristics as the defaults" today.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.iosim.perfmodel import PerfModel, TransferSpec
+from repro.platforms.interfaces import IOInterface
+from repro.platforms.machine import Machine
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class AccessPlan:
+    """A dataset's planned I/O for one job."""
+
+    bytes_read: int
+    bytes_written: int
+    request_size: int
+    nprocs: int
+    shared: bool = True
+    #: Must the data exist before the job (inputs) / survive it (outputs)?
+    persistent_input: bool = True
+    persistent_output: bool = True
+
+    def __post_init__(self) -> None:
+        if self.bytes_read < 0 or self.bytes_written < 0:
+            raise ConfigurationError("byte totals must be non-negative")
+        if self.request_size <= 0 or self.nprocs <= 0:
+            raise ConfigurationError("request_size and nprocs must be positive")
+        if self.bytes_read == 0 and self.bytes_written == 0:
+            raise ConfigurationError("plan moves no data")
+
+
+@dataclass(frozen=True)
+class PlacementDecision:
+    """The outcome: chosen layer and both priced alternatives."""
+
+    layer_key: str
+    pfs_seconds: float
+    insystem_seconds: float
+    #: Movement charged to the in-system option (stage-in/out), seconds.
+    staging_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Chosen option's advantage over the alternative."""
+        a, b = self.pfs_seconds, self.insystem_seconds + self.staging_seconds
+        return (max(a, b) / min(a, b)) if min(a, b) > 0 else float("inf")
+
+
+def _price(
+    machine: Machine,
+    layer_key: str,
+    plan: AccessPlan,
+    perf: PerfModel,
+    rng: np.random.Generator,
+) -> float:
+    layer = machine.layers[layer_key]
+    total = 0.0
+    for direction, nbytes in (("read", plan.bytes_read), ("write", plan.bytes_written)):
+        if nbytes == 0:
+            continue
+        if layer_key == "pfs":
+            par = float(layer.server_count if plan.shared else 1)
+            block = layer.params.get("block_size") or layer.params.get("stripe_size")
+            if block:
+                par = min(par, max(nbytes / block, 1.0))
+        else:
+            par = min(max(nbytes / (128 * MiB), 1.0), layer.server_count)
+        spec = TransferSpec(
+            nbytes=np.array([float(nbytes)]),
+            request_size=np.array([float(plan.request_size)]),
+            nprocs=np.array([float(plan.nprocs)]),
+            file_parallelism=np.array([par]),
+            shared=np.array([plan.shared]),
+        )
+        total += float(
+            perf.transfer_time(layer, IOInterface.POSIX, direction, spec, rng)[0]
+        )
+    return total
+
+
+def place_dataset(
+    machine: Machine,
+    plan: AccessPlan,
+    *,
+    perf: PerfModel | None = None,
+    count_staging_in_job: bool = False,
+) -> PlacementDecision:
+    """Choose the layer for a dataset's access plan.
+
+    ``count_staging_in_job`` charges the staging movement against the
+    in-system option (the Summit/runtime-staging situation); the default
+    treats it as free in-job time (the Cori/scheduler-staging situation),
+    still reporting its cost separately.
+    """
+    perf = perf or PerfModel(deterministic=True)
+    rng = np.random.default_rng(0)
+    pfs_seconds = _price(machine, "pfs", plan, perf, rng)
+    fast_seconds = _price(machine, "insystem", plan, perf, rng)
+
+    # Staging movement at bulk PFS rates.
+    staged_bytes = 0
+    if plan.bytes_read and plan.persistent_input:
+        staged_bytes += plan.bytes_read
+    if plan.bytes_written and plan.persistent_output:
+        staged_bytes += plan.bytes_written
+    staging_seconds = 0.0
+    if staged_bytes:
+        pfs = machine.pfs
+        spec = TransferSpec(
+            nbytes=np.array([float(staged_bytes)]),
+            request_size=np.array([float(8 * MiB)]),
+            nprocs=np.array([1.0]),
+            file_parallelism=np.array([float(pfs.server_count)]),
+            shared=np.array([True]),
+        )
+        staging_seconds = float(
+            perf.transfer_time(pfs, IOInterface.POSIX, "read", spec, rng)[0]
+        )
+
+    fast_total = fast_seconds + (
+        staging_seconds if count_staging_in_job else 0.0
+    )
+    layer_key = "insystem" if fast_total < pfs_seconds else "pfs"
+    return PlacementDecision(
+        layer_key=layer_key,
+        pfs_seconds=pfs_seconds,
+        insystem_seconds=fast_seconds,
+        staging_seconds=staging_seconds,
+    )

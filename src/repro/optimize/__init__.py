@@ -1,0 +1,35 @@
+"""Optimization advisors — the paper's recommendations, operationalized.
+
+The study closes with six recommendations for middleware and facilities.
+This package turns the actionable ones into tools that run against a
+:class:`~repro.store.recordstore.RecordStore` (or operation streams) and
+*price* each opportunity with the performance model:
+
+* :mod:`aggregation` — Recommendations 2 and 6: find files whose small
+  requests would benefit from middleware-level aggregation (collective
+  buffering / stream batching) and estimate the speedup.
+* :mod:`staging` — Recommendation 3: find read-only / write-only PFS
+  traffic that could be staged through the in-system layer, and compare
+  end-to-end times.
+* :mod:`striping` — §5 future work: recommend Lustre stripe counts per
+  file size and price the gain over the default stripe count of 1.
+* :mod:`ssd` — Recommendation 4: rank STDIO write streams by estimated
+  flash write-amplification using the extended counters of
+  :mod:`repro.darshan.stdio_ext`.
+"""
+
+from repro.optimize.aggregation import AggregationOpportunity, find_aggregation_opportunities
+from repro.optimize.staging import StagingAssessment, assess_staging
+from repro.optimize.striping import StripingRecommendation, recommend_striping
+from repro.optimize.ssd import FlashWearReport, rank_flash_wear
+
+__all__ = [
+    "AggregationOpportunity",
+    "find_aggregation_opportunities",
+    "StagingAssessment",
+    "assess_staging",
+    "StripingRecommendation",
+    "recommend_striping",
+    "FlashWearReport",
+    "rank_flash_wear",
+]

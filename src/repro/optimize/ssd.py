@@ -1,0 +1,85 @@
+"""Flash-wear ranking for SSD-backed in-system layers (Recommendation 4).
+
+The paper: the in-system layers are flash/SSD, which suffer from write
+amplification under random writes and frequent rewrites, yet Darshan
+records nothing about STDIO access patterns at the process level — so the
+optimization opportunities (separating static/dynamic data, caching
+rewrites) stay invisible. With the extended counters of
+:mod:`repro.darshan.stdio_ext` they become measurable; this module ranks
+operation streams by estimated write amplification and proposes the
+paper's own mitigations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.darshan.stdio_ext import StdioExtRecord, accumulate_stdio_ext
+from repro.units import KiB
+
+
+@dataclass(frozen=True)
+class FlashWearReport:
+    """Wear assessment for one file's write stream on a flash layer."""
+
+    record_id: int
+    ext: StdioExtRecord
+    write_amplification: float
+    #: Mitigations from the paper's Recommendation 4 that apply.
+    mitigations: tuple[str, ...]
+
+    @property
+    def severity(self) -> str:
+        if self.write_amplification < 1.5:
+            return "low"
+        if self.write_amplification < 4.0:
+            return "moderate"
+        return "severe"
+
+
+#: The paper's proposed middleware mitigations.
+MITIGATION_CACHE_REWRITES = "cache rewrites (coalesce dynamic data in memory)"
+MITIGATION_SEPARATE_STATIC = "separate static and dynamic data into different files"
+MITIGATION_BATCH_WRITES = "batch small/random writes into sequential segments"
+
+
+def assess_stream(
+    record_id: int,
+    rank: int,
+    ops: np.ndarray,
+    *,
+    erase_block: int = 256 * KiB,
+) -> FlashWearReport:
+    """Assess one operation stream (e.g. from a DXT trace or replay)."""
+    ext = accumulate_stdio_ext(record_id, rank, ops)
+    waf = ext.write_amplification(erase_block=erase_block)
+    mitigations: list[str] = []
+    if ext.rewrite_ratio > 0.2:
+        mitigations.append(MITIGATION_CACHE_REWRITES)
+    if 0.0 < ext.rewrite_ratio < 0.8 and ext.bytes_first_written > 0:
+        mitigations.append(MITIGATION_SEPARATE_STATIC)
+    if ext.random_write_fraction > 0.3:
+        mitigations.append(MITIGATION_BATCH_WRITES)
+    return FlashWearReport(
+        record_id=record_id,
+        ext=ext,
+        write_amplification=waf,
+        mitigations=tuple(mitigations),
+    )
+
+
+def rank_flash_wear(
+    streams: list[tuple[int, int, np.ndarray]],
+    *,
+    erase_block: int = 256 * KiB,
+    worst_first: bool = True,
+) -> list[FlashWearReport]:
+    """Assess many ``(record_id, rank, ops)`` streams and rank by WAF."""
+    reports = [
+        assess_stream(rid, rank, ops, erase_block=erase_block)
+        for rid, rank, ops in streams
+    ]
+    reports.sort(key=lambda r: -r.write_amplification if worst_first else r.write_amplification)
+    return reports

@@ -1,0 +1,112 @@
+"""Lustre striping advisor (the paper's §5 future work).
+
+Cori's default stripe count is 1 (§2.1.2), so by default even a terabyte
+file is served by a single OST. The paper's future work asks how users
+use tuning parameters like striping and whether better defaults exist.
+This advisor recommends a stripe count per file size — wide enough to
+feed the job's parallelism, never wider than the file has stripes or the
+pool has OSTs — and prices the gain with the performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.iosim.lustre import LustreFilesystem
+from repro.iosim.perfmodel import PerfModel, TransferSpec
+from repro.platforms.interfaces import IOInterface
+from repro.platforms.storage import StorageLayer
+from repro.units import GiB, MiB
+
+
+@dataclass(frozen=True)
+class StripingRecommendation:
+    """A stripe-count recommendation for one file."""
+
+    file_size: int
+    nprocs: int
+    current_stripe_count: int
+    recommended_stripe_count: int
+    #: Predicted shared-read seconds, current vs recommended.
+    current_seconds: float
+    recommended_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return (
+            self.current_seconds / self.recommended_seconds
+            if self.recommended_seconds > 0
+            else float("inf")
+        )
+
+
+def recommend_stripe_count(
+    file_size: int,
+    nprocs: int,
+    fs: LustreFilesystem,
+    *,
+    bytes_per_stripe_target: int = 1 * GiB,
+) -> int:
+    """Facility-style heuristic: ~one stripe per GiB, bounded by the
+    job's processes and the OST pool, minimum the default."""
+    if file_size <= 0:
+        return fs.default_stripe_count
+    by_size = -(-file_size // bytes_per_stripe_target)
+    rec = min(by_size, max(nprocs, 1), fs.ost_count)
+    return max(int(rec), fs.default_stripe_count)
+
+
+def recommend_striping(
+    sizes: np.ndarray,
+    nprocs: np.ndarray,
+    layer: StorageLayer,
+    fs: LustreFilesystem,
+    *,
+    perf: PerfModel | None = None,
+    request_size: int = 1 * MiB,
+) -> list[StripingRecommendation]:
+    """Recommendations for a batch of shared files, priced on reads."""
+    perf = perf or PerfModel(deterministic=True)
+    rng = np.random.default_rng(0)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    nprocs = np.asarray(nprocs, dtype=np.int64)
+    if sizes.shape != nprocs.shape:
+        raise ValueError("sizes and nprocs must align")
+
+    current = np.full(len(sizes), fs.default_stripe_count, dtype=np.float64)
+    recommended = np.array(
+        [
+            recommend_stripe_count(int(s), int(p), fs)
+            for s, p in zip(sizes, nprocs)
+        ],
+        dtype=np.float64,
+    )
+    stripe_size = fs.default_stripe_size
+    cur_par = np.minimum(np.maximum(sizes / stripe_size, 1.0), current)
+    rec_par = np.minimum(np.maximum(sizes / stripe_size, 1.0), recommended)
+
+    def price(par: np.ndarray) -> np.ndarray:
+        spec = TransferSpec(
+            nbytes=sizes.astype(np.float64),
+            request_size=np.full(len(sizes), float(request_size)),
+            nprocs=nprocs.astype(np.float64),
+            file_parallelism=par,
+            shared=np.ones(len(sizes), dtype=bool),
+        )
+        return perf.transfer_time(layer, IOInterface.POSIX, "read", spec, rng)
+
+    t_cur = price(cur_par)
+    t_rec = price(rec_par)
+    return [
+        StripingRecommendation(
+            file_size=int(sizes[i]),
+            nprocs=int(nprocs[i]),
+            current_stripe_count=int(current[i]),
+            recommended_stripe_count=int(recommended[i]),
+            current_seconds=float(t_cur[i]),
+            recommended_seconds=float(t_rec[i]),
+        )
+        for i in range(len(sizes))
+    ]

@@ -1,0 +1,41 @@
+"""Platform descriptions: machines, storage layers, and I/O interfaces.
+
+The two platforms in the study (§2.1):
+
+* :func:`repro.platforms.summit.summit` — Summit at OLCF with the
+  node-local NVMe in-system layer (SCNL) and the center-wide GPFS file
+  system (Alpine).
+* :func:`repro.platforms.cori.cori` — Cori at NERSC with the DataWarp
+  burst buffer (CBB) and the Lustre scratch file system (Cori Scratch).
+"""
+
+from repro.platforms.interfaces import IOInterface
+from repro.platforms.machine import Machine, MountTable
+from repro.platforms.storage import LayerKind, StorageLayer
+from repro.platforms.summit import summit
+from repro.platforms.cori import cori
+
+PLATFORM_BUILDERS = {"summit": summit, "cori": cori}
+
+
+def get_platform(name: str) -> Machine:
+    """Build a platform by name (``"summit"`` or ``"cori"``)."""
+    try:
+        return PLATFORM_BUILDERS[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {name!r}; known: {sorted(PLATFORM_BUILDERS)}"
+        ) from None
+
+
+__all__ = [
+    "IOInterface",
+    "Machine",
+    "MountTable",
+    "LayerKind",
+    "StorageLayer",
+    "summit",
+    "cori",
+    "get_platform",
+    "PLATFORM_BUILDERS",
+]

@@ -1,0 +1,80 @@
+"""Cori and its two-layer I/O subsystem (§2.1.2).
+
+Facts encoded here come straight from the paper:
+
+* Cray XC40, 2,388 Haswell + 9,688 KNL nodes, 30 PFLOPS.
+* **CBB** (Cori Burst Buffer): Cray DataWarp, flash on service nodes,
+  1.8 PB raw, 1.7 TB/s peak; job-exclusive namespaces; scheduler-integrated
+  stage-in/out directives.
+* **Cori Scratch**: Lustre, 30 PB usable, 700 GB/s peak, 5 MDSes,
+  248 OSSes each managing one OST; default stripe count 1, stripe size
+  1 MB; users may customize striping per file.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.machine import Machine
+from repro.platforms.storage import LayerKind, Locality, StorageLayer
+from repro.units import MiB, PB, GB, TB
+
+#: Lustre defaults on Cori (§2.1.2). Stripe size is the 1 MiB Lustre default.
+CORI_DEFAULT_STRIPE_SIZE = 1 * MiB
+CORI_DEFAULT_STRIPE_COUNT = 1
+CORI_OST_COUNT = 248
+CORI_MDS_COUNT = 5
+
+CORI_SCRATCH_MOUNT = "/global/cscratch1"
+CBB_MOUNT = "/var/opt/cray/dws/mounts/batch"
+
+
+def cori() -> Machine:
+    """Build the Cori platform description."""
+    cbb = StorageLayer(
+        key="insystem",
+        name="CBB",
+        kind=LayerKind.IN_SYSTEM,
+        locality=Locality.SYSTEM_LOCAL,
+        technology="DataWarp",
+        capacity_bytes=int(1.8 * PB),
+        peak_read_bw=1.7 * TB,
+        peak_write_bw=1.7 * TB,
+        mount_point=CBB_MOUNT,
+        server_count=288,  # burst-buffer service nodes
+        base_latency=80e-6,
+        params={
+            "stdio_buffer": 512 * 1024,
+            "granularity": 20 * 1000**3,  # DataWarp allocation granularity, ~20 GB
+            "namespace": "job-exclusive (DataWarp)",
+            "scheduler_integration": True,
+        },
+    )
+    scratch = StorageLayer(
+        key="pfs",
+        name="Cori Scratch",
+        kind=LayerKind.PFS,
+        locality=Locality.CENTER_WIDE,
+        technology="Lustre",
+        capacity_bytes=30 * PB,
+        peak_read_bw=700 * GB,
+        peak_write_bw=700 * GB,
+        mount_point=CORI_SCRATCH_MOUNT,
+        server_count=CORI_OST_COUNT,
+        base_latency=400e-6,  # Lustre RPC + MDS lookup
+        params={
+            "stripe_size": CORI_DEFAULT_STRIPE_SIZE,
+            "stdio_buffer": 1 * MiB,  # Lustre st_blksize = stripe size
+            "stripe_count": CORI_DEFAULT_STRIPE_COUNT,
+            "ost_count": CORI_OST_COUNT,
+            "mds_count": CORI_MDS_COUNT,
+        },
+    )
+    return Machine(
+        name="Cori",
+        model="Cray XC40",
+        compute_nodes=2388 + 9688,
+        cores_per_node=32,  # Haswell nodes; KNL differ but the study is I/O-side
+        gpus_per_node=0,
+        peak_flops=30e15,
+        layers={"insystem": cbb, "pfs": scratch},
+        interconnect="Cray Aries dragonfly",
+    )

@@ -1,0 +1,56 @@
+"""I/O middleware interfaces (§2.2, §3.3).
+
+The study analyzes three interfaces in the HPC I/O middleware stack:
+POSIX, MPI-IO, and STDIO. MPI-IO sits *above* POSIX: when an application
+uses MPI-IO against a POSIX-compliant file system, Darshan records both an
+MPI-IO record and the POSIX record underneath, and the paper's data-volume
+accounting (§3.1) uses the POSIX numbers to avoid double counting. STDIO
+(the libc ``FILE*`` buffered stream API) bypasses MPI-IO entirely.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.darshan.constants import ModuleId
+
+
+class IOInterface(enum.IntEnum):
+    """The three instrumented data-path interfaces."""
+
+    POSIX = 1
+    MPIIO = 2
+    STDIO = 3
+
+    @property
+    def module(self) -> ModuleId:
+        """The Darshan module that instruments this interface."""
+        return ModuleId(int(self))
+
+    @property
+    def label(self) -> str:
+        """Human-readable label as used in the paper's tables."""
+        return {"POSIX": "POSIX", "MPIIO": "MPI-IO", "STDIO": "STDIO"}[self.name]
+
+    @property
+    def records_request_sizes(self) -> bool:
+        """Whether Darshan keeps per-request size histograms (not for STDIO)."""
+        return self is not IOInterface.STDIO
+
+    @property
+    def issues_posix_underneath(self) -> bool:
+        """MPI-IO is layered over POSIX on POSIX-compliant file systems."""
+        return self is IOInterface.MPIIO
+
+    @classmethod
+    def from_name(cls, name: str) -> "IOInterface":
+        key = name.upper().replace("-", "").replace("_", "")
+        try:
+            return cls[key]
+        except KeyError:
+            raise ValueError(f"unknown I/O interface {name!r}") from None
+
+
+#: Interfaces whose byte counts enter the §3.1 data-volume accounting.
+#: (MPI-IO traffic is counted through its POSIX records.)
+ACCOUNTING_INTERFACES = (IOInterface.POSIX, IOInterface.STDIO)

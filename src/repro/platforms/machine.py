@@ -1,0 +1,99 @@
+"""Machine (supercomputer) descriptions and mount tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.platforms.storage import LayerKind, StorageLayer
+
+
+class MountTable:
+    """Longest-prefix path → storage-layer resolution.
+
+    The Darshan runtime resolves each opened path to the file system it
+    lives on (real Darshan does this from ``/proc/mounts``); the analyses
+    then group records by layer. Paths that match no mount resolve to
+    ``None`` (e.g. ``/dev/null``, container-local scratch) and are dropped
+    from layer-based analyses, as the paper drops non-PFS/non-BB mounts.
+    """
+
+    def __init__(self, mounts: dict[str, StorageLayer]):
+        for prefix in mounts:
+            if not prefix.startswith("/"):
+                raise ConfigurationError(f"mount prefix {prefix!r} must be absolute")
+        # Longest prefixes first so /gpfs/alpine wins over /gpfs.
+        self._mounts = sorted(mounts.items(), key=lambda kv: -len(kv[0]))
+
+    def resolve(self, path: str) -> StorageLayer | None:
+        """The layer a path lives on, or None for unmounted paths."""
+        for prefix, layer in self._mounts:
+            if path == prefix or path.startswith(prefix.rstrip("/") + "/"):
+                return layer
+        return None
+
+    def mounts(self) -> list[tuple[str, StorageLayer]]:
+        return list(self._mounts)
+
+
+@dataclass(frozen=True)
+class Machine:
+    """A supercomputer with its multi-layer I/O subsystem."""
+
+    name: str
+    #: e.g. "IBM AC922" or "Cray XC40".
+    model: str
+    compute_nodes: int
+    cores_per_node: int
+    gpus_per_node: int
+    peak_flops: float
+    #: Layers keyed by their stable key ("pfs", "insystem").
+    layers: dict[str, StorageLayer] = field(default_factory=dict)
+    #: Interconnect description (informational).
+    interconnect: str = ""
+
+    def __post_init__(self) -> None:
+        if self.compute_nodes <= 0 or self.cores_per_node <= 0:
+            raise ConfigurationError(f"{self.name}: node/core counts must be positive")
+        kinds = [layer.kind for layer in self.layers.values()]
+        if LayerKind.PFS not in kinds:
+            raise ConfigurationError(f"{self.name}: a PFS layer is required")
+        for key, layer in self.layers.items():
+            if key != layer.key:
+                raise ConfigurationError(
+                    f"{self.name}: layer dict key {key!r} != layer.key {layer.key!r}"
+                )
+
+    @property
+    def pfs(self) -> StorageLayer:
+        """The parallel-file-system layer."""
+        return self.layers["pfs"]
+
+    @property
+    def in_system(self) -> StorageLayer:
+        """The in-system (burst buffer / node-local) layer."""
+        return self.layers["insystem"]
+
+    @property
+    def total_cores(self) -> int:
+        return self.compute_nodes * self.cores_per_node
+
+    def mount_table(self) -> MountTable:
+        """Mount table mapping each layer's mount point to the layer."""
+        return MountTable({layer.mount_point: layer for layer in self.layers.values()})
+
+    def layer_by_name(self, name: str) -> StorageLayer:
+        """Look a layer up by deployment name (``"Alpine"``) or key."""
+        for layer in self.layers.values():
+            if layer.name.lower() == name.lower() or layer.key == name.lower():
+                return layer
+        raise KeyError(f"{self.name} has no layer named {name!r}")
+
+    def describe(self) -> str:
+        lines = [
+            f"{self.name} ({self.model}): {self.compute_nodes} nodes, "
+            f"{self.peak_flops / 1e15:.1f} PFLOPS, {self.interconnect}"
+        ]
+        for layer in self.layers.values():
+            lines.append("  " + layer.describe())
+        return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Storage-layer descriptions.
+
+A :class:`StorageLayer` captures the *hardware facts* of one layer of a
+multi-layer I/O subsystem — capacity, peak bandwidths, device technology,
+topology counts. Behavioral models (block placement, striping, staging,
+bandwidth curves) live in :mod:`repro.iosim` and consume these facts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+class LayerKind(enum.Enum):
+    """The two layer roles the paper distinguishes (§2.1)."""
+
+    #: Capacity layer: a center-wide parallel file system (Alpine, Cori Scratch).
+    PFS = "pfs"
+    #: Performance layer inside the machine (SCNL, CBB).
+    IN_SYSTEM = "insystem"
+
+
+class Locality(enum.Enum):
+    """Where an in-system layer's devices live (§2.1.1)."""
+
+    NODE_LOCAL = "node-local"      # Summit SCNL: NVMe in every compute node
+    SYSTEM_LOCAL = "system-local"  # Cori CBB: flash on dedicated service nodes
+    CENTER_WIDE = "center-wide"    # PFS deployments
+
+
+@dataclass(frozen=True)
+class StorageLayer:
+    """One layer of a supercomputer I/O subsystem."""
+
+    #: Stable key used across the library and in record stores
+    #: ("pfs" or "insystem").
+    key: str
+    #: Deployment name ("Alpine", "SCNL", "CBB", "Cori Scratch").
+    name: str
+    kind: LayerKind
+    locality: Locality
+    #: Software/hardware technology ("GPFS", "Lustre", "NVMe", "DataWarp").
+    technology: str
+    capacity_bytes: int
+    peak_read_bw: float   # bytes/second, aggregate
+    peak_write_bw: float  # bytes/second, aggregate
+    #: Filesystem mount prefix on compute nodes.
+    mount_point: str
+    #: Number of servers/devices providing parallelism (NSDs, OSSes,
+    #: burst-buffer nodes, or compute nodes for node-local NVMe).
+    server_count: int = 1
+    #: Per-access metadata/software-stack latency floor, seconds.
+    base_latency: float = 50e-6
+    #: Free-form technology parameters (block size, stripe defaults, ...).
+    params: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError(f"{self.name}: capacity must be positive")
+        if self.peak_read_bw <= 0 or self.peak_write_bw <= 0:
+            raise ConfigurationError(f"{self.name}: bandwidths must be positive")
+        if self.server_count <= 0:
+            raise ConfigurationError(f"{self.name}: server_count must be positive")
+        if not self.mount_point.startswith("/"):
+            raise ConfigurationError(
+                f"{self.name}: mount point {self.mount_point!r} must be absolute"
+            )
+
+    @property
+    def is_flash(self) -> bool:
+        """True for SSD/NVMe-backed layers (the write-amplification
+        discussion in Recommendation 4 applies to these)."""
+        return self.technology in ("NVMe", "DataWarp", "SSD")
+
+    @property
+    def per_server_read_bw(self) -> float:
+        return self.peak_read_bw / self.server_count
+
+    @property
+    def per_server_write_bw(self) -> float:
+        return self.peak_write_bw / self.server_count
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        from repro.units import format_size
+
+        return (
+            f"{self.name} ({self.kind.value}, {self.technology}, "
+            f"{self.locality.value}): {format_size(self.capacity_bytes)} capacity, "
+            f"{format_size(self.peak_read_bw)}/s read, "
+            f"{format_size(self.peak_write_bw)}/s write peak"
+        )

@@ -1,0 +1,81 @@
+"""Summit and its two-layer I/O subsystem (§2.1.1).
+
+Facts encoded here come straight from the paper:
+
+* 4,608 AC922 nodes, 2 POWER9 CPUs + 6 V100 GPUs each, 148.8 PFLOPS.
+* **SCNL** in-system layer: node-local NVMe, 7.4 PB raw, 26.7 TB/s peak
+  read, 9.7 TB/s peak write, exposed per-job by Spectral/UnifyFS-style
+  software.
+* **Alpine** PFS: IBM Spectrum Scale (GPFS), ~250 PB usable, 2.5 TB/s
+  peak, 154 NSD servers, 16 MB GPFS blocks distributed round-robin from a
+  random starting NSD.
+"""
+
+from __future__ import annotations
+
+from repro.platforms.machine import Machine
+from repro.platforms.storage import LayerKind, Locality, StorageLayer
+from repro.units import MiB, PB, TB
+
+#: GPFS block size on Alpine (§2.1.1). The deployment uses a 16 MiB block.
+ALPINE_BLOCK_SIZE = 16 * MiB
+
+#: Number of NSD servers backing Alpine.
+ALPINE_NSD_SERVERS = 154
+
+#: Mount points used in synthetic paths.
+ALPINE_MOUNT = "/gpfs/alpine"
+SCNL_MOUNT = "/mnt/bb"
+
+
+def summit() -> Machine:
+    """Build the Summit platform description."""
+    scnl = StorageLayer(
+        key="insystem",
+        name="SCNL",
+        kind=LayerKind.IN_SYSTEM,
+        locality=Locality.NODE_LOCAL,
+        technology="NVMe",
+        capacity_bytes=int(7.4 * PB),
+        peak_read_bw=26.7 * TB,
+        peak_write_bw=9.7 * TB,
+        mount_point=SCNL_MOUNT,
+        server_count=4608,  # one NVMe per compute node
+        base_latency=10e-6,  # NVMe access latency floor
+        params={
+            "stdio_buffer": 64 * 1024,  # XFS-on-NVMe st_blksize hint
+            "per_node_read_bw": 26.7 * TB / 4608,
+            "per_node_write_bw": 9.7 * TB / 4608,
+            "namespace": "job-exclusive (Spectral / UnifyFS)",
+        },
+    )
+    alpine = StorageLayer(
+        key="pfs",
+        name="Alpine",
+        kind=LayerKind.PFS,
+        locality=Locality.CENTER_WIDE,
+        technology="GPFS",
+        capacity_bytes=250 * PB,
+        peak_read_bw=2.5 * TB,
+        peak_write_bw=2.5 * TB,
+        mount_point=ALPINE_MOUNT,
+        server_count=ALPINE_NSD_SERVERS,
+        base_latency=300e-6,  # client->NSD round trip + GPFS token overhead
+        params={
+            "block_size": ALPINE_BLOCK_SIZE,
+            # glibc sizes FILE* buffers from st_blksize; GPFS reports its
+            # block size, so streams coalesce into multi-MiB system calls.
+            "stdio_buffer": 4 * MiB,
+            "placement": "round-robin from random NSD",
+        },
+    )
+    return Machine(
+        name="Summit",
+        model="IBM AC922",
+        compute_nodes=4608,
+        cores_per_node=42,  # 2 x POWER9, 21 usable cores each
+        gpus_per_node=6,
+        peak_flops=148.8e15,
+        layers={"insystem": scnl, "pfs": alpine},
+        interconnect="Mellanox InfiniBand EDR fat-tree",
+    )

@@ -1,0 +1,136 @@
+"""EASY backfill scheduling.
+
+The FCFS scheduler in :mod:`repro.scheduler.batch` leaves the machine
+draining while a wide job waits at the head of the queue. Production
+schedulers (Slurm on Cori, LSF on Summit) close that gap with *EASY
+backfill*: later jobs may jump ahead if starting them now cannot delay
+the head job's reserved start. This module implements it as an
+event-driven simulation with the same inputs/outputs as the FCFS path,
+so the two policies are directly comparable (see the tests: backfill
+strictly reduces waits on a draining machine without ever delaying the
+queue head).
+
+Walltime estimates equal actual runtimes here (perfectly honest users);
+the classic overestimate study is a knob away via ``walltime_factor``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import SchedulerError
+from repro.scheduler.batch import ScheduledJob
+from repro.scheduler.job import JobSpec
+
+
+@dataclass
+class _Running:
+    end_time: float
+    job_id: int
+    nnodes: int
+
+    def __lt__(self, other: "_Running") -> bool:
+        return (self.end_time, self.job_id) < (other.end_time, other.job_id)
+
+
+class EasyBackfillScheduler:
+    """EASY backfill over an aggregate node pool."""
+
+    def __init__(self, total_nodes: int, *, walltime_factor: float = 1.0):
+        if total_nodes <= 0:
+            raise SchedulerError("total_nodes must be positive")
+        if walltime_factor < 1.0:
+            raise SchedulerError("walltime_factor must be >= 1 (an estimate)")
+        self.total_nodes = total_nodes
+        self.walltime_factor = walltime_factor
+
+    # ------------------------------------------------------------------
+    def schedule(self, jobs: list[JobSpec]) -> list[ScheduledJob]:
+        for spec in jobs:
+            if spec.nnodes > self.total_nodes:
+                raise SchedulerError(
+                    f"job {spec.job_id} wants {spec.nnodes} nodes, "
+                    f"machine has {self.total_nodes}"
+                )
+        arrivals = sorted(jobs, key=lambda j: (j.submit_time, j.job_id))
+        queue: list[JobSpec] = []  # FCFS order
+        running: list[_Running] = []
+        free = self.total_nodes
+        now = 0.0
+        out: dict[int, ScheduledJob] = {}
+        i = 0
+
+        def start(spec: JobSpec) -> None:
+            nonlocal free
+            free -= spec.nnodes
+            end = now + spec.runtime
+            heapq.heappush(running, _Running(end, spec.job_id, spec.nnodes))
+            out[spec.job_id] = ScheduledJob(
+                spec, now, end, concurrent_jobs=len(running) - 1
+            )
+
+        def estimated_end(r: _Running) -> float:
+            # The scheduler reasons with walltime estimates; completions
+            # still happen at actual runtimes.
+            spec = out[r.job_id].spec
+            return out[r.job_id].start_time + spec.runtime * self.walltime_factor
+
+        def fill() -> None:
+            nonlocal free
+            # Start queue heads while they fit.
+            while queue and queue[0].nnodes <= free:
+                start(queue.pop(0))
+            if not queue:
+                return
+            head = queue[0]
+            # Shadow time: when will the head fit, given estimated ends?
+            avail = free
+            shadow = now
+            spare_at_shadow = 0
+            for r in sorted(running, key=estimated_end):
+                avail += r.nnodes
+                if avail >= head.nnodes:
+                    shadow = estimated_end(r)
+                    spare_at_shadow = avail - head.nnodes
+                    break
+            else:  # pragma: no cover - width pre-checked
+                raise SchedulerError("head can never fit")
+            # Backfill: any later job that fits now and either finishes
+            # (by estimate) before the shadow time, or is narrow enough to
+            # coexist with the head at its reserved start.
+            j = 1
+            while j < len(queue):
+                cand = queue[j]
+                fits_now = cand.nnodes <= free
+                ends_before = (
+                    now + cand.runtime * self.walltime_factor <= shadow
+                )
+                narrow = cand.nnodes <= spare_at_shadow
+                if fits_now and (ends_before or narrow):
+                    start(queue.pop(j))
+                    if cand.nnodes <= spare_at_shadow:
+                        spare_at_shadow -= cand.nnodes
+                else:
+                    j += 1
+
+        while i < len(arrivals) or queue or running:
+            # Next event: arrival or completion.
+            next_arrival = arrivals[i].submit_time if i < len(arrivals) else None
+            next_end = running[0].end_time if running else None
+            if next_arrival is not None and (
+                next_end is None or next_arrival <= next_end
+            ):
+                now = max(now, next_arrival)
+                while i < len(arrivals) and arrivals[i].submit_time <= now:
+                    queue.append(arrivals[i])
+                    i += 1
+            elif next_end is not None:
+                now = max(now, next_end)
+                while running and running[0].end_time <= now:
+                    free += heapq.heappop(running).nnodes
+            else:  # pragma: no cover - loop condition prevents this
+                break
+            fill()
+
+        return [out[spec.job_id] for spec in jobs if spec.job_id in out]

@@ -1,0 +1,77 @@
+"""Job specifications.
+
+A job is the scheduler-level unit (LSF on Summit, Slurm on Cori). One job
+runs one or more *application instances*; each instance that performs I/O
+produces one Darshan log (§2.2: "a single production job may produce
+multiple Darshan logs"; the paper saw 1–34,341 logs per Summit job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BurstBufferRequest:
+    """A #DW-style burst-buffer capacity request with staging directives."""
+
+    capacity_bytes: int
+    #: (pfs_path, bb_path, size) triples staged before the job starts.
+    stage_in: tuple[tuple[str, str, int], ...] = ()
+    #: (bb_path, pfs_path, size) triples staged after the job exits.
+    stage_out: tuple[tuple[str, str, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("burst-buffer capacity must be positive")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One batch job as submitted."""
+
+    job_id: int
+    user_id: int
+    project: str
+    #: Science domain of the project (§3.3.2 merges this from scheduler /
+    #: NEWT logs; Slurm on Cori lacked it for ~10% of jobs -> "").
+    domain: str
+    nnodes: int
+    nprocs: int
+    #: Seconds of wall-clock the job will actually run.
+    runtime: float
+    submit_time: float
+    #: Number of application instances (each one Darshan log if it does I/O).
+    app_instances: int = 1
+    #: DataWarp-style request; None when the job does not use the BB.
+    bb_request: BurstBufferRequest | None = None
+    #: Free-form attributes (executable name, queue, ...).
+    attributes: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nnodes <= 0:
+            raise ConfigurationError(f"job {self.job_id}: nnodes must be positive")
+        if self.nprocs <= 0:
+            raise ConfigurationError(f"job {self.job_id}: nprocs must be positive")
+        if self.runtime <= 0:
+            raise ConfigurationError(f"job {self.job_id}: runtime must be positive")
+        if self.submit_time < 0:
+            raise ConfigurationError(f"job {self.job_id}: negative submit time")
+        if self.app_instances <= 0:
+            raise ConfigurationError(f"job {self.job_id}: app_instances must be >= 1")
+
+    @property
+    def node_seconds(self) -> float:
+        return self.nnodes * self.runtime
+
+    @property
+    def node_hours(self) -> float:
+        """Node-hours, the Table 2 unit."""
+        return self.node_seconds / 3600.0
+
+    @property
+    def is_large(self) -> bool:
+        """The paper's Figure 5 large-job predicate: > 1024 processes."""
+        return self.nprocs > 1024

@@ -1,0 +1,50 @@
+"""``.npz`` persistence for record stores."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.store.recordstore import RecordStore
+
+_FORMAT = "repro-store-v1"
+
+
+def save_store(store: RecordStore, path: str) -> None:
+    """Write a store to a compressed ``.npz`` file."""
+    meta = {
+        "format": _FORMAT,
+        "platform": store.platform,
+        "domains": list(store.domains),
+        "extensions": list(store.extensions),
+        "scale": store.scale,
+    }
+    np.savez_compressed(
+        path,
+        files=store.files,
+        jobs=store.jobs,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_store(path: str) -> RecordStore:
+    """Read a store written by :func:`save_store`."""
+    with np.load(path, allow_pickle=False) as npz:
+        try:
+            meta = json.loads(bytes(npz["meta"].tobytes()).decode("utf-8"))
+            files = npz["files"]
+            jobs = npz["jobs"]
+        except KeyError as exc:
+            raise StoreError(f"{path}: missing array {exc}") from None
+    if meta.get("format") != _FORMAT:
+        raise StoreError(f"{path}: unknown store format {meta.get('format')!r}")
+    return RecordStore(
+        meta["platform"],
+        files,
+        jobs,
+        domains=meta["domains"],
+        extensions=meta["extensions"],
+        scale=meta["scale"],
+    )

@@ -1,0 +1,210 @@
+"""The RecordStore: a platform's synthetic year in columnar form."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import StoreError
+from repro.platforms.interfaces import IOInterface
+from repro.store.schema import (
+    FILE_DTYPE,
+    JOB_DTYPE,
+    LAYER_CODES,
+    OPCLASS_READ_ONLY,
+    OPCLASS_READ_WRITE,
+    OPCLASS_WRITE_ONLY,
+)
+
+
+class RecordStore:
+    """File and job tables for one platform, plus categorical catalogs.
+
+    ``scale`` records what fraction of the real year the synthetic
+    population represents; analyses multiply counts by ``1/scale`` when
+    reporting extrapolated totals (distribution-shaped results are
+    scale-free). See DESIGN.md §5.
+    """
+
+    def __init__(
+        self,
+        platform: str,
+        files: np.ndarray,
+        jobs: np.ndarray,
+        *,
+        domains: Sequence[str] = (),
+        extensions: Sequence[str] = (),
+        scale: float = 1.0,
+    ):
+        if files.dtype != FILE_DTYPE:
+            raise StoreError(f"files table has dtype {files.dtype}, want FILE_DTYPE")
+        if jobs.dtype != JOB_DTYPE:
+            raise StoreError(f"jobs table has dtype {jobs.dtype}, want JOB_DTYPE")
+        if not 0 < scale <= 1:
+            raise StoreError(f"scale must be in (0, 1], got {scale}")
+        self.platform = platform
+        self.files = files
+        self.jobs = jobs
+        self.domains = tuple(domains)
+        self.extensions = tuple(extensions)
+        self.scale = scale
+        if len(files) and files["domain"].max() >= len(self.domains):
+            raise StoreError("file domain code out of catalog range")
+        if len(jobs) and jobs["domain"].max() >= len(self.domains):
+            raise StoreError("job domain code out of catalog range")
+
+    # -- basic shape ---------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.files)
+
+    @property
+    def njobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def nlogs(self) -> int:
+        """Distinct Darshan logs represented in the file table."""
+        if not len(self.files):
+            return 0
+        return len(np.unique(self.files["log_id"]))
+
+    def scaled(self, count: float) -> float:
+        """Extrapolate a count to full-year scale."""
+        return count / self.scale
+
+    # -- filtering -------------------------------------------------------------
+    def filter(self, mask: np.ndarray) -> "RecordStore":
+        """New store with file rows selected by a boolean mask.
+
+        The job table is restricted to jobs that still have file rows (or
+        had none to begin with: job-level analyses use
+        :meth:`filter_jobs`).
+        """
+        mask = np.asarray(mask)
+        if mask.dtype != bool or mask.shape != (len(self.files),):
+            raise StoreError(
+                f"mask must be bool of shape ({len(self.files)},), "
+                f"got {mask.dtype} {mask.shape}"
+            )
+        files = self.files[mask]
+        keep_jobs = np.isin(self.jobs["job_id"], np.unique(files["job_id"]))
+        return RecordStore(
+            self.platform, files, self.jobs[keep_jobs],
+            domains=self.domains, extensions=self.extensions, scale=self.scale,
+        )
+
+    def where(
+        self,
+        *,
+        layer: str | None = None,
+        interface: IOInterface | None = None,
+        shared: bool | None = None,
+        domain: str | None = None,
+        min_nprocs: int | None = None,
+    ) -> "RecordStore":
+        """Keyword-sugar filter over the common analysis axes."""
+        mask = np.ones(len(self.files), dtype=bool)
+        if layer is not None:
+            try:
+                mask &= self.files["layer"] == LAYER_CODES[layer]
+            except KeyError:
+                raise StoreError(f"unknown layer {layer!r}") from None
+        if interface is not None:
+            mask &= self.files["interface"] == int(interface)
+        if shared is not None:
+            mask &= (self.files["rank"] == -1) == shared
+        if domain is not None:
+            try:
+                code = self.domains.index(domain)
+            except ValueError:
+                raise StoreError(
+                    f"unknown domain {domain!r}; catalog: {self.domains}"
+                ) from None
+            mask &= self.files["domain"] == code
+        if min_nprocs is not None:
+            mask &= self.files["nprocs"] > min_nprocs
+        return self.filter(mask)
+
+    def filter_jobs(self, mask: np.ndarray) -> "RecordStore":
+        """New store with job rows (and their files) selected by a mask."""
+        mask = np.asarray(mask)
+        if mask.dtype != bool or mask.shape != (len(self.jobs),):
+            raise StoreError("job mask shape/dtype mismatch")
+        jobs = self.jobs[mask]
+        keep = np.isin(self.files["job_id"], jobs["job_id"])
+        return RecordStore(
+            self.platform, self.files[keep], jobs,
+            domains=self.domains, extensions=self.extensions, scale=self.scale,
+        )
+
+    # -- derived columns ----------------------------------------------------------
+    def transfer_sizes(self) -> np.ndarray:
+        """Per-file total transfer size (read + written), §3.1."""
+        return self.files["bytes_read"] + self.files["bytes_written"]
+
+    def opclass(self) -> np.ndarray:
+        """Read-only / read-write / write-only code per file (Figures 6, 8).
+
+        Files with zero bytes both ways (metadata-only opens) are classed
+        read-only, matching how zero-transfer records skew neither volume.
+        """
+        r = self.files["bytes_read"] > 0
+        w = self.files["bytes_written"] > 0
+        out = np.full(len(self.files), OPCLASS_READ_ONLY, dtype=np.uint8)
+        out[r & w] = OPCLASS_READ_WRITE
+        out[~r & w] = OPCLASS_WRITE_ONLY
+        return out
+
+    def read_bandwidth(self) -> np.ndarray:
+        """Per-file read bytes/s; NaN where no read time was recorded."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(
+                self.files["read_time"] > 0,
+                self.files["bytes_read"] / self.files["read_time"],
+                np.nan,
+            )
+
+    def write_bandwidth(self) -> np.ndarray:
+        """Per-file write bytes/s; NaN where no write time was recorded."""
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return np.where(
+                self.files["write_time"] > 0,
+                self.files["bytes_written"] / self.files["write_time"],
+                np.nan,
+            )
+
+    def domain_names(self, codes: np.ndarray) -> list[str]:
+        """Map domain codes to names ('' for unknown)."""
+        return ["" if c < 0 else self.domains[c] for c in np.asarray(codes)]
+
+    # -- combination -----------------------------------------------------------------
+    @classmethod
+    def concat(cls, stores: Iterable["RecordStore"]) -> "RecordStore":
+        """Concatenate stores of the same platform/catalogs/scale."""
+        stores = list(stores)
+        if not stores:
+            raise StoreError("cannot concat zero stores")
+        first = stores[0]
+        for s in stores[1:]:
+            if (
+                s.platform != first.platform
+                or s.domains != first.domains
+                or s.extensions != first.extensions
+                or s.scale != first.scale
+            ):
+                raise StoreError("stores differ in platform/catalogs/scale")
+        return cls(
+            first.platform,
+            np.concatenate([s.files for s in stores]),
+            np.concatenate([s.jobs for s in stores]),
+            domains=first.domains,
+            extensions=first.extensions,
+            scale=first.scale,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordStore({self.platform!r}, files={len(self.files):,}, "
+            f"jobs={len(self.jobs):,}, scale={self.scale:g})"
+        )

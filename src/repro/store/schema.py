@@ -1,0 +1,93 @@
+"""Structured dtypes and categorical codes for the record store.
+
+One **file row** per (Darshan log, file, interface) — the paper's unit of
+analysis ("we consider a file as a unique file if it can be uniquely
+identified by the combination of its path and name in a single Darshan
+log", §3.1). One **job row** per batch job.
+
+Categorical columns are small integer codes; the mapping to names lives in
+the store's metadata (for domains) or in this module (layers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.darshan.bins import ACCESS_SIZE_BINS
+
+#: Storage-layer codes.
+LAYER_PFS = 0
+LAYER_INSYSTEM = 1
+LAYER_OTHER = 255
+
+LAYER_CODES = {"pfs": LAYER_PFS, "insystem": LAYER_INSYSTEM, "other": LAYER_OTHER}
+LAYER_NAMES = {v: k for k, v in LAYER_CODES.items()}
+
+#: Read-only / read-write / write-only classification (Figures 6 and 8).
+OPCLASS_READ_ONLY = 0
+OPCLASS_READ_WRITE = 1
+OPCLASS_WRITE_ONLY = 2
+OPCLASS_NAMES = {
+    OPCLASS_READ_ONLY: "read-only",
+    OPCLASS_READ_WRITE: "read-write",
+    OPCLASS_WRITE_ONLY: "write-only",
+}
+
+_NBINS = ACCESS_SIZE_BINS.nbins
+
+#: Per-file record row.
+FILE_DTYPE = np.dtype(
+    [
+        ("job_id", np.int64),
+        ("log_id", np.int64),
+        ("user_id", np.int64),
+        ("record_id", np.uint64),
+        ("layer", np.uint8),
+        ("interface", np.uint8),     # IOInterface value
+        ("rank", np.int32),          # -1 = shared (all ranks)
+        ("nprocs", np.int32),        # processes in the job
+        ("domain", np.int16),        # index into store.domains; -1 unknown
+        ("ext", np.int16),           # index into store.extensions; -1 none
+        ("bytes_read", np.int64),
+        ("bytes_written", np.int64),
+        ("read_time", np.float64),   # seconds
+        ("write_time", np.float64),
+        ("meta_time", np.float64),
+        ("reads", np.int64),         # op counts
+        ("writes", np.int64),
+        ("read_hist", np.int64, (_NBINS,)),
+        ("write_hist", np.int64, (_NBINS,)),
+    ]
+)
+
+#: Per-job row.
+JOB_DTYPE = np.dtype(
+    [
+        ("job_id", np.int64),
+        ("user_id", np.int64),
+        ("nnodes", np.int32),
+        ("nprocs", np.int32),
+        ("domain", np.int16),
+        ("runtime", np.float64),     # seconds
+        ("start_time", np.float64),  # seconds from trace origin
+        ("nlogs", np.int32),         # Darshan logs produced
+        ("used_bb", np.uint8),       # touched the in-system layer?
+    ]
+)
+
+
+def empty_files(n: int = 0) -> np.ndarray:
+    """Allocate a file table with ``domain``/``ext`` pre-set to 'unknown'."""
+    arr = np.zeros(n, dtype=FILE_DTYPE)
+    if n:
+        arr["domain"] = -1
+        arr["ext"] = -1
+        arr["rank"] = -1
+    return arr
+
+
+def empty_jobs(n: int = 0) -> np.ndarray:
+    arr = np.zeros(n, dtype=JOB_DTYPE)
+    if n:
+        arr["domain"] = -1
+    return arr

@@ -1,0 +1,130 @@
+"""Byte-size units, parsing, and formatting.
+
+The paper mixes decimal (PB, GB/s) and binary (16 MB GPFS blocks, 1 MB Lustre
+stripes — both actually binary in the deployed systems) conventions. This
+module pins the convention used throughout the library:
+
+* All sizes in code are **integer bytes**.
+* Symbols ``KiB/MiB/GiB/TiB/PiB`` are binary (powers of 1024).
+* Symbols ``KB/MB/GB/TB/PB`` are decimal (powers of 1000), matching how the
+  paper quotes capacities and bandwidths.
+
+Darshan's access-size histogram bin edges (0–100, 100–1K, 1K–10K, …) are
+decimal, matching the counter names in the real tool
+(``POSIX_SIZE_READ_0_100`` etc.); those live in :mod:`repro.darshan.bins`.
+"""
+
+from __future__ import annotations
+
+import re
+
+KiB = 1024
+MiB = 1024**2
+GiB = 1024**3
+TiB = 1024**4
+PiB = 1024**5
+
+KB = 1000
+MB = 1000**2
+GB = 1000**3
+TB = 1000**4
+PB = 1000**5
+
+_UNIT_FACTORS = {
+    "": 1,
+    "B": 1,
+    "KB": KB,
+    "MB": MB,
+    "GB": GB,
+    "TB": TB,
+    "PB": PB,
+    "KIB": KiB,
+    "MIB": MiB,
+    "GIB": GiB,
+    "TIB": TiB,
+    "PIB": PiB,
+    # Loose single-letter suffixes, decimal (matches Darshan bin labels
+    # like "100_1K" and the figures' axis labels "1GB", "1TB+").
+    "K": KB,
+    "M": MB,
+    "G": GB,
+    "T": TB,
+    "P": PB,
+}
+
+_SIZE_RE = re.compile(
+    r"^\s*([0-9]+(?:\.[0-9]+)?)\s*([A-Za-z]*)\s*\+?\s*$"
+)
+
+
+def parse_size(text: str) -> int:
+    """Parse a human-readable size like ``"16 MiB"`` or ``"1GB"`` to bytes.
+
+    Trailing ``+`` (as in the figure label ``1TB+``) is tolerated and
+    ignored. Raises :class:`ValueError` on unknown units or malformed input.
+
+    >>> parse_size("1 KiB")
+    1024
+    >>> parse_size("1.5GB")
+    1500000000
+    """
+    m = _SIZE_RE.match(text)
+    if m is None:
+        raise ValueError(f"unparseable size: {text!r}")
+    value, unit = m.groups()
+    factor = _UNIT_FACTORS.get(unit.upper())
+    if factor is None:
+        raise ValueError(f"unknown size unit {unit!r} in {text!r}")
+    result = float(value) * factor
+    rounded = round(result)
+    # Tolerate float representation error ("33.05MB" is 33050000 bytes even
+    # though 33.05 * 1e6 is 33050000.000000004 in binary floating point),
+    # but still reject genuinely fractional byte counts like "1.5B".
+    if abs(result - rounded) > 1e-6 * max(abs(result), 1.0):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(rounded)
+
+
+def format_size(nbytes: float, *, decimal: bool = True, precision: int = 2) -> str:
+    """Format a byte count for tables and log lines.
+
+    Uses decimal units by default to match the paper's presentation
+    (``202.18 PB``). Negative values are formatted with a leading minus.
+
+    >>> format_size(1_500_000_000)
+    '1.50 GB'
+    >>> format_size(2048, decimal=False)
+    '2.00 KiB'
+    """
+    sign = "-" if nbytes < 0 else ""
+    n = abs(float(nbytes))
+    if decimal:
+        steps = [("PB", PB), ("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)]
+    else:
+        steps = [("PiB", PiB), ("TiB", TiB), ("GiB", GiB), ("MiB", MiB), ("KiB", KiB)]
+    for unit, factor in steps:
+        if n >= factor:
+            return f"{sign}{n / factor:.{precision}f} {unit}"
+    return f"{sign}{n:.0f} B"
+
+
+def format_count(n: float, *, precision: int = 1) -> str:
+    """Format a count the way the paper's tables do (``7.7M``, ``281.6K``).
+
+    >>> format_count(7_740_000)
+    '7.7M'
+    >>> format_count(950)
+    '950'
+    """
+    n = float(n)
+    sign = "-" if n < 0 else ""
+    a = abs(n)
+    if a >= 1e9:
+        return f"{sign}{a / 1e9:.{precision}f}B"
+    if a >= 1e6:
+        return f"{sign}{a / 1e6:.{precision}f}M"
+    if a >= 1e3:
+        return f"{sign}{a / 1e3:.{precision}f}K"
+    if a == int(a):
+        return f"{sign}{int(a)}"
+    return f"{sign}{a:.{precision}f}"

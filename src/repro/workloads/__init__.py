@@ -1,0 +1,51 @@
+"""Synthetic workload generation.
+
+The paper's inputs are proprietary year-long log archives; this subpackage
+synthesizes a population with the same *joint structure* — jobs from
+science domains running application archetypes that touch (layer,
+interface, op-class) file groups with calibrated size and request-size
+distributions (see DESIGN.md §1 for the substitution argument).
+
+* :mod:`distributions` — deterministic, vectorized samplers (truncated
+  lognormal, Pareto tails, mixtures, discrete).
+* :mod:`domains` — OLCF/NERSC science-domain catalogs (Figures 7/10).
+* :mod:`archetypes` — application templates (checkpointing simulation,
+  AI/ML training, genomics text pipelines, visualization, ...).
+* :mod:`mixes` — per-platform archetype weights and file-group
+  parameters: **the calibration layer** tying the generator to the
+  paper's published marginals.
+* :mod:`generator` — the vectorized year-long population generator
+  producing a :class:`~repro.store.recordstore.RecordStore`.
+"""
+
+from repro.workloads.distributions import (
+    BinProfile,
+    Constant,
+    DiscreteLogUniform,
+    Distribution,
+    LogNormal,
+    Mixture,
+    ParetoTail,
+)
+from repro.workloads.domains import CORI_DOMAINS, SUMMIT_DOMAINS
+from repro.workloads.archetypes import ArchetypeSpec, FileGroupSpec
+from repro.workloads.mixes import cori_mix, summit_mix
+from repro.workloads.generator import GeneratorConfig, WorkloadGenerator
+
+__all__ = [
+    "BinProfile",
+    "Constant",
+    "DiscreteLogUniform",
+    "Distribution",
+    "LogNormal",
+    "Mixture",
+    "ParetoTail",
+    "SUMMIT_DOMAINS",
+    "CORI_DOMAINS",
+    "ArchetypeSpec",
+    "FileGroupSpec",
+    "summit_mix",
+    "cori_mix",
+    "GeneratorConfig",
+    "WorkloadGenerator",
+]

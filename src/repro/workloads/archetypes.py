@@ -1,0 +1,97 @@
+"""Application archetype and file-group specifications.
+
+An :class:`ArchetypeSpec` is a template for a family of applications
+(checkpointing simulation, ML training, text-based genomics pipeline, …).
+It owns job-shape distributions and a list of :class:`FileGroupSpec` —
+each describing one population of files the application touches on one
+(layer, interface) with one access character. The per-platform weights
+and concrete parameter values live in :mod:`repro.workloads.mixes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.platforms.interfaces import IOInterface
+from repro.workloads.distributions import BinProfile, Distribution
+
+
+@dataclass(frozen=True)
+class FileGroupSpec:
+    """One population of files an application run touches.
+
+    ``opclass_probs`` is (read-only, read-write, write-only). Read sizes
+    apply to RO and RW files; write sizes to WO and RW files. ``shared_prob``
+    is the probability that a file is a single shared file accessed by all
+    ranks (Darshan rank −1) rather than a file-per-process record — only
+    shared files enter the §3.4 performance analysis.
+    """
+
+    name: str
+    layer: str  # "pfs" | "insystem"
+    interface: IOInterface
+    #: Expected number of such files per application run (Poisson mean).
+    files_per_run: float
+    opclass_probs: tuple[float, float, float]
+    read_size: Distribution
+    write_size: Distribution
+    read_profile: BinProfile
+    write_profile: BinProfile
+    shared_prob: float = 0.0
+    #: MPI-IO collective path (ignored for other interfaces).
+    collective: bool = False
+    #: File-extension mix, e.g. {"h5": 0.8, "chk": 0.2}; "" = no extension.
+    ext_probs: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.layer not in ("pfs", "insystem"):
+            raise ConfigurationError(f"{self.name}: unknown layer {self.layer!r}")
+        if self.files_per_run <= 0:
+            raise ConfigurationError(f"{self.name}: files_per_run must be positive")
+        p = self.opclass_probs
+        if len(p) != 3 or any(x < 0 for x in p) or abs(sum(p) - 1.0) > 1e-9:
+            raise ConfigurationError(
+                f"{self.name}: opclass_probs must be 3 non-negatives summing to 1"
+            )
+        if not 0 <= self.shared_prob <= 1:
+            raise ConfigurationError(f"{self.name}: shared_prob out of [0,1]")
+        if self.ext_probs:
+            total = sum(self.ext_probs.values())
+            if total <= 0 or any(v < 0 for v in self.ext_probs.values()):
+                raise ConfigurationError(f"{self.name}: bad ext_probs")
+
+
+@dataclass(frozen=True)
+class ArchetypeSpec:
+    """A family of applications with a common I/O character."""
+
+    name: str
+    #: Domain → weight; sampled per job.
+    domains: dict[str, float]
+    #: Nodes per job.
+    nnodes: Distribution
+    #: MPI processes per node (fixed per archetype for simplicity).
+    procs_per_node: int
+    #: Job runtime, seconds.
+    runtime: Distribution
+    #: Application instances per job (Darshan logs per job).
+    instances: Distribution
+    groups: tuple[FileGroupSpec, ...]
+    #: Expected DataWarp capacity request, bytes (None = no BB directive;
+    #: only meaningful on platforms with scheduler-integrated staging).
+    bb_capacity: Distribution | None = None
+
+    def __post_init__(self) -> None:
+        if not self.domains:
+            raise ConfigurationError(f"{self.name}: needs at least one domain")
+        if any(w <= 0 for w in self.domains.values()):
+            raise ConfigurationError(f"{self.name}: domain weights must be positive")
+        if self.procs_per_node <= 0:
+            raise ConfigurationError(f"{self.name}: procs_per_node must be positive")
+        if not self.groups:
+            raise ConfigurationError(f"{self.name}: needs at least one file group")
+
+    def expected_files_per_run(self) -> float:
+        """Calibration helper: mean files per application instance."""
+        return sum(g.files_per_run for g in self.groups)

@@ -1,0 +1,231 @@
+"""Vectorized, seedable samplers for workload generation.
+
+All samplers draw from a caller-supplied :class:`numpy.random.Generator`
+and return arrays; none touch global state. Sizes are float internally and
+rounded to integer bytes at the edges.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.darshan.bins import ACCESS_SIZE_BINS
+from repro.errors import ConfigurationError
+
+
+class Distribution(abc.ABC):
+    """A 1-D distribution over positive reals."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        """Draw ``n`` samples."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """Analytic (or high-accuracy numeric) mean, used for calibration."""
+
+
+@dataclass(frozen=True)
+class Constant(Distribution):
+    """A degenerate point mass."""
+
+    value: float
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        return np.full(n, self.value, dtype=np.float64)
+
+    def mean(self) -> float:
+        return float(self.value)
+
+
+@dataclass(frozen=True)
+class LogNormal(Distribution):
+    """Truncated lognormal parameterized by its (untruncated) median.
+
+    ``median`` is in natural units (bytes, seconds); ``sigma`` is the log
+    standard deviation. Samples outside ``[lo, hi]`` are clipped —
+    truncation by clipping keeps the sampler one vectorized pass and puts
+    the tail mass at the boundary, which is what a capacity-limited file
+    system does to file sizes anyway.
+    """
+
+    median: float
+    sigma: float
+    lo: float = 1.0
+    hi: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if self.median <= 0 or self.sigma <= 0:
+            raise ConfigurationError("median and sigma must be positive")
+        if not 0 <= self.lo < self.hi:
+            raise ConfigurationError("need 0 <= lo < hi")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        out = rng.lognormal(mean=np.log(self.median), sigma=self.sigma, size=n)
+        return np.clip(out, self.lo, self.hi)
+
+    def mean(self) -> float:
+        # Untruncated mean is a good calibration proxy when clipping is mild.
+        mu = np.log(self.median)
+        raw = float(np.exp(mu + self.sigma**2 / 2))
+        return min(max(raw, self.lo), self.hi if np.isfinite(self.hi) else raw)
+
+
+@dataclass(frozen=True)
+class ParetoTail(Distribution):
+    """Bounded Pareto on ``[lo, hi]`` with shape ``alpha``.
+
+    ``alpha`` < 1 concentrates mass near ``hi`` in expectation — used for
+    the giant checkpoint files that carry most of Summit's PFS write
+    volume despite 99% of files being < 1 GB (§3.2.1, Table 4).
+    """
+
+    alpha: float
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+        if not 0 < self.lo < self.hi:
+            raise ConfigurationError("need 0 < lo < hi")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.uniform(0.0, 1.0, size=n)
+        a = self.alpha
+        l_a = self.lo**-a
+        h_a = self.hi**-a
+        return (l_a - u * (l_a - h_a)) ** (-1.0 / a)
+
+    def mean(self) -> float:
+        a, lo, hi = self.alpha, self.lo, self.hi
+        if np.isclose(a, 1.0):
+            return lo * hi / (hi - lo) * np.log(hi / lo)
+        num = a * (lo**(1 - a) - hi**(1 - a))
+        den = (a - 1) * (lo**-a - hi**-a)
+        return float(num / den)
+
+
+@dataclass(frozen=True)
+class DiscreteLogUniform(Distribution):
+    """Integers log-uniform on ``[lo, hi]`` — node/process counts."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.lo <= self.hi:
+            raise ConfigurationError("need 1 <= lo <= hi")
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        u = rng.uniform(np.log(self.lo), np.log(self.hi + 1), size=n)
+        return np.floor(np.exp(u)).astype(np.int64).clip(self.lo, self.hi)
+
+    def mean(self) -> float:
+        if self.lo == self.hi:
+            return float(self.lo)
+        # Continuous approximation of the log-uniform mean.
+        return float((self.hi - self.lo) / np.log(self.hi / self.lo))
+
+
+@dataclass(frozen=True)
+class Mixture(Distribution):
+    """Weighted mixture of component distributions."""
+
+    components: tuple[tuple[float, Distribution], ...]
+    _weights: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigurationError("mixture needs at least one component")
+        w = np.array([c[0] for c in self.components], dtype=np.float64)
+        if (w <= 0).any():
+            raise ConfigurationError("mixture weights must be positive")
+        object.__setattr__(self, "_weights", w / w.sum())
+
+    def sample(self, rng: np.random.Generator, n: int) -> np.ndarray:
+        choice = rng.choice(len(self.components), size=n, p=self._weights)
+        out = np.empty(n, dtype=np.float64)
+        for i, (_, dist) in enumerate(self.components):
+            mask = choice == i
+            cnt = int(mask.sum())
+            if cnt:
+                out[mask] = dist.sample(rng, cnt)
+        return out
+
+    def mean(self) -> float:
+        return float(
+            sum(w * c.mean() for w, (_, c) in zip(self._weights, self.components))
+        )
+
+
+#: Representative request size per access bin (geometric mean of edges;
+#: 2 GB for the open-ended 1G+ bin).
+_BIN_REPRESENTATIVE = np.array(
+    [
+        np.sqrt(max(lo, 1.0) * hi) if np.isfinite(hi) else 2e9
+        for lo, hi in zip(ACCESS_SIZE_BINS.edges[:-1], ACCESS_SIZE_BINS.edges[1:])
+    ]
+)
+
+
+@dataclass(frozen=True)
+class BinProfile:
+    """A distribution over the ten Darshan access-size bins.
+
+    Drives both the per-file request-size histograms (Figures 4/5) and the
+    typical request size fed to the performance model.
+    """
+
+    probs: tuple[float, ...]
+    _p: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.probs) != ACCESS_SIZE_BINS.nbins:
+            raise ConfigurationError(
+                f"need {ACCESS_SIZE_BINS.nbins} bin probabilities, got {len(self.probs)}"
+            )
+        p = np.asarray(self.probs, dtype=np.float64)
+        if (p < 0).any() or p.sum() <= 0:
+            raise ConfigurationError("bin probabilities must be non-negative, sum > 0")
+        object.__setattr__(self, "_p", p / p.sum())
+
+    @classmethod
+    def from_dict(cls, weights: dict[str, float]) -> "BinProfile":
+        """Build from ``{bin_label: weight}``; missing labels get 0."""
+        probs = [0.0] * ACCESS_SIZE_BINS.nbins
+        for label, w in weights.items():
+            try:
+                probs[ACCESS_SIZE_BINS.labels.index(label)] = w
+            except ValueError:
+                raise ConfigurationError(f"unknown access bin {label!r}") from None
+        return cls(tuple(probs))
+
+    def mean_request_size(self) -> float:
+        """Expected request size under the profile."""
+        return float((self._p * _BIN_REPRESENTATIVE).sum())
+
+    def histograms(
+        self, rng: np.random.Generator, nops: np.ndarray
+    ) -> np.ndarray:
+        """Multinomial request-size histograms, one row per file.
+
+        ``nops[i]`` operations are distributed over the ten bins following
+        the profile. Vectorized via the Poissonization trick is not exact;
+        we use ``rng.multinomial``'s broadcasting, which handles the whole
+        batch in one call.
+        """
+        nops = np.asarray(nops, dtype=np.int64)
+        if (nops < 0).any():
+            raise ConfigurationError("operation counts must be non-negative")
+        return rng.multinomial(nops, self._p)
+
+    def ops_for_bytes(self, nbytes: np.ndarray) -> np.ndarray:
+        """Operation counts that move ``nbytes`` at the profile's mean
+        request size (at least 1 op for any positive transfer)."""
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        ops = np.ceil(nbytes / self.mean_request_size()).astype(np.int64)
+        return np.where(nbytes > 0, np.maximum(ops, 1), 0)

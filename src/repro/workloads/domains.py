@@ -1,0 +1,55 @@
+"""Science-domain catalogs.
+
+The OLCF workload manager records a job's domain directly; on Cori the
+paper merged project→domain mappings from the NERSC NEWT API (§3.3.2),
+leaving ~10% of jobs without a domain. The catalogs below are the domains
+appearing in Figures 7 and 10.
+"""
+
+from __future__ import annotations
+
+#: Domains on Summit (Figures 7a / 10a; OLCF categories).
+SUMMIT_DOMAINS: tuple[str, ...] = (
+    "biology",
+    "chemistry",
+    "computer science",
+    "earth science",
+    "engineering",
+    "lattice theory",
+    "machine learning",
+    "materials",
+    "medical science",
+    "nuclear",
+    "physics",
+    "staff",
+)
+
+#: Domains on Cori (Figures 7b / 10b; NERSC/NEWT categories).
+CORI_DOMAINS: tuple[str, ...] = (
+    "biology",
+    "chemistry",
+    "computer science",
+    "earth science",
+    "energy sciences",
+    "engineering",
+    "fusion",
+    "machine learning",
+    "materials",
+    "mathematics",
+    "nuclear energy",
+    "physics",
+)
+
+#: Fraction of Cori jobs whose project had no NEWT domain record (the
+#: paper reports 90.02% coverage for STDIO jobs).
+CORI_UNKNOWN_DOMAIN_FRACTION = 0.10
+
+
+def domain_catalog(platform: str) -> tuple[str, ...]:
+    """The domain catalog for a platform name."""
+    key = platform.lower()
+    if key == "summit":
+        return SUMMIT_DOMAINS
+    if key == "cori":
+        return CORI_DOMAINS
+    raise ValueError(f"unknown platform {platform!r}")

@@ -1,0 +1,666 @@
+"""Per-platform workload mixes — the calibration layer.
+
+Every number here is derived from a published statistic of the paper (the
+derivations are spelled out in DESIGN.md §4 and EXPERIMENTS.md). Structure:
+
+* A platform mix is a list of ``(weight, ArchetypeSpec)`` — ``weight`` is
+  the fraction of the platform's jobs running that archetype.
+* Key Summit facts driving the shape: only ~3.4K of 281.6K jobs touch
+  SCNL at all (Table 5), yet SCNL holds 279M of 1294M files (Table 3) —
+  so SCNL archetypes are *rare but extremely log- and file-heavy*
+  (genomics/ML pipelines spawning hundreds of instances per job). SCNL is
+  STDIO-dominated (227M STDIO vs 52M POSIX files, Table 6) and
+  read-leaning (4.43 PB R vs 2.69 PB W); the PFS is write-dominated
+  (~42x) through checkpoint archetypes with a heavy upper tail below
+  ~1 TB (only 78 >1 TB write files, Table 4).
+* Key Cori facts: 14.4% of jobs are CBB-exclusive (DataWarp staging hides
+  their PFS traffic, Table 5); both layers are read-dominated (3.16x CBB,
+  6.58x PFS); MPI-IO is strong (207M of 403M PFS files; nearly all CBB
+  POSIX traffic is MPI-IO underneath, Table 6); STDIO is ~14% of files;
+  >1 TB writes land on the PFS (10,045) while >1 TB reads come from CBB
+  (513 vs 74, Table 4).
+"""
+
+from __future__ import annotations
+
+from repro.platforms.interfaces import IOInterface
+from repro.units import GB, KB, MB, TB
+from repro.workloads.archetypes import ArchetypeSpec, FileGroupSpec
+from repro.workloads.distributions import (
+    BinProfile,
+    Constant,
+    DiscreteLogUniform,
+    Distribution,
+    LogNormal,
+    Mixture,
+    ParetoTail,
+)
+
+# ---------------------------------------------------------------------------
+# Access-size profiles (Figures 4 and 5).
+# ---------------------------------------------------------------------------
+
+#: Summit PFS reads: "both 0-100 and 1K-10K request-size ranges represent
+#: about 45% of read calls" (§3.2.1).
+PFS_TINY_READS = BinProfile.from_dict(
+    {"0_100": 0.45, "100_1K": 0.05, "1K_10K": 0.43, "10K_100K": 0.05, "100K_1M": 0.02}
+)
+
+#: Summit SCNL: "the 10K-100K request-size range represents ... 83% of
+#: read and 60% of write calls".
+SCNL_READS = BinProfile.from_dict(
+    {"1K_10K": 0.08, "10K_100K": 0.83, "100K_1M": 0.06, "1M_4M": 0.03}
+)
+SCNL_WRITES = BinProfile.from_dict(
+    {"100_1K": 0.08, "1K_10K": 0.20, "10K_100K": 0.60, "100K_1M": 0.09, "1M_4M": 0.03}
+)
+
+#: Generic small-write profile for the PFS (checkpoint metadata, logs).
+PFS_SMALL_WRITES = BinProfile.from_dict(
+    {"0_100": 0.25, "100_1K": 0.25, "1K_10K": 0.30, "10K_100K": 0.15, "100K_1M": 0.05}
+)
+
+#: Collective MPI-IO traffic: aggregated, mostly 1-10 MB requests.
+COLLECTIVE_IO = BinProfile.from_dict(
+    {"100K_1M": 0.15, "1M_4M": 0.45, "4M_10M": 0.30, "10M_100M": 0.10}
+)
+
+#: Bulk POSIX streaming (dataset shards, staging copies).
+BULK_STREAMING = BinProfile.from_dict(
+    {"10K_100K": 0.15, "100K_1M": 0.30, "1M_4M": 0.35, "4M_10M": 0.15, "10M_100M": 0.05}
+)
+
+#: Large-job burst-buffer traffic: bigger requests than PFS traffic
+#: (Figure 5: "more large requests to the in-system storage layer").
+BB_LARGE_REQS = BinProfile.from_dict(
+    {"100K_1M": 0.20, "1M_4M": 0.40, "4M_10M": 0.25, "10M_100M": 0.15}
+)
+
+# ---------------------------------------------------------------------------
+# Transfer-size building blocks (Figure 3 CDFs + Table 3 volumes + Table 4
+# large-file counts). Mixture = (bulk below 1 GB) + (rare heavy tail).
+# ---------------------------------------------------------------------------
+
+
+def small_files(median: float, sigma: float = 2.2, hi: float = 1 * GB) -> LogNormal:
+    """The sub-GB mass that dominates every CDF in Figure 3."""
+    return LogNormal(median, sigma, lo=1.0, hi=hi)
+
+
+def tailed(
+    bulk: Distribution,
+    tail: Distribution,
+    tail_weight: float,
+) -> Mixture:
+    return Mixture(((1.0 - tail_weight, bulk), (tail_weight, tail)))
+
+
+# Summit PFS writes: 99% < 1 GB, yet ~42x the read volume — a ~1% tail of
+# multi-hundred-GB checkpoints capped below 1 TB (only 78 files exceed it).
+SUMMIT_PFS_WRITE_SIZE = tailed(
+    small_files(48 * KB),
+    LogNormal(650 * GB, 0.55, lo=1 * GB, hi=0.98 * TB),
+    0.055,
+)
+
+# Summit PFS reads: 97% < 1 GB with a thinner tail that *does* cross 1 TB
+# (7,232 read files > 1 TB — restart/analysis over full checkpoints).
+SUMMIT_PFS_READ_SIZE = tailed(
+    small_files(96 * KB),
+    LogNormal(4 * GB, 1.6, lo=1 * GB, hi=3 * TB),
+    0.02,
+)
+
+# Summit SCNL: 99% of reads and writes < 1 GB, nothing above 1 TB.
+SUMMIT_SCNL_READ_SIZE = tailed(
+    small_files(192 * KB), LogNormal(4 * GB, 0.9, lo=1 * GB, hi=400 * GB), 0.005
+)
+SUMMIT_SCNL_WRITE_SIZE = Mixture((
+    (0.980, small_files(96 * KB)),
+    # Sub-GB scratch dumps: populate the 100MB-1GB bin of Figure 11b
+    # (where the paper observed STDIO beating POSIX by ~1.5x).
+    (0.010, LogNormal(400 * MB, 0.5, lo=100 * MB, hi=1 * GB)),
+    (0.010, LogNormal(2 * GB, 0.8, lo=1 * GB, hi=100 * GB)),
+))
+
+# STDIO-managed files are smaller still (Figure 9), with SCNL writes
+# showing a fatter mid-tail (only 82.4% < 1 GB, §3.3.1).
+SUMMIT_STDIO_SIZE = tailed(
+    small_files(24 * KB, sigma=2.4, hi=8 * GB),
+    ParetoTail(0.8, 100 * MB, 20 * GB),
+    0.004,
+)
+SUMMIT_SCNL_STDIO_WRITE_SIZE = Mixture((
+    (0.984, small_files(48 * KB, sigma=2.4)),
+    (0.010, LogNormal(400 * MB, 0.5, lo=100 * MB, hi=1 * GB)),
+    (0.006, LogNormal(1.5 * GB, 0.5, lo=1 * GB, hi=20 * GB)),
+))
+# ...and the five >1 TB STDIO write files of Figure 11b's 1TB+ bin.
+SUMMIT_PFS_STDIO_WRITE_SIZE = tailed(
+    small_files(32 * KB, sigma=2.4),
+    ParetoTail(0.9, 100 * MB, 1.6 * TB),
+    0.002,
+)
+
+# Cori PFS: read-dominated 6.58x; 99.05% of reads < 1 GB but with a heavy
+# read tail (climate/ML input scans); writes have the >1 TB population
+# (10,045 files, Table 4).
+CORI_PFS_READ_SIZE = tailed(
+    small_files(128 * KB),
+    LogNormal(24 * GB, 1.3, lo=1 * GB, hi=0.97 * TB),
+    0.022,
+)
+CORI_PFS_WRITE_SIZE = tailed(
+    small_files(64 * KB),
+    LogNormal(30 * GB, 1.6, lo=1 * GB, hi=6 * TB),
+    0.003,
+)
+
+# Cori CBB: read-dominated 3.16x with *large* staged reads — 87% of all
+# >1 TB reads happen here (513 files).
+CORI_CBB_READ_SIZE = tailed(
+    small_files(640 * KB),
+    LogNormal(40 * GB, 1.2, lo=1 * GB, hi=4 * TB),
+    0.020,
+)
+CORI_CBB_WRITE_SIZE = tailed(
+    small_files(256 * KB),
+    LogNormal(20 * GB, 1.3, lo=1 * GB, hi=2.5 * TB),
+    0.012,
+)
+
+CORI_STDIO_SIZE = tailed(
+    small_files(24 * KB, sigma=2.4, hi=4 * GB),
+    ParetoTail(0.8, 100 * MB, 20 * GB),
+    0.008,
+)
+
+#: Human-readable logs / visualization data: the paper found ~70% of
+#: Cori's STDIO files carry .rst/.dat/.vol extensions (§3.3.2).
+STDIO_EXTS = {"rst": 0.30, "dat": 0.25, "vol": 0.15, "log": 0.12, "txt": 0.10, "out": 0.08}
+CKPT_EXTS = {"h5": 0.45, "chk": 0.25, "nc": 0.15, "bp": 0.15}
+DATA_EXTS = {"h5": 0.30, "nc": 0.20, "bin": 0.20, "dat": 0.15, "csv": 0.15}
+SEQ_EXTS = {"fastq": 0.35, "sam": 0.20, "txt": 0.20, "fa": 0.15, "vcf": 0.10}
+
+
+# ---------------------------------------------------------------------------
+# Summit archetypes.
+# ---------------------------------------------------------------------------
+
+
+def _summit_sim_checkpoint() -> ArchetypeSpec:
+    """Bulk-synchronous simulation: the PFS write-volume carrier."""
+    return ArchetypeSpec(
+        name="sim_checkpoint",
+        domains={
+            "physics": 0.32, "chemistry": 0.14, "materials": 0.14,
+            "lattice theory": 0.10, "nuclear": 0.08, "earth science": 0.08,
+            "engineering": 0.09, "medical science": 0.05,
+        },
+        nnodes=DiscreteLogUniform(2, 512),
+        procs_per_node=6,
+        runtime=LogNormal(4800, 0.9, lo=300, hi=86400),
+        instances=DiscreteLogUniform(1, 100),
+        groups=(
+            FileGroupSpec(
+                name="checkpoints",
+                layer="pfs", interface=IOInterface.MPIIO,
+                files_per_run=75.0,
+                opclass_probs=(0.04, 0.06, 0.90),
+                read_size=SUMMIT_PFS_READ_SIZE,
+                write_size=SUMMIT_PFS_WRITE_SIZE,
+                read_profile=COLLECTIVE_IO, write_profile=COLLECTIVE_IO,
+                shared_prob=0.75, collective=True, ext_probs=CKPT_EXTS,
+            ),
+            FileGroupSpec(
+                name="restart_inputs",
+                layer="pfs", interface=IOInterface.POSIX,
+                files_per_run=22.0,
+                opclass_probs=(0.92, 0.04, 0.04),
+                read_size=SUMMIT_PFS_READ_SIZE,
+                write_size=small_files(32 * KB),
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.05, ext_probs=DATA_EXTS,
+            ),
+            FileGroupSpec(
+                # Full checkpoint restores: few files, streamed by all
+                # ranks of a shared open — the shared-POSIX population of
+                # the Figure 11 read panels.
+                name="restart_bulk",
+                layer="pfs", interface=IOInterface.POSIX,
+                files_per_run=5.0,
+                opclass_probs=(0.95, 0.03, 0.02),
+                read_size=SUMMIT_PFS_READ_SIZE,
+                write_size=small_files(32 * KB),
+                read_profile=BULK_STREAMING, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.60, ext_probs=CKPT_EXTS,
+            ),
+            FileGroupSpec(
+                name="diagnostics",
+                layer="pfs", interface=IOInterface.STDIO,
+                files_per_run=50.0,
+                opclass_probs=(0.10, 0.15, 0.75),
+                read_size=SUMMIT_STDIO_SIZE,
+                write_size=SUMMIT_PFS_STDIO_WRITE_SIZE,
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.12, ext_probs=STDIO_EXTS,
+            ),
+        ),
+    )
+
+
+def _summit_posix_analysis() -> ArchetypeSpec:
+    """Post-processing / analysis: POSIX read-heavy on the PFS."""
+    return ArchetypeSpec(
+        name="posix_analysis",
+        domains={
+            "physics": 0.20, "earth science": 0.14, "biology": 0.12,
+            "chemistry": 0.12, "materials": 0.12, "engineering": 0.10,
+            "computer science": 0.08, "staff": 0.06, "nuclear": 0.06,
+        },
+        nnodes=DiscreteLogUniform(1, 16),
+        procs_per_node=6,
+        runtime=LogNormal(1200, 1.0, lo=60, hi=43200),
+        instances=DiscreteLogUniform(1, 60),
+        groups=(
+            FileGroupSpec(
+                name="analysis_inputs",
+                layer="pfs", interface=IOInterface.POSIX,
+                files_per_run=170.0,
+                opclass_probs=(0.88, 0.05, 0.07),
+                read_size=SUMMIT_PFS_READ_SIZE,
+                write_size=small_files(64 * KB),
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.0, ext_probs=DATA_EXTS,
+            ),
+            FileGroupSpec(
+                name="viz_products",
+                layer="pfs", interface=IOInterface.STDIO,
+                files_per_run=120.0,
+                opclass_probs=(0.15, 0.10, 0.75),
+                read_size=SUMMIT_STDIO_SIZE, write_size=SUMMIT_STDIO_SIZE,
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.05, ext_probs=STDIO_EXTS,
+            ),
+        ),
+    )
+
+
+def _summit_mltraining() -> ArchetypeSpec:
+    """AI/ML training: read-intensive, smaller jobs, PFS datasets."""
+    return ArchetypeSpec(
+        name="ml_training",
+        domains={
+            "machine learning": 0.40, "computer science": 0.22,
+            "biology": 0.14, "medical science": 0.12, "staff": 0.12,
+        },
+        nnodes=DiscreteLogUniform(1, 48),
+        procs_per_node=6,
+        runtime=LogNormal(7200, 0.8, lo=600, hi=86400),
+        instances=DiscreteLogUniform(1, 50),
+        groups=(
+            FileGroupSpec(
+                name="training_shards",
+                layer="pfs", interface=IOInterface.POSIX,
+                files_per_run=240.0,
+                opclass_probs=(0.96, 0.02, 0.02),
+                read_size=SUMMIT_PFS_READ_SIZE,
+                write_size=small_files(16 * KB),
+                read_profile=BULK_STREAMING, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.02, ext_probs=DATA_EXTS,
+            ),
+            FileGroupSpec(
+                name="train_logs",
+                layer="pfs", interface=IOInterface.STDIO,
+                files_per_run=60.0,
+                opclass_probs=(0.08, 0.30, 0.62),
+                read_size=SUMMIT_STDIO_SIZE, write_size=SUMMIT_STDIO_SIZE,
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                ext_probs=STDIO_EXTS,
+            ),
+        ),
+    )
+
+
+def _summit_scnl_pipeline() -> ArchetypeSpec:
+    """The rare, huge SCNL users: high-throughput text/ML pipelines.
+
+    ~1.2% of Summit jobs (Table 5's 3.42K) spawning hundreds of app
+    instances, each touching hundreds of node-local files — this single
+    archetype family carries SCNL's 279M files and its STDIO dominance.
+    Domain mix follows Figure 7a: computer science + physics cover 60% of
+    SCNL jobs.
+    """
+    return ArchetypeSpec(
+        name="scnl_pipeline",
+        domains={
+            "computer science": 0.34, "physics": 0.26, "biology": 0.10,
+            "engineering": 0.07, "earth science": 0.06, "staff": 0.06,
+            "machine learning": 0.06, "medical science": 0.05,
+        },
+        nnodes=DiscreteLogUniform(16, 1024),
+        procs_per_node=6,
+        runtime=LogNormal(3600, 0.8, lo=600, hi=86400),
+        instances=DiscreteLogUniform(600, 2200),
+        groups=(
+            FileGroupSpec(
+                name="scnl_text",
+                layer="insystem", interface=IOInterface.STDIO,
+                files_per_run=105.0,
+                opclass_probs=(0.55, 0.12, 0.33),
+                read_size=SUMMIT_SCNL_READ_SIZE,
+                write_size=SUMMIT_SCNL_STDIO_WRITE_SIZE,
+                read_profile=SCNL_READS, write_profile=SCNL_WRITES,
+                shared_prob=0.08, ext_probs=SEQ_EXTS,
+            ),
+            FileGroupSpec(
+                name="scnl_binary",
+                layer="insystem", interface=IOInterface.POSIX,
+                files_per_run=24.0,
+                opclass_probs=(0.60, 0.10, 0.30),
+                read_size=SUMMIT_SCNL_READ_SIZE,
+                write_size=SUMMIT_SCNL_WRITE_SIZE,
+                read_profile=SCNL_READS, write_profile=SCNL_WRITES,
+                shared_prob=0.06, ext_probs=DATA_EXTS,
+            ),
+            FileGroupSpec(
+                name="pipeline_pfs_io",
+                layer="pfs", interface=IOInterface.POSIX,
+                files_per_run=11.0,
+                opclass_probs=(0.70, 0.05, 0.25),
+                read_size=SUMMIT_PFS_READ_SIZE,
+                write_size=small_files(128 * KB),
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.05, ext_probs=DATA_EXTS,
+            ),
+            FileGroupSpec(
+                name="pipeline_pfs_text",
+                layer="pfs", interface=IOInterface.STDIO,
+                files_per_run=14.0,
+                opclass_probs=(0.30, 0.15, 0.55),
+                read_size=SUMMIT_STDIO_SIZE, write_size=SUMMIT_STDIO_SIZE,
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                ext_probs=STDIO_EXTS,
+            ),
+        ),
+    )
+
+
+def _summit_scnl_domain_specialists() -> tuple[ArchetypeSpec, ...]:
+    """Small SCNL populations with the Figure 7a quirks: biology and
+    materials read-only; chemistry write-only."""
+    read_only = FileGroupSpec(
+        name="scnl_staged_inputs",
+        layer="insystem", interface=IOInterface.STDIO,
+        files_per_run=60.0,
+        opclass_probs=(1.0, 0.0, 0.0),
+        read_size=SUMMIT_SCNL_READ_SIZE, write_size=Constant(1.0),
+        read_profile=SCNL_READS, write_profile=SCNL_WRITES,
+        ext_probs=SEQ_EXTS,
+    )
+    write_only = FileGroupSpec(
+        name="scnl_scratch_out",
+        layer="insystem", interface=IOInterface.POSIX,
+        files_per_run=45.0,
+        opclass_probs=(0.0, 0.0, 1.0),
+        read_size=Constant(1.0), write_size=SUMMIT_SCNL_WRITE_SIZE,
+        read_profile=SCNL_READS, write_profile=SCNL_WRITES,
+        ext_probs=DATA_EXTS,
+    )
+    pfs_side = FileGroupSpec(
+        name="pfs_side_io",
+        layer="pfs", interface=IOInterface.POSIX,
+        files_per_run=25.0,
+        opclass_probs=(0.60, 0.10, 0.30),
+        read_size=SUMMIT_PFS_READ_SIZE, write_size=small_files(128 * KB),
+        read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+        ext_probs=DATA_EXTS,
+    )
+    bio = ArchetypeSpec(
+        name="scnl_bio_readonly",
+        domains={"biology": 0.55, "materials": 0.45},
+        nnodes=DiscreteLogUniform(4, 128),
+        procs_per_node=6,
+        runtime=LogNormal(2400, 0.8, lo=300, hi=43200),
+        instances=DiscreteLogUniform(200, 900),
+        groups=(read_only, pfs_side),
+    )
+    chem = ArchetypeSpec(
+        name="scnl_chem_writeonly",
+        domains={"chemistry": 1.0},
+        nnodes=DiscreteLogUniform(4, 128),
+        procs_per_node=6,
+        runtime=LogNormal(2400, 0.8, lo=300, hi=43200),
+        instances=DiscreteLogUniform(200, 900),
+        groups=(write_only, pfs_side),
+    )
+    return bio, chem
+
+
+def summit_mix() -> list[tuple[float, ArchetypeSpec]]:
+    """Archetype weights for Summit (fractions of the 281.6K jobs)."""
+    bio, chem = _summit_scnl_domain_specialists()
+    return [
+        (0.335, _summit_sim_checkpoint()),
+        (0.405, _summit_posix_analysis()),
+        (0.248, _summit_mltraining()),
+        # SCNL users: 3.42K of 281.6K jobs = 1.21% total (Table 5).
+        (0.0095, _summit_scnl_pipeline()),
+        (0.0015, bio),
+        (0.0010, chem),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Cori archetypes.
+# ---------------------------------------------------------------------------
+
+
+def _cori_mpiio_sim() -> ArchetypeSpec:
+    """MPI-IO simulation I/O on Lustre — Cori's strong MPI-IO share."""
+    return ArchetypeSpec(
+        name="mpiio_sim",
+        domains={
+            "physics": 0.22, "fusion": 0.14, "materials": 0.14,
+            "chemistry": 0.13, "earth science": 0.12, "energy sciences": 0.09,
+            "nuclear energy": 0.06, "engineering": 0.06, "mathematics": 0.04,
+        },
+        nnodes=DiscreteLogUniform(1, 256),
+        procs_per_node=32,
+        runtime=LogNormal(9000, 0.9, lo=120, hi=86400),
+        instances=DiscreteLogUniform(1, 20),
+        groups=(
+            FileGroupSpec(
+                name="hdf5_outputs",
+                layer="pfs", interface=IOInterface.MPIIO,
+                files_per_run=130.0,
+                opclass_probs=(0.22, 0.08, 0.70),
+                read_size=CORI_PFS_READ_SIZE, write_size=CORI_PFS_WRITE_SIZE,
+                read_profile=COLLECTIVE_IO, write_profile=COLLECTIVE_IO,
+                shared_prob=0.70, collective=True, ext_probs=CKPT_EXTS,
+            ),
+            FileGroupSpec(
+                name="posix_side",
+                layer="pfs", interface=IOInterface.POSIX,
+                files_per_run=16.0,
+                opclass_probs=(0.75, 0.08, 0.17),
+                read_size=CORI_PFS_READ_SIZE, write_size=small_files(64 * KB),
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.15, ext_probs=DATA_EXTS,
+            ),
+            FileGroupSpec(
+                name="job_logs",
+                layer="pfs", interface=IOInterface.STDIO,
+                files_per_run=9.0,
+                opclass_probs=(0.12, 0.18, 0.70),
+                read_size=CORI_STDIO_SIZE, write_size=CORI_STDIO_SIZE,
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.06, ext_probs=STDIO_EXTS,
+            ),
+        ),
+    )
+
+
+def _cori_read_analytics() -> ArchetypeSpec:
+    """Read-heavy analytics/ML over Lustre — the PFS read dominance."""
+    return ArchetypeSpec(
+        name="read_analytics",
+        domains={
+            "earth science": 0.18, "physics": 0.16, "machine learning": 0.14,
+            "biology": 0.12, "computer science": 0.12, "materials": 0.10,
+            "energy sciences": 0.08, "chemistry": 0.06, "engineering": 0.04,
+        },
+        nnodes=DiscreteLogUniform(1, 24),
+        procs_per_node=32,
+        runtime=LogNormal(1800, 1.0, lo=60, hi=43200),
+        instances=DiscreteLogUniform(1, 12),
+        groups=(
+            FileGroupSpec(
+                name="scan_inputs",
+                layer="pfs", interface=IOInterface.POSIX,
+                files_per_run=60.0,
+                opclass_probs=(0.90, 0.04, 0.06),
+                read_size=CORI_PFS_READ_SIZE, write_size=small_files(64 * KB),
+                read_profile=BULK_STREAMING, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.08, ext_probs=DATA_EXTS,
+            ),
+            FileGroupSpec(
+                name="report_text",
+                layer="pfs", interface=IOInterface.STDIO,
+                files_per_run=13.0,
+                opclass_probs=(0.25, 0.15, 0.60),
+                read_size=CORI_STDIO_SIZE, write_size=CORI_STDIO_SIZE,
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.05, ext_probs=STDIO_EXTS,
+            ),
+        ),
+    )
+
+
+def _cori_bb_exclusive() -> ArchetypeSpec:
+    """CBB-exclusive jobs (14.4% of Cori jobs, Table 5): DataWarp staging
+    moves PFS data outside the Darshan window, so the log shows only BB
+    traffic. Nearly all CBB POSIX traffic is MPI-IO underneath (Table 6).
+    """
+    return ArchetypeSpec(
+        name="bb_exclusive",
+        domains={
+            "physics": 0.45, "computer science": 0.10, "earth science": 0.09,
+            "materials": 0.08, "fusion": 0.07, "chemistry": 0.06,
+            "biology": 0.05, "machine learning": 0.04, "energy sciences": 0.03,
+            "nuclear energy": 0.01, "engineering": 0.01, "mathematics": 0.01,
+        },
+        nnodes=DiscreteLogUniform(1, 96),
+        procs_per_node=32,
+        runtime=LogNormal(2400, 0.9, lo=120, hi=86400),
+        instances=DiscreteLogUniform(1, 8),
+        bb_capacity=LogNormal(400 * GB, 1.0, lo=20 * GB, hi=50 * TB),
+        groups=(
+            FileGroupSpec(
+                name="bb_mpiio",
+                layer="insystem", interface=IOInterface.MPIIO,
+                files_per_run=30.0,
+                opclass_probs=(0.58, 0.20, 0.22),
+                read_size=CORI_CBB_READ_SIZE, write_size=CORI_CBB_WRITE_SIZE,
+                read_profile=BB_LARGE_REQS, write_profile=BB_LARGE_REQS,
+                shared_prob=0.55, collective=True, ext_probs=CKPT_EXTS,
+            ),
+            FileGroupSpec(
+                name="bb_stdio",
+                layer="insystem", interface=IOInterface.STDIO,
+                files_per_run=1.5,
+                opclass_probs=(0.30, 0.40, 0.30),
+                read_size=CORI_STDIO_SIZE, write_size=CORI_STDIO_SIZE,
+                read_profile=BB_LARGE_REQS, write_profile=BB_LARGE_REQS,
+                ext_probs=STDIO_EXTS,
+            ),
+        ),
+    )
+
+
+def _cori_bb_hybrid() -> ArchetypeSpec:
+    """Jobs using both layers (35.9K, Table 5): checkpoint to CBB with
+    explicit PFS interaction inside the window."""
+    return ArchetypeSpec(
+        name="bb_hybrid",
+        domains={
+            "physics": 0.35, "earth science": 0.15, "materials": 0.12,
+            "fusion": 0.10, "chemistry": 0.08, "computer science": 0.08,
+            "machine learning": 0.06, "energy sciences": 0.06,
+        },
+        nnodes=DiscreteLogUniform(2, 192),
+        procs_per_node=32,
+        runtime=LogNormal(3600, 0.8, lo=300, hi=86400),
+        instances=DiscreteLogUniform(1, 10),
+        bb_capacity=LogNormal(1 * TB, 1.0, lo=20 * GB, hi=100 * TB),
+        groups=(
+            FileGroupSpec(
+                name="bb_ckpt",
+                layer="insystem", interface=IOInterface.MPIIO,
+                files_per_run=14.0,
+                opclass_probs=(0.50, 0.22, 0.28),
+                read_size=CORI_CBB_READ_SIZE, write_size=CORI_CBB_WRITE_SIZE,
+                read_profile=BB_LARGE_REQS, write_profile=BB_LARGE_REQS,
+                shared_prob=0.60, collective=True, ext_probs=CKPT_EXTS,
+            ),
+            FileGroupSpec(
+                name="pfs_inputs",
+                layer="pfs", interface=IOInterface.POSIX,
+                files_per_run=30.0,
+                opclass_probs=(0.80, 0.06, 0.14),
+                read_size=CORI_PFS_READ_SIZE, write_size=small_files(128 * KB),
+                read_profile=BULK_STREAMING, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.12, ext_probs=DATA_EXTS,
+            ),
+        ),
+    )
+
+
+def _cori_genomics_text() -> ArchetypeSpec:
+    """Text-based pipelines: Cori's 14% STDIO share."""
+    return ArchetypeSpec(
+        name="genomics_text",
+        domains={
+            "biology": 0.45, "energy sciences": 0.15, "computer science": 0.12,
+            "earth science": 0.10, "machine learning": 0.10, "chemistry": 0.08,
+        },
+        nnodes=DiscreteLogUniform(1, 8),
+        procs_per_node=32,
+        runtime=LogNormal(1200, 1.0, lo=60, hi=43200),
+        instances=DiscreteLogUniform(1, 15),
+        groups=(
+            FileGroupSpec(
+                name="text_corpus",
+                layer="pfs", interface=IOInterface.STDIO,
+                files_per_run=100.0,
+                opclass_probs=(0.50, 0.12, 0.38),
+                read_size=CORI_STDIO_SIZE, write_size=CORI_STDIO_SIZE,
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                shared_prob=0.08, ext_probs=SEQ_EXTS,
+            ),
+            FileGroupSpec(
+                name="index_files",
+                layer="pfs", interface=IOInterface.POSIX,
+                files_per_run=28.0,
+                opclass_probs=(0.80, 0.08, 0.12),
+                read_size=CORI_PFS_READ_SIZE, write_size=small_files(64 * KB),
+                read_profile=PFS_TINY_READS, write_profile=PFS_SMALL_WRITES,
+                ext_probs=DATA_EXTS,
+            ),
+        ),
+    )
+
+
+def cori_mix() -> list[tuple[float, ArchetypeSpec]]:
+    """Archetype weights for Cori (fractions of the 749.5K jobs).
+
+    Weights pin Table 5's exclusivity split: bb_exclusive 14.4%,
+    bb_hybrid ~5%, everything else PFS-only.
+    """
+    return [
+        (0.315, _cori_mpiio_sim()),
+        (0.345, _cori_read_analytics()),
+        (0.144, _cori_bb_exclusive()),
+        (0.050, _cori_bb_hybrid()),
+        (0.146, _cori_genomics_text()),
+    ]

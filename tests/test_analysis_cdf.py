@@ -1,0 +1,69 @@
+"""Tests for the CDF/boxplot helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import BoxStats, boxplot_stats, cdf_at, weighted_cdf
+from repro.errors import AnalysisError
+
+
+class TestCdfAt:
+    def test_basic(self):
+        values = np.array([1, 2, 3, 4])
+        np.testing.assert_allclose(
+            cdf_at(values, np.array([0, 2, 10])), [0.0, 50.0, 100.0]
+        )
+
+    def test_threshold_inclusive(self):
+        assert cdf_at(np.array([5]), np.array([5]))[0] == 100.0
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            cdf_at(np.array([]), np.array([1]))
+
+    def test_unsorted_input_ok(self):
+        values = np.array([4, 1, 3, 2])
+        assert cdf_at(values, np.array([2]))[0] == 50.0
+
+
+class TestWeightedCdf:
+    def test_cumulative(self):
+        np.testing.assert_allclose(
+            weighted_cdf(np.array([1, 1, 2])), [25.0, 50.0, 100.0]
+        )
+
+    def test_zero_total_raises(self):
+        with pytest.raises(AnalysisError):
+            weighted_cdf(np.zeros(3))
+
+
+class TestBoxplotStats:
+    def test_five_numbers(self):
+        stats = boxplot_stats(np.arange(1, 101, dtype=float))
+        assert stats.n == 100
+        assert stats.median == pytest.approx(50.5)
+        assert stats.q1 == pytest.approx(25.75)
+        assert stats.q3 == pytest.approx(75.25)
+        assert stats.whisker_lo == 1.0
+        assert stats.whisker_hi == 100.0
+
+    def test_outliers_excluded_from_whiskers(self):
+        values = np.concatenate([np.ones(50), 2 * np.ones(50), [1000.0]])
+        stats = boxplot_stats(values)
+        assert stats.whisker_hi < 1000.0
+
+    def test_empty(self):
+        stats = boxplot_stats(np.array([]))
+        assert stats.n == 0
+        assert np.isnan(stats.median)
+        empty = BoxStats.empty()
+        assert empty.n == 0 and np.isnan(empty.median)
+
+    def test_nan_filtered(self):
+        stats = boxplot_stats(np.array([1.0, np.nan, 3.0]))
+        assert stats.n == 2
+        assert stats.median == 2.0
+
+    def test_single_value(self):
+        stats = boxplot_stats(np.array([7.0]))
+        assert stats.median == stats.whisker_lo == stats.whisker_hi == 7.0

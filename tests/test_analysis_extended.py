@@ -1,0 +1,106 @@
+"""Tests for the extended analyses (users, temporal, variability)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bandwidth_variability,
+    median_iqr_ratio,
+    temporal_profile,
+    user_activity,
+)
+from repro.errors import AnalysisError
+from repro.store.recordstore import RecordStore
+from repro.store.schema import empty_files, empty_jobs
+
+
+class TestUserActivity:
+    def test_shares_and_gini(self, cori_store_small):
+        ua = user_activity(cori_store_small)
+        assert ua.nusers > 1
+        # Zipfian user model: activity is concentrated.
+        top = ua.top_share(max(1, ua.nusers // 10), "jobs")
+        assert top > 1.0 / ua.nusers  # better than uniform
+        assert 0.0 <= ua.gini("jobs") <= 1.0
+        assert 0.0 <= ua.gini("bytes") <= 1.0
+
+    def test_sorted_descending(self, cori_store_small):
+        ua = user_activity(cori_store_small)
+        for arr in (ua.jobs_per_user, ua.files_per_user, ua.bytes_per_user):
+            assert (np.diff(arr) <= 0).all()
+
+    def test_totals_conserved(self, cori_store_small):
+        ua = user_activity(cori_store_small)
+        assert ua.jobs_per_user.sum() == cori_store_small.njobs
+        assert ua.files_per_user.sum() == len(cori_store_small.files)
+        total = (
+            cori_store_small.files["bytes_read"].sum()
+            + cori_store_small.files["bytes_written"].sum()
+        )
+        assert ua.bytes_per_user.sum() == total
+
+    def test_unknown_axis(self, cori_store_small):
+        with pytest.raises(AnalysisError):
+            user_activity(cori_store_small).top_share(1, "karma")
+
+    def test_empty_store(self):
+        st = RecordStore("summit", empty_files(0), empty_jobs(0))
+        with pytest.raises(AnalysisError):
+            user_activity(st)
+
+    def test_rows_render(self, cori_store_small):
+        rows = user_activity(cori_store_small).to_rows()
+        assert rows[0][0] == "cori"
+
+
+class TestTemporalProfile:
+    def test_volume_conserved(self, cori_store_small):
+        tp = temporal_profile(cori_store_small)
+        from repro.platforms.interfaces import IOInterface
+
+        f = cori_store_small.files
+        unique = f[f["interface"] != int(IOInterface.MPIIO)]
+        assert tp.read_series.sum() == pytest.approx(
+            float(unique["bytes_read"].sum())
+        )
+        assert tp.write_series.sum() == pytest.approx(
+            float(unique["bytes_written"].sum())
+        )
+
+    def test_burstiness_positive(self, cori_store_small):
+        tp = temporal_profile(cori_store_small)
+        assert tp.peak_to_mean("read") >= 1.0
+        assert tp.peak_to_mean("write") >= 1.0
+
+    def test_busiest_hour_range(self, cori_store_small):
+        tp = temporal_profile(cori_store_small)
+        assert 0 <= tp.busiest_hour("read") < 24
+
+    def test_bad_direction(self, cori_store_small):
+        with pytest.raises(AnalysisError):
+            temporal_profile(cori_store_small).peak_to_mean("sideways")
+
+    def test_bad_bin(self, cori_store_small):
+        with pytest.raises(AnalysisError):
+            temporal_profile(cori_store_small, bin_seconds=0)
+
+
+class TestVariability:
+    def test_cells_have_spread(self, summit_store_small):
+        cells = bandwidth_variability(summit_store_small)
+        assert cells, "shared-file populations must exist"
+        for c in cells:
+            assert c.n >= 30
+            assert c.iqr_ratio >= 1.0
+            assert c.p90_over_p10 >= c.iqr_ratio * 0.5
+
+    def test_production_load_signature(self, summit_store_small):
+        """The contention+noise model must produce real dispersion —
+        the paper's box plots span multiples, not percents."""
+        cells = bandwidth_variability(summit_store_small)
+        assert median_iqr_ratio(cells) > 1.5
+
+    def test_min_samples_respected(self, summit_store_small):
+        cells = bandwidth_variability(summit_store_small, min_samples=10**9)
+        assert cells == []
+        assert np.isnan(median_iqr_ratio(cells))

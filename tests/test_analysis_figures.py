@@ -1,0 +1,200 @@
+"""Tests for the figure analyses (Figures 3-12) on generated stores."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    file_classification,
+    insystem_domain_usage,
+    interface_transfer_cdfs,
+    performance_by_bin,
+    request_cdfs,
+    stdio_domain_usage,
+    transfer_cdfs,
+)
+from repro.analysis.performance import panel
+from repro.analysis.report import HEADERS, render_results, render_table
+from repro.errors import AnalysisError
+from repro.platforms.interfaces import IOInterface
+from repro.store.schema import LAYER_PFS
+
+
+class TestFig3:
+    def test_curves_cover_layers_and_directions(self, summit_store_small):
+        curves = transfer_cdfs(summit_store_small)
+        keys = {(c.layer, c.direction) for c in curves}
+        assert keys == {
+            ("pfs", "read"), ("pfs", "write"),
+            ("insystem", "read"), ("insystem", "write"),
+        }
+
+    def test_monotone_percentages(self, summit_store_small):
+        for c in transfer_cdfs(summit_store_small):
+            assert list(c.percent_at) == sorted(c.percent_at)
+            assert all(0 <= p <= 100 for p in c.percent_at)
+
+    def test_percent_below(self, summit_store_small):
+        c = transfer_cdfs(summit_store_small)[0]
+        assert c.percent_below(1e9) == c.percent_at[0]
+        with pytest.raises(AnalysisError):
+            c.percent_below(12345.0)
+
+    def test_zero_byte_files_excluded(self, summit_store_small):
+        curves = transfer_cdfs(summit_store_small)
+        f = summit_store_small.files
+        keep = f[f["interface"] != int(IOInterface.MPIIO)]
+        pfs_readers = ((keep["layer"] == LAYER_PFS) & (keep["bytes_read"] > 0)).sum()
+        pfs_read = [c for c in curves if c.layer == "pfs" and c.direction == "read"][0]
+        assert pfs_read.nfiles == pfs_readers
+
+
+class TestFig9:
+    def test_interface_split(self, summit_store_small):
+        curves = interface_transfer_cdfs(summit_store_small)
+        ifaces = {c.interface for c in curves}
+        assert ifaces == {"POSIX", "MPI-IO", "STDIO"}
+
+    def test_stdio_smaller_than_posix(self, summit_store_small):
+        """Figure 9: STDIO-managed transfers skew smaller."""
+        curves = interface_transfer_cdfs(summit_store_small)
+        by = {(c.interface, c.layer, c.direction): c for c in curves}
+        posix = by[("POSIX", "pfs", "read")]
+        stdio = by[("STDIO", "pfs", "read")]
+        assert stdio.percent_below(1e9) >= posix.percent_below(1e9) - 5
+
+
+class TestFig4And5:
+    def test_cumulative_over_bins(self, summit_store_small):
+        for curve in request_cdfs(summit_store_small):
+            assert curve.cumulative_percent[-1] == pytest.approx(100.0)
+            assert list(curve.cumulative_percent) == sorted(curve.cumulative_percent)
+
+    def test_percent_in_bin(self, summit_store_small):
+        curve = request_cdfs(summit_store_small)[0]
+        total = sum(curve.percent_in_bin(label) for label in curve.bin_labels)
+        assert total == pytest.approx(100.0)
+
+    def test_large_jobs_subset(self, summit_store_small):
+        all_jobs = request_cdfs(summit_store_small)
+        large = request_cdfs(summit_store_small, large_jobs_only=True)
+        assert large  # Summit always has >1024-proc jobs
+        total_all = sum(c.total_calls for c in all_jobs)
+        total_large = sum(c.total_calls for c in large)
+        assert 0 < total_large < total_all
+
+    def test_only_posix_rows_counted(self, summit_store_small):
+        f = summit_store_small.files
+        posix = f[f["interface"] == int(IOInterface.POSIX)]
+        expected = posix["read_hist"].sum() + posix["write_hist"].sum()
+        measured = sum(c.total_calls for c in request_cdfs(summit_store_small))
+        assert measured == expected
+
+
+class TestFig6And8:
+    def test_counts_partition_files(self, summit_store_small):
+        fc = file_classification(summit_store_small)
+        f = summit_store_small.files
+        keep = (f["interface"] != int(IOInterface.MPIIO))
+        total = sum(sum(per.values()) for per in fc.counts.values())
+        in_layers = keep & np.isin(f["layer"], [0, 1])
+        assert total == in_layers.sum()
+
+    def test_stdio_only_subset(self, summit_store_small):
+        all_fc = file_classification(summit_store_small)
+        stdio_fc = file_classification(summit_store_small, stdio_only=True)
+        for layer in ("pfs", "insystem"):
+            for cls in ("read-only", "read-write", "write-only"):
+                assert stdio_fc.counts[layer][cls] <= all_fc.counts[layer][cls]
+
+    def test_stageable_fraction(self, summit_store_small):
+        fc = file_classification(summit_store_small)
+        assert 0.5 < fc.stageable_pfs_fraction() <= 1.0
+
+    def test_stdio_insystem_share_higher(self, summit_store_small):
+        """Figure 8's finding: STDIO files use the in-system layer
+        relatively more than the general population."""
+        all_fc = file_classification(summit_store_small)
+        stdio_fc = file_classification(summit_store_small, stdio_only=True)
+        assert (
+            stdio_fc.insystem_share("read-only")
+            > all_fc.insystem_share("read-only")
+        )
+
+
+class TestFig7And10:
+    def test_insystem_volumes_positive(self, summit_store_small):
+        du = insystem_domain_usage(summit_store_small)
+        assert sum(r + w for r, w in du.volumes.values()) > 0
+
+    def test_stdio_domains_widespread(self, summit_store_small):
+        """Figure 10: STDIO spans many science domains."""
+        du = stdio_domain_usage(summit_store_small)
+        named = [d for d in du.volumes if d]
+        assert len(named) >= 6
+
+    def test_cori_domain_coverage(self, cori_store_small):
+        du = stdio_domain_usage(cori_store_small)
+        assert 0.8 < du.domain_coverage() < 1.0
+
+    def test_job_share(self, summit_store_small):
+        du = insystem_domain_usage(summit_store_small)
+        assert 0 <= du.job_share("computer science", "physics") <= 1
+
+    def test_top_domain(self, cori_store_small):
+        du = insystem_domain_usage(cori_store_small)
+        top = du.top_domain("read")
+        assert top in cori_store_small.domains
+
+
+class TestFig11And12:
+    def test_panels_exist(self, summit_store_small):
+        panels = performance_by_bin(summit_store_small)
+        keys = {(p.layer, p.direction) for p in panels}
+        assert ("pfs", "read") in keys and ("pfs", "write") in keys
+
+    def test_only_shared_files(self, summit_store_small):
+        """§3.4: performance uses rank -1 records only."""
+        f = summit_store_small.files
+        shared_posix = f[(f["rank"] == -1) & (f["interface"] == 1)]
+        pfs = shared_posix[
+            (shared_posix["layer"] == LAYER_PFS) & (shared_posix["bytes_read"] > 0)
+            & (shared_posix["read_time"] > 0)
+        ]
+        p = panel(performance_by_bin(summit_store_small), "pfs", "read")
+        assert sum(b.n for b in p.boxes["POSIX"]) == len(pfs)
+
+    def test_box_invariants(self, summit_store_small):
+        for p in performance_by_bin(summit_store_small):
+            for boxes in p.boxes.values():
+                for b in boxes:
+                    if b.n:
+                        assert b.whisker_lo <= b.q1 <= b.median <= b.q3 <= b.whisker_hi
+
+    def test_median_speedup_nan_for_empty(self, summit_store_small):
+        p = panel(performance_by_bin(summit_store_small), "insystem", "read")
+        # 1T_PLUS should be empty on SCNL (no >1TB files, Table 4).
+        assert np.isnan(p.median_speedup("1T_PLUS"))
+
+    def test_panel_lookup_error(self, summit_store_small):
+        with pytest.raises(KeyError):
+            panel(performance_by_bin(summit_store_small), "pfs", "sideways")
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert all(len(l) == len(lines[1]) for l in lines[1:])
+
+    def test_render_mismatched_row(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [["1", "2"]])
+
+    def test_render_results_for_every_analysis(self, summit_store_small):
+        from repro.analysis import dataset_summary
+
+        text = render_results(
+            "Table 2", HEADERS["table2"], dataset_summary(summit_store_small)
+        )
+        assert "Table 2" in text and "summit" in text

@@ -1,0 +1,116 @@
+"""Tests for the table analyses (Tables 2-6) on generated stores."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    dataset_summary,
+    interface_usage,
+    large_files,
+    layer_exclusivity,
+    layer_volumes,
+)
+from repro.platforms.interfaces import IOInterface
+from repro.store.schema import LAYER_INSYSTEM, LAYER_PFS
+from repro.units import TB
+
+
+class TestTable2:
+    def test_counts_match_store(self, summit_store_small):
+        s = dataset_summary(summit_store_small)
+        f = summit_store_small.files
+        assert s.files == (f["interface"] != int(IOInterface.MPIIO)).sum()
+        assert s.jobs == summit_store_small.njobs
+        # Log counting comes from the job table: no-I/O jobs still ran
+        # Darshan, so the total exceeds the logs visible in file rows.
+        assert s.logs == int(summit_store_small.jobs["nlogs"].sum())
+        assert s.logs >= summit_store_small.nlogs
+        assert s.node_hours > 0
+
+    def test_scaling(self, summit_store_small):
+        s = dataset_summary(summit_store_small)
+        assert s.jobs_scaled == pytest.approx(s.jobs / summit_store_small.scale)
+
+    def test_rows_render(self, summit_store_small):
+        rows = dataset_summary(summit_store_small).to_rows()
+        assert len(rows) == 1 and rows[0][0] == "summit"
+
+
+class TestTable3:
+    def test_accounting_excludes_mpiio_rows(self, cori_store_small):
+        t3 = layer_volumes(cori_store_small)
+        f = cori_store_small.files
+        keep = f[f["interface"] != int(IOInterface.MPIIO)]
+        pfs = keep[keep["layer"] == LAYER_PFS]
+        assert t3.pfs.bytes_read == pfs["bytes_read"].sum()
+        assert t3.pfs.files == len(pfs)
+
+    def test_ratio_helpers(self, cori_store_small):
+        t3 = layer_volumes(cori_store_small)
+        assert t3.pfs_over_insystem_files() > 1
+        assert t3.pfs.read_write_ratio() > 0
+
+    def test_rows(self, cori_store_small):
+        rows = layer_volumes(cori_store_small).to_rows()
+        assert len(rows) == 2
+        assert rows[0][1] == "insystem" and rows[1][1] == "pfs"
+
+
+class TestTable4:
+    def test_counts(self, cori_store_small):
+        t4 = large_files(cori_store_small)
+        f = cori_store_small.files
+        keep = f[f["interface"] != int(IOInterface.MPIIO)]
+        pfs = keep[keep["layer"] == LAYER_PFS]
+        assert t4.counts["pfs"] == (
+            (pfs["bytes_read"] > 1 * TB).sum(),
+            (pfs["bytes_written"] > 1 * TB).sum(),
+        )
+
+    def test_custom_threshold(self, cori_store_small):
+        strict = large_files(cori_store_small, threshold=1)
+        assert strict.counts["pfs"][0] > large_files(cori_store_small).counts["pfs"][0]
+
+    def test_shares(self, cori_store_small):
+        t4 = large_files(cori_store_small, threshold=10**9)
+        assert 0 <= t4.pfs_write_share() <= 1
+
+
+class TestTable5:
+    def test_partition_is_exhaustive(self, cori_store_small):
+        t5 = layer_exclusivity(cori_store_small)
+        f = cori_store_small.files
+        jobs_with_files = len(np.unique(f["job_id"]))
+        assert t5.total == jobs_with_files
+
+    def test_cori_has_bb_exclusive_jobs(self, cori_store_small):
+        t5 = layer_exclusivity(cori_store_small)
+        assert t5.insystem_only > 0
+
+    def test_summit_has_none(self, summit_store_small):
+        t5 = layer_exclusivity(summit_store_small)
+        assert t5.insystem_only == 0
+        assert t5.pfs_only > 0
+
+
+class TestTable6:
+    def test_counts_by_layer(self, cori_store_small):
+        t6 = interface_usage(cori_store_small)
+        f = cori_store_small.files
+        pfs = f[f["layer"] == LAYER_PFS]
+        assert t6.counts["pfs"]["POSIX"] == (
+            pfs["interface"] == int(IOInterface.POSIX)
+        ).sum()
+
+    def test_posix_includes_mpiio_shadows(self, cori_store_small):
+        """Table 6 semantics: MPI-IO files also count as POSIX users."""
+        t6 = interface_usage(cori_store_small)
+        assert t6.counts["pfs"]["POSIX"] >= t6.counts["pfs"]["MPI-IO"]
+
+    def test_stdio_share(self, summit_store_small):
+        share = interface_usage(summit_store_small).stdio_share()
+        assert 0 < share < 1
+
+    def test_stdio_over_posix(self, summit_store_small):
+        t6 = interface_usage(summit_store_small)
+        assert t6.stdio_over_posix("insystem") > 1  # SCNL is STDIO-dominated

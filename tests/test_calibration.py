@@ -1,0 +1,59 @@
+"""Tests for the calibration-report regression net."""
+
+import pytest
+
+from repro.core.calibration import (
+    CalibrationRow,
+    calibration_report,
+    miscalibrated,
+)
+
+
+class TestCalibrationRow:
+    def test_ratio_and_within(self):
+        row = CalibrationRow("x", 100.0, 150.0)
+        assert row.ratio == 1.5
+        assert row.within(2.0)
+        assert not row.within(1.2)
+
+    def test_zero_target(self):
+        row = CalibrationRow("x", 0.0, 5.0)
+        assert not row.within(10.0)
+
+
+class TestCalibrationReport:
+    @pytest.mark.parametrize("fixture", ["summit_store_small", "cori_store_small"])
+    def test_generator_stays_calibrated(self, fixture, request):
+        """The regression net: every calibrated marginal within 3x of the
+        paper (most are far closer — see EXPERIMENTS.md)."""
+        store = request.getfixturevalue(fixture)
+        rows = calibration_report(store)
+        assert len(rows) >= 15
+        bad = miscalibrated(rows, factor=3.0)
+        assert not bad, "; ".join(
+            f"{r.quantity}: target {r.target:.3g} measured {r.measured:.3g}"
+            for r in bad
+        )
+
+    def test_tight_marginals(self, cori_store_small):
+        """The directly-pinned marginals (jobs, layer file counts) sit
+        within ~40% of the paper, not just within 3x."""
+        rows = {r.quantity: r for r in calibration_report(cori_store_small)}
+        for q in ("jobs", "insystem files", "pfs files"):
+            assert rows[q].within(1.6), (q, rows[q].ratio)
+
+    def test_detects_decalibration(self, cori_store_small):
+        """Halving the scale metadata doubles every extrapolation — the
+        net must catch a synthetic 8x distortion."""
+        from repro.store.recordstore import RecordStore
+
+        distorted = RecordStore(
+            cori_store_small.platform,
+            cori_store_small.files,
+            cori_store_small.jobs,
+            domains=cori_store_small.domains,
+            extensions=cori_store_small.extensions,
+            scale=cori_store_small.scale * 8,
+        )
+        bad = miscalibrated(calibration_report(distorted), factor=3.0)
+        assert bad

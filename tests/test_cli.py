@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestShapes:
+    def test_shapes_exit_zero_on_pass(self, capsys):
+        rc = main(
+            ["shapes", "--platform", "cori", "--scale", "2e-4", "--seed", "7"]
+        )
+        out = capsys.readouterr().out
+        assert "shapes reproduced" in out
+        # Small scales may flake a check; the exit code must reflect it.
+        assert rc in (0, 1)
+        if rc == 0:
+            assert "[FAIL]" not in out
+
+
+class TestStudy:
+    def test_study_renders_tables(self, capsys):
+        rc = main(
+            ["study", "--platform", "summit", "--scale", "1e-4", "--seed", "7"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        for token in ("Table 2", "Table 6", "Figure 11"):
+            assert token in out
+
+
+class TestGenerateAnalyze:
+    def test_round_trip(self, tmp_path, capsys):
+        store_path = str(tmp_path / "year.npz")
+        rc = main(
+            ["generate", "--platform", "cori", "--scale", "5e-5",
+             "--seed", "3", "--out", store_path]
+        )
+        assert rc == 0
+        for exhibit in ("table2", "table3", "table6", "fig3", "fig11"):
+            rc = main(["analyze", store_path, "--exhibit", exhibit])
+            assert rc == 0
+        out = capsys.readouterr().out
+        assert "cori" in out
+
+    def test_analyze_missing_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["analyze", str(tmp_path / "nope.npz")])
+
+
+class TestAdviseReplay:
+    @pytest.fixture(scope="class")
+    def store_path(self, tmp_path_factory):
+        path = str(tmp_path_factory.mktemp("cli") / "year.npz")
+        assert main(
+            ["generate", "--platform", "summit", "--scale", "2e-4",
+             "--seed", "9", "--out", path]
+        ) == 0
+        return path
+
+    def test_advise_staging(self, store_path, capsys):
+        assert main(["advise", store_path, "--advisor", "staging"]) == 0
+        out = capsys.readouterr().out
+        assert "stageable PFS files" in out
+
+    def test_advise_aggregation(self, store_path, capsys):
+        assert main(["advise", store_path, "--advisor", "aggregation"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+
+    def test_replay(self, store_path, capsys):
+        assert main(["replay", store_path, "--bin-hours", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Facility replay" in out and "pfs" in out
+
+
+class TestIor:
+    def test_ior_output(self, capsys):
+        rc = main(
+            ["ior", "--platform", "summit", "--layer", "insystem",
+             "--api", "posix", "--tasks", "32", "--direction", "read"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "SCNL" in out and "/s" in out
+
+    def test_ior_collective(self, capsys):
+        rc = main(
+            ["ior", "--api", "mpiio", "--collective", "--tasks", "128",
+             "--transfer-size", "4MiB", "--direction", "write"]
+        )
+        assert rc == 0
+        assert "MPIIO" in capsys.readouterr().out
+
+    def test_bad_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,156 @@
+"""Tests for repro.darshan.accumulate."""
+
+import numpy as np
+import pytest
+
+from repro.darshan.accumulate import (
+    OP_CLOSE,
+    OP_FLUSH,
+    OP_OPEN,
+    OP_READ,
+    OP_SEEK,
+    OP_WRITE,
+    accumulate,
+    make_ops,
+    merge_shared,
+)
+from repro.darshan.constants import ModuleId
+
+
+def _simple_ops():
+    # open, 2 consecutive reads, 1 backward read, write, close
+    return make_ops(
+        kinds=[OP_OPEN, OP_READ, OP_READ, OP_READ, OP_WRITE, OP_CLOSE],
+        offsets=[0, 0, 4096, 0, 0, 0],
+        sizes=[0, 4096, 4096, 100, 999, 0],
+        starts=[0.0, 1.0, 2.0, 3.0, 4.0, 5.0],
+        durations=[0.01, 0.5, 0.5, 0.1, 0.2, 0.01],
+    )
+
+
+class TestPosixAccumulation:
+    def test_counts_and_bytes(self):
+        rec = accumulate(ModuleId.POSIX, 1, 0, _simple_ops())
+        assert rec["OPENS"] == 1
+        assert rec["READS"] == 3
+        assert rec["WRITES"] == 1
+        assert rec.bytes_read == 4096 * 2 + 100
+        assert rec.bytes_written == 999
+
+    def test_sequentiality(self):
+        rec = accumulate(ModuleId.POSIX, 1, 0, _simple_ops())
+        # read2 follows read1 exactly (consecutive+sequential);
+        # read3 jumps back (neither).
+        assert rec["CONSEC_READS"] == 1
+        assert rec["SEQ_READS"] == 1
+
+    def test_rw_switches(self):
+        ops = make_ops(
+            [OP_READ, OP_WRITE, OP_READ], [0, 0, 0], [10, 10, 10],
+            [0.0, 1.0, 2.0], [0.1, 0.1, 0.1],
+        )
+        rec = accumulate(ModuleId.POSIX, 1, 0, ops)
+        assert rec["RW_SWITCHES"] == 2
+
+    def test_histogram_matches_counts(self):
+        rec = accumulate(ModuleId.POSIX, 1, 0, _simple_ops())
+        assert rec["SIZE_READ_1K_10K"] == 2
+        assert rec["SIZE_READ_100_1K"] == 1
+        assert rec["SIZE_WRITE_100_1K"] == 1
+
+    def test_max_byte(self):
+        rec = accumulate(ModuleId.POSIX, 1, 0, _simple_ops())
+        assert rec["MAX_BYTE_READ"] == 8191
+        assert rec["MAX_BYTE_WRITTEN"] == 998
+
+    def test_timers(self):
+        rec = accumulate(ModuleId.POSIX, 1, 0, _simple_ops())
+        assert rec.read_time == pytest.approx(1.1)
+        assert rec.write_time == pytest.approx(0.2)
+        assert rec["F_META_TIME"] == pytest.approx(0.02)
+
+    def test_timestamps(self):
+        rec = accumulate(ModuleId.POSIX, 1, 0, _simple_ops())
+        assert rec["F_OPEN_START_TIMESTAMP"] == 0.0
+        assert rec["F_READ_START_TIMESTAMP"] == 1.0
+        assert rec["F_WRITE_START_TIMESTAMP"] == 4.0
+        assert rec["F_CLOSE_END_TIMESTAMP"] == pytest.approx(5.01)
+
+
+class TestStdioAccumulation:
+    def test_flushes_and_no_histogram(self):
+        ops = make_ops(
+            [OP_OPEN, OP_WRITE, OP_FLUSH, OP_CLOSE],
+            [0, 0, 0, 0], [0, 100, 0, 0],
+            [0.0, 1.0, 2.0, 3.0], [0.0, 0.1, 0.05, 0.0],
+        )
+        rec = accumulate(ModuleId.STDIO, 7, 2, ops)
+        assert rec["FLUSHES"] == 1
+        assert rec.bytes_written == 100
+        with pytest.raises(KeyError):
+            rec.get("SIZE_WRITE_100_1K")
+
+
+class TestMpiioAccumulation:
+    def test_collective_vs_independent(self):
+        ops = make_ops(
+            [OP_OPEN, OP_READ, OP_WRITE],
+            [0, 0, 0], [0, 1024, 1024],
+            [0.0, 1.0, 2.0], [0.0, 0.1, 0.1],
+        )
+        coll = accumulate(ModuleId.MPIIO, 1, -1, ops, collective=True)
+        ind = accumulate(ModuleId.MPIIO, 1, -1, ops, collective=False)
+        assert coll["COLL_READS"] == 1 and coll["INDEP_READS"] == 0
+        assert ind["INDEP_READS"] == 1 and ind["COLL_READS"] == 0
+
+
+class TestValidationOfInputs:
+    def test_unsorted_batch_rejected(self):
+        ops = make_ops([OP_READ, OP_READ], [0, 0], [1, 1], [2.0, 1.0], [0.1, 0.1])
+        with pytest.raises(ValueError, match="sorted"):
+            accumulate(ModuleId.POSIX, 1, 0, ops)
+
+    def test_lustre_rejected(self):
+        with pytest.raises(ValueError):
+            accumulate(ModuleId.LUSTRE, 1, 0, _simple_ops())
+
+    def test_negative_sizes_rejected_at_make(self):
+        with pytest.raises(ValueError):
+            make_ops([OP_READ], [0], [-5], [0.0], [0.1])
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            accumulate(ModuleId.POSIX, 1, 0, np.zeros(3))
+
+
+class TestMergeShared:
+    def _rank_record(self, rank, nbytes, t):
+        ops = make_ops(
+            [OP_OPEN, OP_READ, OP_CLOSE], [0, 0, 0], [0, nbytes, 0],
+            [t, t + 1, t + 2], [0.01, 0.5, 0.01],
+        )
+        return accumulate(ModuleId.POSIX, 99, rank, ops)
+
+    def test_sums_and_extrema(self):
+        # Timestamps start at 0.5: 0.0 is Darshan's "unset" sentinel and
+        # merge_shared deliberately skips it when taking extrema.
+        records = [
+            self._rank_record(r, 1000 * (r + 1), r + 0.5) for r in range(4)
+        ]
+        merged = merge_shared(records)
+        assert merged.rank == -1
+        assert merged.bytes_read == 1000 + 2000 + 3000 + 4000
+        assert merged.read_time == pytest.approx(0.5 * 4)
+        # first open across ranks / last close across ranks
+        assert merged["F_OPEN_START_TIMESTAMP"] == 0.5
+        assert merged["F_CLOSE_END_TIMESTAMP"] == pytest.approx(3.5 + 2 + 0.01)
+
+    def test_rejects_mixed_files(self):
+        a = self._rank_record(0, 10, 0.0)
+        b = accumulate(ModuleId.POSIX, 100, 1, _simple_ops())
+        with pytest.raises(ValueError):
+            merge_shared([a, b])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_shared([])

@@ -1,0 +1,99 @@
+"""Tests for repro.darshan.bins."""
+
+import numpy as np
+import pytest
+
+from repro.darshan.bins import ACCESS_SIZE_BINS, TRANSFER_SIZE_BINS, SizeBins
+from repro.units import GB, KB, MB, TB
+
+
+class TestAccessBins:
+    def test_ten_bins_matching_darshan(self):
+        assert ACCESS_SIZE_BINS.nbins == 10
+        assert ACCESS_SIZE_BINS.labels == (
+            "0_100", "100_1K", "1K_10K", "10K_100K", "100K_1M",
+            "1M_4M", "4M_10M", "10M_100M", "100M_1G", "1G_PLUS",
+        )
+
+    def test_edges_decimal(self):
+        assert ACCESS_SIZE_BINS.edges[1] == 100
+        assert ACCESS_SIZE_BINS.edges[2] == 1 * KB
+        assert ACCESS_SIZE_BINS.edges[5] == 1 * MB
+        assert ACCESS_SIZE_BINS.edges[6] == 4 * MB
+
+    def test_index_of_boundaries(self):
+        # Darshan convention: a size equal to an edge opens the next bin.
+        assert ACCESS_SIZE_BINS.index_of(0) == 0
+        assert ACCESS_SIZE_BINS.index_of(99) == 0
+        assert ACCESS_SIZE_BINS.index_of(100) == 1
+        assert ACCESS_SIZE_BINS.index_of(1 * KB) == 2
+        assert ACCESS_SIZE_BINS.index_of(1 * GB) == 9
+        assert ACCESS_SIZE_BINS.index_of(50 * GB) == 9
+
+    def test_label_of(self):
+        assert ACCESS_SIZE_BINS.label_of(50 * KB) == "10K_100K"
+        assert ACCESS_SIZE_BINS.label_of(2 * GB) == "1G_PLUS"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ACCESS_SIZE_BINS.index_of(-1)
+        with pytest.raises(ValueError):
+            ACCESS_SIZE_BINS.index_array(np.array([5, -2]))
+
+
+class TestTransferBins:
+    def test_six_bins(self):
+        assert TRANSFER_SIZE_BINS.nbins == 6
+        assert TRANSFER_SIZE_BINS.labels[-1] == "1T_PLUS"
+
+    def test_figure_bin_membership(self):
+        assert TRANSFER_SIZE_BINS.label_of(500 * MB) == "100M_1G"
+        assert TRANSFER_SIZE_BINS.label_of(5 * GB) == "1G_10G"
+        assert TRANSFER_SIZE_BINS.label_of(2 * TB) == "1T_PLUS"
+
+
+class TestVectorizedOps:
+    def test_index_array_matches_scalar(self, rng):
+        sizes = rng.integers(0, 10**10, size=500)
+        vec = ACCESS_SIZE_BINS.index_array(sizes)
+        for s, v in zip(sizes[:50], vec[:50]):
+            assert ACCESS_SIZE_BINS.index_of(int(s)) == v
+
+    def test_histogram_counts(self):
+        sizes = np.array([10, 200, 2000, 2 * 10**9])
+        hist = ACCESS_SIZE_BINS.histogram(sizes)
+        assert hist.sum() == 4
+        assert hist[0] == 1 and hist[1] == 1 and hist[2] == 1 and hist[9] == 1
+
+    def test_histogram_weights(self):
+        sizes = np.array([10, 10, 200])
+        hist = ACCESS_SIZE_BINS.histogram(sizes, weights=np.array([1.0, 2.0, 5.0]))
+        assert hist[0] == 3.0 and hist[1] == 5.0
+
+    def test_empty_histogram(self):
+        hist = ACCESS_SIZE_BINS.histogram(np.array([]))
+        assert hist.shape == (10,)
+        assert hist.sum() == 0
+
+
+class TestSizeBinsValidation:
+    def test_mismatched_labels(self):
+        with pytest.raises(ValueError, match="labels"):
+            SizeBins("x", (0, 1, float("inf")), ("a",))
+
+    def test_nonmonotonic_edges(self):
+        with pytest.raises(ValueError, match="increasing"):
+            SizeBins("x", (0, 5, 5, float("inf")), ("a", "b", "c"))
+
+    def test_first_edge_zero(self):
+        with pytest.raises(ValueError, match="first edge"):
+            SizeBins("x", (1, 5, float("inf")), ("a", "b"))
+
+    def test_last_edge_inf(self):
+        with pytest.raises(ValueError, match="inf"):
+            SizeBins("x", (0, 5, 10), ("a", "b"))
+
+    def test_upper_edges(self):
+        ue = TRANSFER_SIZE_BINS.upper_edges()
+        assert ue[0] == 100 * MB
+        assert np.isinf(ue[-1])

@@ -1,0 +1,87 @@
+"""Tests for repro.darshan.counters."""
+
+import pytest
+
+from repro.darshan.constants import ModuleId
+from repro.darshan.counters import (
+    counter_index,
+    fcounter_index,
+    has_size_histogram,
+    module_counters,
+    module_fcounters,
+    qualified_name,
+)
+
+
+class TestRegistries:
+    def test_posix_has_paper_counters(self):
+        names = module_counters(ModuleId.POSIX)
+        for required in ("BYTES_READ", "BYTES_WRITTEN", "OPENS", "SEEKS"):
+            assert required in names
+        # All ten histogram bins, both directions.
+        assert sum(n.startswith("SIZE_READ_") for n in names) == 10
+        assert sum(n.startswith("SIZE_WRITE_") for n in names) == 10
+
+    def test_posix_timers(self):
+        names = module_fcounters(ModuleId.POSIX)
+        for required in ("F_READ_TIME", "F_WRITE_TIME", "F_META_TIME"):
+            assert required in names
+
+    def test_mpiio_collective_counters(self):
+        names = module_counters(ModuleId.MPIIO)
+        for required in ("INDEP_OPENS", "COLL_OPENS", "COLL_READS", "COLL_WRITES"):
+            assert required in names
+
+    def test_stdio_lacks_size_histograms(self):
+        """The instrumentation gap Recommendation 4 calls out."""
+        names = module_counters(ModuleId.STDIO)
+        assert not any(n.startswith("SIZE_") for n in names)
+        assert not has_size_histogram(ModuleId.STDIO)
+
+    def test_posix_mpiio_have_histograms(self):
+        assert has_size_histogram(ModuleId.POSIX)
+        assert has_size_histogram(ModuleId.MPIIO)
+
+    def test_lustre_metadata_only(self):
+        names = module_counters(ModuleId.LUSTRE)
+        assert "STRIPE_SIZE" in names and "STRIPE_WIDTH" in names
+        assert "BYTES_READ" not in names
+        assert module_fcounters(ModuleId.LUSTRE) == ()
+
+
+class TestIndexLookup:
+    def test_bare_and_qualified(self):
+        bare = counter_index(ModuleId.POSIX, "BYTES_READ")
+        qualified = counter_index(ModuleId.POSIX, "POSIX_BYTES_READ")
+        assert bare == qualified
+
+    def test_fcounter_lookup(self):
+        assert fcounter_index(ModuleId.STDIO, "F_WRITE_TIME") >= 0
+
+    def test_unknown_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            counter_index(ModuleId.STDIO, "SIZE_READ_0_100")
+        with pytest.raises(KeyError):
+            fcounter_index(ModuleId.POSIX, "NOT_A_COUNTER")
+
+    def test_indices_are_positions(self):
+        names = module_counters(ModuleId.MPIIO)
+        for i, name in enumerate(names):
+            assert counter_index(ModuleId.MPIIO, name) == i
+
+    def test_qualified_name(self):
+        assert qualified_name(ModuleId.POSIX, "OPENS") == "POSIX_OPENS"
+        assert qualified_name(ModuleId.MPIIO, "COLL_READS") == "MPIIO_COLL_READS"
+
+
+class TestModuleId:
+    def test_prefix_round_trip(self):
+        for m in ModuleId:
+            assert ModuleId.from_prefix(m.prefix) is m
+
+    def test_from_prefix_tolerates_dash(self):
+        assert ModuleId.from_prefix("MPI-IO") is ModuleId.MPIIO
+
+    def test_unknown_prefix(self):
+        with pytest.raises(ValueError):
+            ModuleId.from_prefix("HDF5")

@@ -1,0 +1,143 @@
+"""Tests for the binary log container (repro.darshan.format)."""
+
+import io
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.darshan.constants import LOG_MAGIC, ModuleId
+from repro.darshan.format import (
+    read_log,
+    read_log_bytes,
+    write_log,
+    write_log_bytes,
+)
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import FileRecord, JobRecord, NameRecord
+from repro.errors import LogFormatError
+
+
+def make_log(nfiles=3):
+    job = JobRecord(
+        77, 1001, 64, 100.0, 400.0,
+        platform="summit", domain="physics",
+        metadata={"exe": "lmp", "nnodes": "11"},
+    )
+    log = DarshanLog(job)
+    for i in range(nfiles):
+        nr = NameRecord(1000 + i, f"/gpfs/alpine/f{i}.h5", "/gpfs/alpine", "pfs")
+        log.register_name(nr)
+        rec = FileRecord(ModuleId.POSIX, 1000 + i, rank=-1)
+        rec.set("BYTES_READ", 1024 * (i + 1))
+        rec.set("READS", i + 1)
+        rec.set("SIZE_READ_100_1K", i + 1)
+        rec.set("F_READ_TIME", 0.5)
+        log.add_record(rec)
+        mp = FileRecord(ModuleId.MPIIO, 1000 + i, rank=-1)
+        mp.set("COLL_READS", 2)
+        log.add_record(mp)
+    stdio = FileRecord(ModuleId.STDIO, 1000, rank=0)
+    stdio.set("BYTES_WRITTEN", 42)
+    stdio.set("F_WRITE_TIME", 0.1)
+    log.add_record(stdio)
+    return log
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        log = make_log()
+        data = write_log_bytes(log)
+        out = read_log_bytes(data)
+        assert out.job.job_id == 77
+        assert out.job.domain == "physics"
+        assert out.job.metadata == {"exe": "lmp", "nnodes": "11"}
+        assert out.nfiles() == log.nfiles()
+        assert out.modules == log.modules
+        a = log.records(ModuleId.POSIX)
+        b = out.records(ModuleId.POSIX)
+        assert len(a) == len(b)
+        for ra, rb in zip(a, b):
+            assert ra.record_id == rb.record_id
+            assert ra.rank == rb.rank
+            np.testing.assert_array_equal(ra.counters, rb.counters)
+            np.testing.assert_array_equal(ra.fcounters, rb.fcounters)
+
+    def test_name_records_survive(self):
+        out = read_log_bytes(write_log_bytes(make_log()))
+        nr = out.name_of(1001)
+        assert nr.path == "/gpfs/alpine/f1.h5"
+        assert nr.layer == "pfs"
+
+    def test_uncompressed_round_trip(self):
+        log = make_log()
+        data = write_log_bytes(log, compress=False)
+        out = read_log_bytes(data)
+        assert out.nfiles() == log.nfiles()
+
+    def test_compression_helps(self):
+        log = make_log(nfiles=50)
+        comp = write_log_bytes(log, compress=True)
+        raw = write_log_bytes(log, compress=False)
+        assert len(comp) < len(raw)
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "x.rdshn")
+        write_log(make_log(), path)
+        out = read_log(path)
+        assert out.job.job_id == 77
+
+    def test_file_object_round_trip(self):
+        buf = io.BytesIO()
+        write_log(make_log(), buf)
+        buf.seek(0)
+        assert read_log(buf).job.job_id == 77
+
+    def test_empty_modules_ok(self):
+        log = DarshanLog(JobRecord(1, 1, 1, 0.0, 1.0))
+        out = read_log_bytes(write_log_bytes(log))
+        assert out.modules == ()
+        assert out.nfiles() == 0
+
+    def test_deterministic_serialization(self):
+        a = write_log_bytes(make_log())
+        b = write_log_bytes(make_log())
+        assert a == b
+
+
+class TestCorruptionDetection:
+    def test_bad_magic(self):
+        data = bytearray(write_log_bytes(make_log()))
+        data[:8] = b"NOTMAGIC"
+        with pytest.raises(LogFormatError, match="magic"):
+            read_log_bytes(bytes(data))
+
+    def test_truncated_header(self):
+        with pytest.raises(LogFormatError):
+            read_log_bytes(LOG_MAGIC)
+
+    def test_truncated_body(self):
+        data = write_log_bytes(make_log())
+        with pytest.raises(LogFormatError):
+            read_log_bytes(data[: len(data) - 10])
+
+    def test_bitflip_in_payload_caught(self):
+        data = bytearray(write_log_bytes(make_log(), compress=False))
+        # Flip a byte near the end (inside a module region payload).
+        data[-5] ^= 0xFF
+        with pytest.raises(LogFormatError):
+            read_log_bytes(bytes(data))
+
+    def test_version_gate(self):
+        data = bytearray(write_log_bytes(make_log()))
+        data[8] = 99  # major version little-endian low byte
+        with pytest.raises(LogFormatError, match="version"):
+            read_log_bytes(bytes(data))
+
+    def test_corrupt_zlib_stream(self):
+        log = make_log()
+        data = bytearray(write_log_bytes(log, compress=True))
+        # Corrupt the final region's compressed payload.
+        data[-1] ^= 0x55
+        with pytest.raises(LogFormatError):
+            read_log_bytes(bytes(data))

@@ -1,0 +1,77 @@
+"""Tests for the darshan-parser-style log summary."""
+
+import pytest
+
+from repro.darshan.constants import ModuleId
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import FileRecord, JobRecord, NameRecord
+from repro.darshan.summary import (
+    render_log_summary,
+    summarize_module,
+    top_files,
+)
+
+
+@pytest.fixture()
+def log():
+    job = JobRecord(5, 9, 16, 0.0, 600.0, platform="summit", domain="physics")
+    log = DarshanLog(job)
+    for i, (nbytes, t) in enumerate([(1000, 0.5), (5000, 1.0), (200, 0.1)]):
+        rid = 100 + i
+        log.register_name(NameRecord(rid, f"/gpfs/alpine/f{i}.h5", "/gpfs/alpine", "pfs"))
+        rec = FileRecord(ModuleId.POSIX, rid)
+        rec.set("BYTES_READ", nbytes)
+        rec.set("READS", 1)
+        rec.set("F_READ_TIME", t)
+        rec.set("F_META_TIME", 0.01)
+        log.add_record(rec)
+    stdio = FileRecord(ModuleId.STDIO, 100, rank=0)
+    stdio.set("BYTES_WRITTEN", 50_000)
+    stdio.set("WRITES", 10)
+    stdio.set("F_WRITE_TIME", 2.0)
+    log.add_record(stdio)
+    return log
+
+
+class TestSummarizeModule:
+    def test_posix_aggregates(self, log):
+        s = summarize_module(log, ModuleId.POSIX)
+        assert s.nrecords == 3 and s.nfiles == 3
+        assert s.bytes_read == 6200
+        assert s.read_time == pytest.approx(1.6)
+        assert s.read_bandwidth == pytest.approx(6200 / 1.6)
+        assert s.meta_time == pytest.approx(0.03)
+
+    def test_empty_module(self, log):
+        s = summarize_module(log, ModuleId.MPIIO)
+        assert s.nrecords == 0
+        assert s.read_bandwidth == 0.0
+
+
+class TestTopFiles:
+    def test_ranked_by_combined_transfer(self, log):
+        ranked = top_files(log, k=2)
+        # f0 carries 1000 (POSIX) + 50000 (STDIO) = 51000 -> first.
+        assert ranked[0][0].endswith("f0.h5")
+        assert ranked[0][1] == 51_000
+        assert ranked[1][0].endswith("f1.h5")
+
+    def test_k_limits(self, log):
+        assert len(top_files(log, k=1)) == 1
+
+
+class TestRender:
+    def test_mentions_everything(self, log):
+        text = render_log_summary(log)
+        assert "job 5" in text and "physics" in text
+        assert "POSIX" in text and "STDIO" in text
+        assert "top" in text and "f0.h5" in text
+
+    def test_generated_log_renders(self, summit_store_small, summit_machine):
+        from repro.instrument import LogMaterializer
+
+        mat = LogMaterializer(summit_machine, summit_store_small)
+        log = mat.materialize(int(mat.log_ids(1)[0]), dxt=True)
+        text = render_log_summary(log)
+        assert "DXT traces" in text
+        assert "records" in text

@@ -1,0 +1,80 @@
+"""Tests for repro.darshan.validate."""
+
+import pytest
+
+from repro.darshan.constants import ModuleId
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import FileRecord, JobRecord, NameRecord
+from repro.darshan.validate import validate_log, validate_record
+from repro.errors import LogValidationError
+
+
+def _posix(rid=1, **counters):
+    rec = FileRecord(ModuleId.POSIX, rid)
+    for k, v in counters.items():
+        rec.set(k, v)
+    return rec
+
+
+class TestValidateRecord:
+    def test_clean_record_passes(self):
+        rec = _posix(
+            BYTES_READ=2048, READS=2, SIZE_READ_1K_10K=2, F_READ_TIME=0.5
+        )
+        validate_record(rec)
+
+    def test_negative_counter(self):
+        rec = _posix(OPENS=-1)
+        with pytest.raises(LogValidationError, match="negative"):
+            validate_record(rec)
+
+    def test_negative_timer(self):
+        rec = _posix()
+        rec.set("F_READ_TIME", -0.1)
+        with pytest.raises(LogValidationError, match="negative"):
+            validate_record(rec)
+
+    def test_histogram_count_mismatch(self):
+        rec = _posix(BYTES_READ=100, READS=2, SIZE_READ_0_100=1, F_READ_TIME=0.1)
+        with pytest.raises(LogValidationError, match="histogram"):
+            validate_record(rec)
+
+    def test_bytes_below_histogram_floor(self):
+        # One op in the 1M_4M bin implies at least 1 MB moved.
+        rec = _posix(
+            BYTES_READ=100, READS=1, SIZE_READ_1M_4M=1, F_READ_TIME=0.1
+        )
+        with pytest.raises(LogValidationError, match="lower bound"):
+            validate_record(rec)
+
+    def test_bytes_without_time(self):
+        rec = _posix(BYTES_READ=100, READS=1, SIZE_READ_100_1K=1)
+        with pytest.raises(LogValidationError, match="zero read time"):
+            validate_record(rec)
+
+    def test_stdio_bytes_without_histogram_ok(self):
+        rec = FileRecord(ModuleId.STDIO, 1)
+        rec.set("BYTES_WRITTEN", 100)
+        rec.set("WRITES", 1)
+        rec.set("F_WRITE_TIME", 0.2)
+        validate_record(rec)
+
+
+class TestValidateLog:
+    def _log(self):
+        log = DarshanLog(JobRecord(5, 1, 2, 0.0, 5.0))
+        log.register_name(NameRecord(1, "/a"))
+        return log
+
+    def test_valid_log(self):
+        log = self._log()
+        log.add_record(
+            _posix(BYTES_READ=150, READS=1, SIZE_READ_100_1K=1, F_READ_TIME=0.2)
+        )
+        validate_log(log)
+
+    def test_invalid_record_caught_at_log_level(self):
+        log = self._log()
+        log.add_record(_posix(OPENS=-3))
+        with pytest.raises(LogValidationError):
+            validate_log(log)

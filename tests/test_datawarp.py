@@ -1,0 +1,102 @@
+"""Tests for the DataWarp burst-buffer manager."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.iosim.datawarp import (
+    DataWarpManager,
+    StageDirective,
+    StageKind,
+)
+from repro.units import GB
+
+
+@pytest.fixture()
+def dw():
+    return DataWarpManager(pool_bytes=1000 * GB, bb_node_count=10, granularity=20 * GB)
+
+
+class TestAllocation:
+    def test_rounds_to_granularity(self, dw):
+        alloc = dw.allocate(1, 25 * GB)
+        assert alloc.granted_bytes == 40 * GB
+        assert alloc.bb_nodes == 2
+
+    def test_bandwidth_scales_with_capacity(self, dw):
+        """Bigger request -> more BB nodes (§2.1.2 usability integration)."""
+        small = dw.allocate(1, 20 * GB)
+        large = dw.allocate(2, 200 * GB)
+        assert large.bb_nodes > small.bb_nodes
+        assert large.bb_nodes == 10  # capped at node count
+
+    def test_pool_exhaustion(self, dw):
+        dw.allocate(1, 900 * GB)
+        with pytest.raises(SimulationError, match="exhausted"):
+            dw.allocate(2, 200 * GB)
+
+    def test_release_returns_capacity(self, dw):
+        dw.allocate(1, 900 * GB)
+        dw.release(1)
+        assert dw.free_bytes() == 1000 * GB
+        dw.allocate(2, 900 * GB)
+
+    def test_double_allocate(self, dw):
+        dw.allocate(1, 20 * GB)
+        with pytest.raises(SimulationError):
+            dw.allocate(1, 20 * GB)
+
+    def test_zero_request(self, dw):
+        with pytest.raises(SimulationError):
+            dw.allocate(1, 0)
+
+
+class TestFilesAndStaging:
+    def test_write_read(self, dw):
+        dw.allocate(1, 40 * GB)
+        dw.write(1, "/bb/ckpt", 10 * GB)
+        assert dw.read(1, "/bb/ckpt") == 10 * GB
+
+    def test_allocation_overflow(self, dw):
+        dw.allocate(1, 20 * GB)
+        with pytest.raises(SimulationError, match="overflow"):
+            dw.write(1, "/bb/x", 21 * GB)
+
+    def test_overwrite_within_capacity(self, dw):
+        dw.allocate(1, 20 * GB)
+        dw.write(1, "/bb/x", 15 * GB)
+        dw.write(1, "/bb/x", 18 * GB)  # replaces, still fits
+        assert dw.allocation(1).used() == 18 * GB
+
+    def test_stage_in(self, dw):
+        dw.allocate(1, 40 * GB)
+        d = StageDirective(StageKind.IN, "/pfs/data", "/bb/data", 5 * GB)
+        dw.stage_in(1, d)
+        assert dw.read(1, "/bb/data") == 5 * GB
+        assert dw.allocation(1).staged_in == [d]
+
+    def test_stage_out(self, dw):
+        dw.allocate(1, 40 * GB)
+        dw.write(1, "/bb/out", 3 * GB)
+        d = StageDirective(StageKind.OUT, "/pfs/out", "/bb/out", 3 * GB)
+        assert dw.stage_out(1, d) == 3 * GB
+
+    def test_stage_out_missing_file(self, dw):
+        dw.allocate(1, 40 * GB)
+        d = StageDirective(StageKind.OUT, "/pfs/out", "/bb/never", 1)
+        with pytest.raises(SimulationError, match="missing"):
+            dw.stage_out(1, d)
+
+    def test_stage_kind_enforced(self, dw):
+        dw.allocate(1, 40 * GB)
+        wrong = StageDirective(StageKind.OUT, "/p", "/b", 1)
+        with pytest.raises(SimulationError):
+            dw.stage_in(1, wrong)
+
+    def test_job_parallelism(self, dw):
+        dw.allocate(1, 100 * GB)
+        assert dw.job_parallelism(1) == 5
+
+    def test_active_jobs(self, dw):
+        dw.allocate(3, 20 * GB)
+        dw.allocate(1, 20 * GB)
+        assert dw.active_jobs() == [1, 3]

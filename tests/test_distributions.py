@@ -1,0 +1,151 @@
+"""Tests for workload distributions."""
+
+import numpy as np
+import pytest
+
+from repro.darshan.bins import ACCESS_SIZE_BINS
+from repro.errors import ConfigurationError
+from repro.workloads.distributions import (
+    BinProfile,
+    Constant,
+    DiscreteLogUniform,
+    LogNormal,
+    Mixture,
+    ParetoTail,
+)
+
+
+class TestConstant:
+    def test_sample_and_mean(self, rng):
+        d = Constant(42.0)
+        assert (d.sample(rng, 5) == 42.0).all()
+        assert d.mean() == 42.0
+
+
+class TestLogNormal:
+    def test_median_approx(self, rng):
+        d = LogNormal(median=1000, sigma=1.0)
+        x = d.sample(rng, 200_000)
+        assert np.median(x) == pytest.approx(1000, rel=0.05)
+
+    def test_truncation(self, rng):
+        d = LogNormal(median=1000, sigma=3.0, lo=10, hi=10_000)
+        x = d.sample(rng, 50_000)
+        assert x.min() >= 10 and x.max() <= 10_000
+
+    def test_mean_formula(self, rng):
+        d = LogNormal(median=100, sigma=0.5)
+        x = d.sample(rng, 400_000)
+        assert x.mean() == pytest.approx(d.mean(), rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LogNormal(0, 1)
+        with pytest.raises(ConfigurationError):
+            LogNormal(1, 1, lo=10, hi=5)
+
+
+class TestParetoTail:
+    def test_bounds(self, rng):
+        d = ParetoTail(0.8, 1e9, 1e12)
+        x = d.sample(rng, 100_000)
+        assert x.min() >= 1e9 and x.max() <= 1e12
+
+    def test_heavy_tail_shape(self, rng):
+        d = ParetoTail(0.5, 1.0, 1e6)
+        x = d.sample(rng, 200_000)
+        # alpha=0.5 -> P(X > sqrt(hi)) substantial.
+        assert (x > 1e3).mean() > 0.02
+
+    def test_mean_formula(self, rng):
+        for alpha in (0.5, 1.0, 2.0):
+            d = ParetoTail(alpha, 10.0, 1e5)
+            x = d.sample(rng, 500_000)
+            assert x.mean() == pytest.approx(d.mean(), rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParetoTail(0, 1, 2)
+        with pytest.raises(ConfigurationError):
+            ParetoTail(1, 5, 5)
+
+
+class TestDiscreteLogUniform:
+    def test_bounds_and_integrality(self, rng):
+        d = DiscreteLogUniform(2, 512)
+        x = d.sample(rng, 10_000)
+        assert x.min() >= 2 and x.max() <= 512
+        assert x.dtype.kind == "i"
+
+    def test_log_uniform_spread(self, rng):
+        d = DiscreteLogUniform(1, 1024)
+        x = d.sample(rng, 200_000)
+        # Each octave should hold roughly equal mass.
+        low = ((x >= 1) & (x < 32)).mean()
+        high = ((x >= 32) & (x < 1024)).mean()
+        assert low == pytest.approx(0.5, abs=0.05)
+        assert high == pytest.approx(0.5, abs=0.05)
+
+    def test_degenerate(self, rng):
+        d = DiscreteLogUniform(7, 7)
+        assert (d.sample(rng, 10) == 7).all()
+        assert d.mean() == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiscreteLogUniform(0, 5)
+        with pytest.raises(ConfigurationError):
+            DiscreteLogUniform(6, 5)
+
+
+class TestMixture:
+    def test_weights_normalize(self, rng):
+        m = Mixture(((3.0, Constant(1.0)), (1.0, Constant(2.0))))
+        x = m.sample(rng, 100_000)
+        assert (x == 1.0).mean() == pytest.approx(0.75, abs=0.01)
+
+    def test_mean(self):
+        m = Mixture(((1.0, Constant(10.0)), (1.0, Constant(20.0))))
+        assert m.mean() == 15.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Mixture(())
+        with pytest.raises(ConfigurationError):
+            Mixture(((0.0, Constant(1.0)),))
+
+
+class TestBinProfile:
+    def test_from_dict(self):
+        p = BinProfile.from_dict({"10K_100K": 0.8, "1K_10K": 0.2})
+        assert p.mean_request_size() > 1000
+
+    def test_unknown_label(self):
+        with pytest.raises(ConfigurationError):
+            BinProfile.from_dict({"7K_9K": 1.0})
+
+    def test_histograms_sum_to_ops(self, rng):
+        p = BinProfile.from_dict({"0_100": 0.5, "1K_10K": 0.5})
+        nops = np.array([10, 0, 1000])
+        hist = p.histograms(rng, nops)
+        assert hist.shape == (3, ACCESS_SIZE_BINS.nbins)
+        np.testing.assert_array_equal(hist.sum(axis=1), nops)
+        # Only the two profile bins get mass.
+        assert hist[:, 1].sum() == 0
+
+    def test_ops_for_bytes(self):
+        p = BinProfile.from_dict({"100K_1M": 1.0})
+        mean = p.mean_request_size()
+        ops = p.ops_for_bytes(np.array([0, 1, 10 * mean]))
+        assert ops[0] == 0
+        assert ops[1] == 1  # any positive transfer needs >= 1 op
+        assert ops[2] == 10
+
+    def test_negative_ops_rejected(self, rng):
+        p = BinProfile.from_dict({"0_100": 1.0})
+        with pytest.raises(ConfigurationError):
+            p.histograms(rng, np.array([-1]))
+
+    def test_wrong_length(self):
+        with pytest.raises(ConfigurationError):
+            BinProfile((0.5, 0.5))

@@ -1,0 +1,176 @@
+"""Tests for DXT extended tracing."""
+
+import numpy as np
+import pytest
+
+from repro.darshan.accumulate import (
+    OP_CLOSE,
+    OP_OPEN,
+    OP_READ,
+    OP_WRITE,
+    make_ops,
+)
+from repro.darshan.constants import ModuleId
+from repro.darshan.dxt import (
+    SEGMENT_DTYPE,
+    DxtTrace,
+    bandwidth_from_trace,
+    decode_traces,
+    encode_traces,
+)
+from repro.darshan.format import read_log_bytes, write_log_bytes
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import FileRecord, JobRecord, NameRecord
+from repro.errors import LogFormatError, LogValidationError
+
+
+def _ops():
+    return make_ops(
+        kinds=[OP_OPEN, OP_READ, OP_READ, OP_WRITE, OP_CLOSE],
+        offsets=[0, 0, 4096, 0, 0],
+        sizes=[0, 4096, 4096, 1000, 0],
+        starts=[0.0, 1.0, 2.0, 3.0, 4.0],
+        durations=[0.0, 0.5, 0.5, 0.25, 0.0],
+    )
+
+
+class TestDxtTrace:
+    def test_from_ops_data_only(self):
+        trace = DxtTrace.from_ops(ModuleId.POSIX, 1, 3, _ops())
+        assert trace.nsegments() == 3  # open/close not traced
+        assert trace.bytes_moved(OP_READ) == 8192
+        assert trace.bytes_moved(OP_WRITE) == 1000
+        assert (trace.segments["rank"] == 3).all()
+
+    def test_span(self):
+        trace = DxtTrace.from_ops(ModuleId.POSIX, 1, 0, _ops())
+        assert trace.span() == (1.0, 3.25)
+
+    def test_stdio_rejected(self):
+        """The §2.2 limitation: DXT never traces STDIO."""
+        with pytest.raises(LogValidationError, match="STDIO"):
+            DxtTrace(ModuleId.STDIO, 1)
+
+    def test_validation(self):
+        bad = np.zeros(1, dtype=SEGMENT_DTYPE)
+        bad["kind"] = OP_READ
+        bad["length"] = -1
+        with pytest.raises(LogValidationError):
+            DxtTrace(ModuleId.POSIX, 1, bad)
+
+    def test_time_travel_rejected(self):
+        bad = np.zeros(1, dtype=SEGMENT_DTYPE)
+        bad["kind"] = OP_WRITE
+        bad["start"] = 2.0
+        bad["end"] = 1.0
+        with pytest.raises(LogValidationError):
+            DxtTrace(ModuleId.POSIX, 1, bad)
+
+
+class TestBusyTime:
+    def _trace(self, rows):
+        seg = np.zeros(len(rows), dtype=SEGMENT_DTYPE)
+        for i, (rank, start, end) in enumerate(rows):
+            seg[i] = (rank, OP_READ, 0, 100, start, end)
+        return DxtTrace(ModuleId.POSIX, 1, seg)
+
+    def test_serial_segments_sum(self):
+        trace = self._trace([(0, 0.0, 1.0), (0, 2.0, 3.0)])
+        assert trace.busy_time(OP_READ) == pytest.approx(2.0)
+
+    def test_overlap_counted_once(self):
+        """The concurrency problem the counter methodology cannot see."""
+        trace = self._trace([(0, 0.0, 1.0), (1, 0.5, 1.5), (2, 0.9, 2.0)])
+        assert trace.busy_time(OP_READ) == pytest.approx(2.0)
+
+    def test_bandwidth_estimator(self):
+        trace = self._trace([(0, 0.0, 1.0), (1, 0.0, 1.0)])
+        # 200 bytes over a 1-second union window (not 2 summed seconds).
+        assert bandwidth_from_trace(trace, OP_READ) == pytest.approx(200.0)
+
+    def test_empty(self):
+        trace = DxtTrace(ModuleId.POSIX, 1)
+        assert trace.busy_time() == 0.0
+        assert bandwidth_from_trace(trace, OP_READ) == 0.0
+
+
+class TestSequentiality:
+    def test_consecutive_stream(self):
+        seg = np.zeros(3, dtype=SEGMENT_DTYPE)
+        for i in range(3):
+            seg[i] = (0, OP_WRITE, i * 100, 100, float(i), i + 0.5)
+        trace = DxtTrace(ModuleId.POSIX, 1, seg)
+        assert trace.sequentiality(OP_WRITE) == 1.0
+
+    def test_random_stream(self):
+        seg = np.zeros(3, dtype=SEGMENT_DTYPE)
+        offsets = [500, 0, 900]
+        for i in range(3):
+            seg[i] = (0, OP_WRITE, offsets[i], 10, float(i), i + 0.5)
+        trace = DxtTrace(ModuleId.POSIX, 1, seg)
+        assert trace.sequentiality(OP_WRITE) == 0.0
+
+    def test_per_rank_isolation(self):
+        # Two ranks each writing consecutively; interleaved in time.
+        seg = np.zeros(4, dtype=SEGMENT_DTYPE)
+        seg[0] = (0, OP_WRITE, 0, 100, 0.0, 0.1)
+        seg[1] = (1, OP_WRITE, 1000, 100, 0.05, 0.15)
+        seg[2] = (0, OP_WRITE, 100, 100, 0.2, 0.3)
+        seg[3] = (1, OP_WRITE, 1100, 100, 0.25, 0.35)
+        trace = DxtTrace(ModuleId.POSIX, 1, seg)
+        assert trace.sequentiality(OP_WRITE) == 1.0
+
+
+class TestSerialization:
+    def test_encode_decode(self):
+        traces = [
+            DxtTrace.from_ops(ModuleId.POSIX, 10, 0, _ops()),
+            DxtTrace.from_ops(ModuleId.MPIIO, 11, -1, _ops()),
+        ]
+        out = decode_traces(encode_traces(traces))
+        assert len(out) == 2
+        for a, b in zip(traces, out):
+            assert a.module is b.module and a.record_id == b.record_id
+            np.testing.assert_array_equal(a.segments, b.segments)
+
+    def test_truncation_detected(self):
+        payload = encode_traces([DxtTrace.from_ops(ModuleId.POSIX, 1, 0, _ops())])
+        with pytest.raises(LogFormatError):
+            decode_traces(payload[:-4])
+        with pytest.raises(LogFormatError):
+            decode_traces(payload + b"xx")
+
+    def test_log_round_trip_with_dxt(self):
+        job = JobRecord(1, 1, 4, 0.0, 10.0, platform="summit")
+        log = DarshanLog(job)
+        log.register_name(NameRecord(1, "/gpfs/alpine/x"))
+        from repro.darshan.accumulate import accumulate
+
+        log.add_record(accumulate(ModuleId.POSIX, 1, 0, _ops()))
+        log.attach_trace(DxtTrace.from_ops(ModuleId.POSIX, 1, 0, _ops()))
+        assert log.dxt_enabled
+        out = read_log_bytes(write_log_bytes(log))
+        assert out.dxt_enabled
+        trace = out.trace_for(ModuleId.POSIX, 1)
+        assert trace is not None and trace.nsegments() == 3
+
+    def test_attach_requires_record(self):
+        log = DarshanLog(JobRecord(1, 1, 4, 0.0, 10.0))
+        log.register_name(NameRecord(1, "/x"))
+        with pytest.raises(KeyError):
+            log.attach_trace(DxtTrace.from_ops(ModuleId.POSIX, 1, 0, _ops()))
+
+
+class TestMaterializerDxt:
+    def test_dxt_optional(self, summit_store_small, summit_machine):
+        from repro.instrument import LogMaterializer
+
+        mat = LogMaterializer(summit_machine, summit_store_small)
+        log_id = int(mat.log_ids(1)[0])
+        plain = mat.materialize(log_id)
+        traced = mat.materialize(log_id, dxt=True)
+        assert not plain.dxt_enabled
+        assert traced.dxt_enabled
+        # STDIO records never get traces — the paper's stated gap.
+        for trace in traced.traces():
+            assert trace.module is not ModuleId.STDIO

@@ -1,0 +1,58 @@
+"""Tests for the month exporter (the paper's public-dataset artifact)."""
+
+import json
+import os
+
+import pytest
+
+from repro.darshan import read_log, validate_log
+from repro.errors import StoreError
+from repro.store.export import MANIFEST_NAME, export_month
+from repro.store.ingest import ingest_logs
+
+
+class TestExportMonth:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory, cori_store_small, cori_machine):
+        outdir = str(tmp_path_factory.mktemp("month"))
+        manifest = export_month(
+            cori_store_small, cori_machine, month=2, outdir=outdir, max_logs=15
+        )
+        return outdir, manifest
+
+    def test_manifest_consistent(self, exported):
+        outdir, manifest = exported
+        with open(os.path.join(outdir, MANIFEST_NAME)) as fh:
+            on_disk = json.load(fh)
+        assert on_disk == manifest
+        assert manifest["platform"] == "cori"
+        assert manifest["logs_exported"] == len(manifest["logs"]) <= 15
+
+    def test_all_logs_parse_and_validate(self, exported, cori_machine):
+        outdir, manifest = exported
+        for entry in manifest["logs"]:
+            log = read_log(os.path.join(outdir, entry["file"]))
+            validate_log(log)
+            assert log.nfiles() == entry["files"]
+
+    def test_round_trip_through_ingest(self, exported, cori_machine, cori_store_small):
+        outdir, manifest = exported
+        logs = [
+            read_log(os.path.join(outdir, e["file"])) for e in manifest["logs"]
+        ]
+        ingested = ingest_logs(
+            logs, "cori", cori_machine.mount_table(),
+            domains=cori_store_small.domains,
+        )
+        assert len(ingested.files) > 0
+
+    def test_truncation_flagged(self, exported):
+        _, manifest = exported
+        # max_logs=15 on a month of a 5e-4-scale year: either all logs
+        # fit or the manifest admits the cut.
+        if manifest["logs_exported"] == 15:
+            assert manifest["truncated"] in (True, False)
+
+    def test_bad_month(self, cori_store_small, cori_machine, tmp_path):
+        with pytest.raises(StoreError):
+            export_month(cori_store_small, cori_machine, 99, str(tmp_path))

@@ -1,0 +1,98 @@
+"""Tests for degraded-layer fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iosim.faults import (
+    BB_DRAIN,
+    REBUILD_STORM,
+    DegradationScenario,
+    degrade_layer,
+    degrade_machine,
+    degraded_perf_model,
+)
+from repro.iosim.ior import IorConfig, run_ior
+from repro.iosim.perfmodel import PerfModel
+from repro.platforms import cori, summit
+
+
+class TestScenario:
+    def test_capacity_factor(self):
+        s = DegradationScenario("x", servers_offline=0.1, rebuild_overhead=0.35)
+        assert s.capacity_factor == pytest.approx(0.9 * 0.65)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DegradationScenario("x", servers_offline=1.0)
+        with pytest.raises(ConfigurationError):
+            DegradationScenario("x", rebuild_overhead=-0.1)
+
+
+class TestDegradeLayer:
+    def test_servers_and_peaks_reduced(self):
+        alpine = summit().pfs
+        degraded = degrade_layer(alpine, REBUILD_STORM)
+        assert degraded.server_count == round(154 * 0.9)
+        assert degraded.peak_read_bw == pytest.approx(
+            alpine.peak_read_bw * REBUILD_STORM.capacity_factor
+        )
+        # The original is untouched (frozen dataclass copy).
+        assert alpine.server_count == 154
+
+    def test_at_least_one_server_survives(self):
+        nasty = DegradationScenario("x", servers_offline=0.999)
+        layer = degrade_layer(cori().in_system, nasty)
+        assert layer.server_count >= 1
+
+
+class TestDegradeMachine:
+    def test_only_named_layer_changes(self):
+        m = degrade_machine(summit(), "pfs", REBUILD_STORM)
+        assert m.pfs.server_count < summit().pfs.server_count
+        assert m.in_system.server_count == summit().in_system.server_count
+
+    def test_unknown_layer(self):
+        with pytest.raises(ConfigurationError):
+            degrade_machine(summit(), "tape", REBUILD_STORM)
+
+
+class TestEndToEndImpact:
+    def test_ior_bandwidth_drops_under_rebuild(self):
+        cfg = IorConfig(tasks=256, block_size=1024**3)
+        healthy = run_ior(
+            summit(), "pfs", cfg, "write", perf=PerfModel(deterministic=True)
+        )
+        machine = degrade_machine(summit(), "pfs", REBUILD_STORM)
+        degraded = run_ior(
+            machine, "pfs", cfg, "write", perf=PerfModel(deterministic=True)
+        )
+        assert degraded.bandwidth < healthy.bandwidth
+        # The deterministic path loses at least the capacity factor when
+        # the layer ceiling binds, and never *gains*.
+        assert degraded.bandwidth <= healthy.bandwidth
+
+    def test_bb_drain_hits_in_system(self):
+        cfg = IorConfig(tasks=64)
+        machine = degrade_machine(cori(), "insystem", BB_DRAIN)
+        healthy = run_ior(
+            cori(), "insystem", cfg, "read", perf=PerfModel(deterministic=True)
+        )
+        degraded = run_ior(
+            machine, "insystem", cfg, "read", perf=PerfModel(deterministic=True)
+        )
+        assert degraded.bandwidth <= healthy.bandwidth
+
+    def test_degraded_contention_is_harsher(self, rng):
+        base = PerfModel()
+        degraded = degraded_perf_model(base, "pfs", REBUILD_STORM)
+        healthy_frac = base._contention_for(summit().pfs).sample(rng, 20_000)
+        storm_frac = degraded.contention["pfs"].sample(rng, 20_000)
+        assert storm_frac.mean() < healthy_frac.mean()
+
+    def test_base_model_unchanged(self):
+        base = PerfModel()
+        _ = degraded_perf_model(base, "pfs", REBUILD_STORM)
+        # Building the degraded model must not mutate the base's maps.
+        healthy = base._contention_for(summit().pfs)
+        assert healthy.alpha != REBUILD_STORM.contention_alpha

@@ -1,0 +1,119 @@
+"""Failure injection against the binary log parser.
+
+Systematically corrupt every header/region-table field of a valid log and
+assert the parser either rejects the file with LogFormatError or returns
+a structurally valid log (a flipped bit in, e.g., padding may be benign)
+— never crashes with an unrelated exception, never hangs, never returns
+garbage silently when a checksum should have caught it.
+"""
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.darshan.constants import LOG_MAGIC, ModuleId
+from repro.darshan.format import (
+    _HEADER,
+    _REGION,
+    read_log_bytes,
+    write_log_bytes,
+)
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import FileRecord, JobRecord, NameRecord
+from repro.darshan.validate import validate_log
+from repro.errors import LogFormatError, LogValidationError
+
+
+@pytest.fixture(scope="module")
+def blob():
+    job = JobRecord(3, 7, 8, 0.0, 60.0, platform="summit", domain="biology")
+    log = DarshanLog(job)
+    for i in range(4):
+        rid = 50 + i
+        log.register_name(NameRecord(rid, f"/gpfs/alpine/x{i}", "/gpfs/alpine", "pfs"))
+        rec = FileRecord(ModuleId.POSIX, rid)
+        rec.set("BYTES_READ", 4096)
+        rec.set("READS", 1)
+        rec.set("SIZE_READ_1K_10K", 1)
+        rec.set("F_READ_TIME", 0.5)
+        log.add_record(rec)
+    return write_log_bytes(log)
+
+
+def _expect_reject_or_valid(data: bytes) -> None:
+    """The parser contract under corruption."""
+    try:
+        out = read_log_bytes(bytes(data))
+    except (LogFormatError,):
+        return  # rejected: fine
+    # Accepted: must still be semantically valid.
+    try:
+        validate_log(out)
+    except LogValidationError as exc:  # pragma: no cover - would be a bug
+        pytest.fail(f"parser accepted a semantically broken log: {exc}")
+
+
+class TestHeaderFuzz:
+    def test_every_header_byte_flip(self, blob):
+        for i in range(_HEADER.size):
+            data = bytearray(blob)
+            data[i] ^= 0xFF
+            _expect_reject_or_valid(data)
+
+    def test_region_count_inflated(self, blob):
+        data = bytearray(blob)
+        # region count lives at the end of the header
+        off = _HEADER.size - 4
+        struct.pack_into("<I", data, off, 10_000)
+        with pytest.raises(LogFormatError):
+            read_log_bytes(bytes(data))
+
+
+class TestRegionTableFuzz:
+    def test_every_region_field_mutation(self, blob):
+        nregions = struct.unpack_from("<I", blob, _HEADER.size - 4)[0]
+        for r in range(nregions):
+            base = _HEADER.size + r * _REGION.size
+            for field_off in range(0, _REGION.size, 2):
+                data = bytearray(blob)
+                data[base + field_off] ^= 0xA5
+                _expect_reject_or_valid(data)
+
+    def test_offset_pointing_past_eof(self, blob):
+        data = bytearray(blob)
+        base = _HEADER.size  # first region descriptor
+        # offset field is at +8 within the descriptor
+        struct.pack_into("<Q", data, base + 8, len(blob) + 1000)
+        with pytest.raises(LogFormatError):
+            read_log_bytes(bytes(data))
+
+    def test_crc_mismatch_caught(self, blob):
+        data = bytearray(blob)
+        base = _HEADER.size
+        struct.pack_into("<I", data, base + 32, 0xDEADBEEF)
+        with pytest.raises(LogFormatError, match="CRC"):
+            read_log_bytes(bytes(data))
+
+
+class TestPayloadFuzz:
+    def test_random_payload_corruption(self, blob):
+        rng = np.random.default_rng(7)
+        body_start = _HEADER.size
+        for _ in range(200):
+            data = bytearray(blob)
+            i = int(rng.integers(body_start, len(blob)))
+            data[i] ^= int(rng.integers(1, 256))
+            _expect_reject_or_valid(data)
+
+    def test_truncation_at_every_tenth_byte(self, blob):
+        for end in range(0, len(blob), max(len(blob) // 50, 1)):
+            with pytest.raises(LogFormatError):
+                read_log_bytes(blob[:end])
+
+    def test_appended_garbage_tolerated_or_rejected(self, blob):
+        # Trailing bytes after the last region: regions are located by
+        # offset, so extra bytes are ignorable; either behaviour is fine,
+        # crashing is not.
+        _expect_reject_or_valid(bytearray(blob + b"\x00" * 64))

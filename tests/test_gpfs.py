@@ -1,0 +1,97 @@
+"""Tests for the GPFS block-placement simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.iosim.gpfs import GpfsFileLayout, GpfsFilesystem
+from repro.units import MiB
+
+
+class TestLayout:
+    def test_nblocks(self):
+        layout = GpfsFileLayout(100 * MiB, 16 * MiB, 154, 0)
+        assert layout.nblocks == 7  # ceil(100/16)
+
+    def test_empty_file(self):
+        layout = GpfsFileLayout(0, 16 * MiB, 154, 3)
+        assert layout.nblocks == 0
+        assert layout.parallelism() == 0
+
+    def test_round_robin_from_start(self):
+        layout = GpfsFileLayout(64 * MiB, 16 * MiB, 10, 7)
+        assert [layout.nsd_of_block(b) for b in range(4)] == [7, 8, 9, 0]
+
+    def test_parallelism_caps_at_pool(self):
+        small = GpfsFileLayout(32 * MiB, 16 * MiB, 154, 0)
+        assert small.parallelism() == 2
+        huge = GpfsFileLayout(10**13, 16 * MiB, 154, 0)
+        assert huge.parallelism() == 154
+
+    def test_nsds_for_range(self):
+        layout = GpfsFileLayout(160 * MiB, 16 * MiB, 100, 5)
+        # bytes [0, 32MiB) live in blocks 0..1 -> NSDs 5,6
+        np.testing.assert_array_equal(
+            layout.nsds_for_range(0, 32 * MiB), [5, 6]
+        )
+        # range clipped to file size
+        assert len(layout.nsds_for_range(0, 10**12)) == 10
+
+    def test_nsds_for_range_empty(self):
+        layout = GpfsFileLayout(16 * MiB, 16 * MiB, 10, 0)
+        assert layout.nsds_for_range(0, 0).size == 0
+
+    def test_blocks_per_nsd_balanced(self):
+        layout = GpfsFileLayout(1000 * 16 * MiB, 16 * MiB, 7, 3)
+        counts = layout.blocks_per_nsd()
+        assert counts.sum() == 1000
+        assert counts.max() - counts.min() <= 1
+
+    def test_invalid_start(self):
+        with pytest.raises(SimulationError):
+            GpfsFileLayout(1, 16 * MiB, 10, 10)
+
+    def test_block_out_of_range(self):
+        layout = GpfsFileLayout(16 * MiB, 16 * MiB, 10, 0)
+        with pytest.raises(SimulationError):
+            layout.nsd_of_block(1)
+
+
+class TestFilesystem:
+    def test_create_and_query(self, rng):
+        fs = GpfsFilesystem(nsd_count=154)
+        layout = fs.create("/a", 100 * MiB, rng)
+        assert fs.layout("/a") is layout
+        assert fs.nfiles() == 1
+
+    def test_duplicate_create(self, rng):
+        fs = GpfsFilesystem(nsd_count=4)
+        fs.create("/a", 10, rng)
+        with pytest.raises(SimulationError):
+            fs.create("/a", 10, rng)
+
+    def test_remove(self, rng):
+        fs = GpfsFilesystem(nsd_count=4)
+        fs.create("/a", 10, rng)
+        fs.remove("/a")
+        assert fs.nfiles() == 0
+        with pytest.raises(SimulationError):
+            fs.remove("/a")
+
+    def test_random_start_spreads_load(self, rng):
+        """Many single-block files should spread across NSDs (the paper's
+        'randomly chosen NSD server' behaviour)."""
+        fs = GpfsFilesystem(nsd_count=16)
+        for i in range(3200):
+            fs.create(f"/f{i}", 16 * MiB, rng)
+        load = fs.server_load()
+        assert load.sum() == 3200
+        # Every server used, roughly evenly (multinomial tolerance).
+        assert load.min() > 100
+        assert load.max() < 320
+
+    def test_file_parallelism_helper(self):
+        fs = GpfsFilesystem(nsd_count=154)
+        assert fs.file_parallelism(0) == 0
+        assert fs.file_parallelism(1) == 1
+        assert fs.file_parallelism(33 * MiB) == 3

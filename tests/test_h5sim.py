@@ -1,0 +1,126 @@
+"""Tests for the HDF5-like middleware library."""
+
+import numpy as np
+import pytest
+
+from repro.darshan.validate import validate_record
+from repro.errors import ConfigurationError, SimulationError
+from repro.middleware.h5sim import DatasetSpec, H5File
+from repro.platforms import summit
+from repro.units import KiB, MiB
+
+
+class TestSlabExtents:
+    def _spec(self, shape, itemsize=8, base=0):
+        return DatasetSpec("d", shape, itemsize, shape, base)
+
+    def test_1d_contiguous(self):
+        spec = self._spec((100,))
+        assert spec.slab_extents((10,), (5,)) == [(80, 40)]
+
+    def test_2d_rows_are_extents(self):
+        spec = self._spec((4, 10))
+        extents = spec.slab_extents((1, 2), (2, 3))
+        # rows 1 and 2, columns 2..5: offsets (1*10+2)*8 and (2*10+2)*8
+        assert extents == [(96, 24), (176, 24)]
+
+    def test_full_rows_merge(self):
+        spec = self._spec((4, 10))
+        extents = spec.slab_extents((1, 0), (2, 10))
+        assert extents == [(80, 160)]  # two adjacent full rows -> one run
+
+    def test_3d(self):
+        spec = self._spec((2, 3, 4))
+        extents = spec.slab_extents((0, 1, 0), (2, 1, 4))
+        # plane 0 row 1 and plane 1 row 1; stride 12 elements between planes
+        assert extents == [(32, 32), (128, 32)]
+
+    def test_base_offset_applies(self):
+        spec = self._spec((10,), base=1000)
+        assert spec.slab_extents((0,), (10,)) == [(1000, 80)]
+
+    def test_out_of_bounds(self):
+        spec = self._spec((10,))
+        with pytest.raises(SimulationError):
+            spec.slab_extents((8,), (5,))
+        with pytest.raises(SimulationError):
+            spec.slab_extents((0, 0), (1, 1))
+
+    def test_bad_spec(self):
+        with pytest.raises(ConfigurationError):
+            DatasetSpec("d", (0,), 8, (1,), 0)
+        with pytest.raises(ConfigurationError):
+            DatasetSpec("d", (4,), 8, (1, 1), 0)
+
+
+class TestH5File:
+    def _file(self, **kw):
+        return H5File(summit(), "pfs", "/gpfs/alpine/sim/out.h5", **kw)
+
+    def test_dataset_layout_is_disjoint(self):
+        f = self._file()
+        a = f.create_dataset("a", (100,), itemsize=8)
+        b = f.create_dataset("b", (50,), itemsize=4)
+        assert b.spec.base_offset == a.spec.nbytes
+        with pytest.raises(SimulationError):
+            f.create_dataset("a", (10,))
+
+    def test_close_produces_valid_record(self):
+        # aggregate=False: byte totals match the application exactly
+        # (write-back flushes whole chunks otherwise).
+        f = self._file(aggregate=False)
+        d = f.create_dataset("x", (1000, 1000), itemsize=8)
+        d.write_slab((0, 0), (1000, 1000))
+        d.read_slab((0, 0), (10, 1000))
+        report = f.close()
+        validate_record(report.record)
+        assert report.record.bytes_written == 8_000_000
+        assert report.record.bytes_read == 80_000
+        assert report.write_seconds > 0
+
+    def test_double_close(self):
+        f = self._file()
+        f.create_dataset("x", (10,)).write_slab((0,), (10,))
+        f.close()
+        with pytest.raises(SimulationError):
+            f.close()
+        with pytest.raises(SimulationError):
+            f.create_dataset("y", (10,))
+
+    def test_dataset_lookup(self):
+        f = self._file()
+        f.create_dataset("x", (10,))
+        assert f.dataset("x").spec.name == "x"
+        with pytest.raises(SimulationError):
+            f.dataset("nope")
+
+
+class TestAggregationEffect:
+    """Recommendation 4/6 end-to-end: aggregation reduces ops and time."""
+
+    def _row_wise_writer(self, aggregate):
+        f = H5File(
+            summit(), "pfs", "/gpfs/alpine/sim/ckpt.h5",
+            aggregate=aggregate, cache_chunk_bytes=1 * MiB,
+        )
+        d = f.create_dataset("field", (4096, 512), itemsize=8)  # 16 MiB
+        for row in range(4096):
+            d.write_slab((row, 0), (1, 512))  # 4 KiB app writes
+        return f.close()
+
+    def test_fewer_downstream_writes(self):
+        raw = self._row_wise_writer(aggregate=False)
+        agg = self._row_wise_writer(aggregate=True)
+        assert raw.downstream_writes == 4096
+        assert agg.downstream_writes < raw.downstream_writes / 50
+        assert agg.aggregation_factor > 50
+
+    def test_aggregation_is_faster(self):
+        raw = self._row_wise_writer(aggregate=False)
+        agg = self._row_wise_writer(aggregate=True)
+        assert agg.write_seconds < raw.write_seconds / 5
+
+    def test_bytes_conserved_modulo_chunk_rounding(self):
+        agg = self._row_wise_writer(aggregate=True)
+        # Write-back flushes whole chunks; total flushed >= app bytes.
+        assert agg.record.bytes_written >= 4096 * 512 * 8

@@ -1,0 +1,65 @@
+"""Integration: the synthetic year is schedulable on the paper's machines."""
+
+import numpy as np
+import pytest
+
+from repro.iosim.datawarp import DataWarpManager
+from repro.scheduler.batch import BatchScheduler, utilization
+from repro.scheduler.bridge import jobs_from_store
+from repro.scheduler.trace import SECONDS_PER_YEAR
+
+
+class TestSummitSchedulability:
+    def test_year_schedules_with_low_waits(
+        self, summit_store_small, summit_machine
+    ):
+        specs = jobs_from_store(summit_store_small, summit_machine)
+        assert len(specs) == summit_store_small.njobs
+        sched = BatchScheduler(total_nodes=summit_machine.compute_nodes)
+        out = sched.schedule(specs)
+        waits = np.array([s.wait_time for s in out])
+        # A 1/2000-scale year on the full machine should barely queue.
+        assert np.median(waits) == 0.0
+        util = utilization(
+            out, summit_machine.compute_nodes, SECONDS_PER_YEAR
+        )
+        assert 0 < util < 0.05  # scaled-down load
+
+    def test_no_bb_requests_on_summit(self, summit_store_small, summit_machine):
+        """SCNL is node-local — no DataWarp-style capacity requests."""
+        specs = jobs_from_store(summit_store_small, summit_machine)
+        assert all(s.bb_request is None for s in specs)
+
+
+class TestCoriSchedulability:
+    def test_bb_jobs_get_requests(self, cori_store_small, cori_machine):
+        specs = jobs_from_store(cori_store_small, cori_machine)
+        with_bb = [s for s in specs if s.bb_request is not None]
+        assert with_bb, "CBB jobs must reconstruct DataWarp requests"
+        granularity = cori_machine.in_system.params["granularity"]
+        for s in with_bb:
+            assert s.bb_request.capacity_bytes % granularity == 0
+        # Table 5: ~19% of Cori jobs touch CBB.
+        frac = len(with_bb) / len(specs)
+        assert 0.10 < frac < 0.30
+
+    def test_schedules_through_datawarp(self, cori_store_small, cori_machine):
+        specs = jobs_from_store(cori_store_small, cori_machine)
+        dw = DataWarpManager(
+            pool_bytes=cori_machine.in_system.capacity_bytes,
+            bb_node_count=cori_machine.in_system.server_count,
+            granularity=cori_machine.in_system.params["granularity"],
+        )
+        sched = BatchScheduler(
+            total_nodes=cori_machine.compute_nodes, datawarp=dw
+        )
+        out = sched.schedule(specs)
+        assert len(out) == len(specs)
+        # All allocations released after the drain.
+        assert dw.active_jobs() == []
+        assert dw.free_bytes() == cori_machine.in_system.capacity_bytes
+
+    def test_submit_order(self, cori_store_small, cori_machine):
+        specs = jobs_from_store(cori_store_small, cori_machine)
+        submits = [s.submit_time for s in specs]
+        assert submits == sorted(submits)

@@ -1,0 +1,122 @@
+"""Tests for the IOR-style benchmark runner."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iosim.ior import IorConfig, probe_series, run_ior
+from repro.iosim.perfmodel import PerfModel
+from repro.platforms.interfaces import IOInterface
+from repro.units import GiB, KiB, MiB
+
+
+class TestIorConfig:
+    def test_aggregate_bytes(self):
+        cfg = IorConfig(tasks=8, block_size=256 * MiB, segment_count=2)
+        assert cfg.aggregate_bytes == 8 * 256 * MiB * 2
+
+    def test_file_size_shared_vs_fpp(self):
+        shared = IorConfig(tasks=8, block_size=256 * MiB)
+        fpp = IorConfig(tasks=8, block_size=256 * MiB, file_per_proc=True)
+        assert shared.file_size == 8 * 256 * MiB
+        assert fpp.file_size == 256 * MiB
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IorConfig(tasks=0)
+        with pytest.raises(ConfigurationError):
+            IorConfig(transfer_size=3 * MiB, block_size=4 * MiB)
+
+
+class TestRunIor:
+    def test_deterministic_with_fixed_perf(self, summit_machine):
+        perf = PerfModel(deterministic=True)
+        cfg = IorConfig(tasks=64)
+        a = run_ior(summit_machine, "pfs", cfg, "write", perf=perf)
+        b = run_ior(summit_machine, "pfs", cfg, "write", perf=perf)
+        assert a.bandwidth == b.bandwidth > 0
+
+    def test_more_tasks_more_bandwidth(self, summit_machine):
+        perf = PerfModel(deterministic=True)
+        small = run_ior(
+            summit_machine, "pfs",
+            IorConfig(tasks=4, block_size=1 * GiB), "write", perf=perf,
+        )
+        large = run_ior(
+            summit_machine, "pfs",
+            IorConfig(tasks=256, block_size=1 * GiB), "write", perf=perf,
+        )
+        assert large.bandwidth > small.bandwidth
+
+    def test_larger_transfers_beat_small(self, summit_machine):
+        perf = PerfModel(deterministic=True)
+        tiny = run_ior(
+            summit_machine, "pfs",
+            IorConfig(tasks=16, transfer_size=4 * KiB, block_size=64 * MiB),
+            "read", perf=perf,
+        )
+        big = run_ior(
+            summit_machine, "pfs",
+            IorConfig(tasks=16, transfer_size=16 * MiB, block_size=64 * MiB),
+            "read", perf=perf,
+        )
+        assert big.bandwidth > tiny.bandwidth * 3
+
+    def test_collective_helps_small_transfers(self, summit_machine):
+        perf = PerfModel(deterministic=True)
+        base = IorConfig(
+            api=IOInterface.MPIIO, tasks=64,
+            transfer_size=64 * KiB, block_size=64 * MiB,
+        )
+        coll = IorConfig(
+            api=IOInterface.MPIIO, tasks=64,
+            transfer_size=64 * KiB, block_size=64 * MiB, collective=True,
+        )
+        a = run_ior(summit_machine, "pfs", base, "write", perf=perf)
+        b = run_ior(summit_machine, "pfs", coll, "write", perf=perf)
+        assert b.bandwidth > a.bandwidth
+
+    def test_stdio_slower_than_posix(self, cori_machine):
+        """Finding E, probed IOR-style on Lustre."""
+        perf = PerfModel(deterministic=True)
+        posix = run_ior(
+            cori_machine, "pfs", IorConfig(api=IOInterface.POSIX, tasks=32),
+            "read", perf=perf,
+        )
+        stdio = run_ior(
+            cori_machine, "pfs", IorConfig(api=IOInterface.STDIO, tasks=32),
+            "read", perf=perf,
+        )
+        assert posix.bandwidth > stdio.bandwidth * 2
+
+    def test_bad_direction(self, summit_machine):
+        with pytest.raises(ConfigurationError):
+            run_ior(summit_machine, "pfs", IorConfig(), "sideways")
+
+
+class TestProbeSeries:
+    def test_diurnal_signal(self, summit_machine):
+        cfg = IorConfig(tasks=64)
+        night = probe_series(
+            summit_machine, "pfs", cfg, "read",
+            times_of_day=np.full(3000, 3 * 3600.0), seed=5,
+        )
+        afternoon = probe_series(
+            summit_machine, "pfs", cfg, "read",
+            times_of_day=np.full(3000, 15 * 3600.0), seed=5,
+        )
+        assert night.mean() > afternoon.mean()
+
+    def test_empty_series(self, summit_machine):
+        out = probe_series(
+            summit_machine, "pfs", IorConfig(), "read",
+            times_of_day=np.empty(0),
+        )
+        assert out.size == 0
+
+    def test_series_is_positive(self, cori_machine):
+        series = probe_series(
+            cori_machine, "insystem", IorConfig(tasks=16), "write",
+            times_of_day=np.arange(0, 86400, 1800.0),
+        )
+        assert (series > 0).all()

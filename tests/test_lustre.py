@@ -1,0 +1,110 @@
+"""Tests for the Lustre striping simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.iosim.lustre import LustreFilesystem, StripeLayout
+from repro.units import GB, MiB
+
+
+class TestStripeLayout:
+    def test_ost_of_offset_round_robin(self):
+        layout = StripeLayout(1 * MiB, 4, start_ost=10, ost_pool=248)
+        assert layout.ost_of_offset(0) == 10
+        assert layout.ost_of_offset(1 * MiB) == 11
+        assert layout.ost_of_offset(4 * MiB) == 10  # wraps within count
+
+    def test_osts_sequence(self):
+        layout = StripeLayout(1 * MiB, 3, start_ost=246, ost_pool=248)
+        np.testing.assert_array_equal(layout.osts(), [246, 247, 0])
+
+    def test_parallelism_limited_by_size(self):
+        layout = StripeLayout(1 * MiB, 8, start_ost=0, ost_pool=248)
+        assert layout.parallelism(512 * 1024) == 1
+        assert layout.parallelism(3 * MiB) == 3
+        assert layout.parallelism(1 * GB) == 8
+
+    def test_default_cori_file_is_serial(self):
+        """Default stripe count 1 -> one OST no matter the size (§2.1.2)."""
+        layout = StripeLayout(1 * MiB, 1, start_ost=5, ost_pool=248)
+        assert layout.parallelism(10 * GB) == 1
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            StripeLayout(0, 1, 0, 248)
+        with pytest.raises(SimulationError):
+            StripeLayout(1 * MiB, 300, 0, 248)
+        with pytest.raises(SimulationError):
+            StripeLayout(1 * MiB, 1, 248, 248)
+        with pytest.raises(SimulationError):
+            StripeLayout(1 * MiB, 1, 0, 248).ost_of_offset(-1)
+
+
+class TestFilesystem:
+    def test_defaults_match_cori(self, rng):
+        fs = LustreFilesystem()
+        layout = fs.create("/scratch/u/f.dat", rng)
+        assert layout.stripe_size == 1 * MiB
+        assert layout.stripe_count == 1
+
+    def test_directory_inheritance(self, rng):
+        fs = LustreFilesystem()
+        fs.set_directory_stripe("/scratch/bigproj", 4 * MiB, 16)
+        inherited = fs.create("/scratch/bigproj/data/x.h5", rng)
+        assert inherited.stripe_count == 16
+        assert inherited.stripe_size == 4 * MiB
+        other = fs.create("/scratch/other/x.h5", rng)
+        assert other.stripe_count == 1
+
+    def test_longest_directory_match(self, rng):
+        fs = LustreFilesystem()
+        fs.set_directory_stripe("/a", 1 * MiB, 2)
+        fs.set_directory_stripe("/a/b", 1 * MiB, 8)
+        assert fs.create("/a/b/f", rng).stripe_count == 8
+        assert fs.create("/a/f", rng).stripe_count == 2
+
+    def test_explicit_override(self, rng):
+        fs = LustreFilesystem()
+        layout = fs.create("/x", rng, stripe_count=32, stripe_size=8 * MiB)
+        assert layout.stripe_count == 32
+
+    def test_invalid_directory_stripe(self):
+        fs = LustreFilesystem()
+        with pytest.raises(SimulationError):
+            fs.set_directory_stripe("/a", 1 * MiB, 9999)
+
+    def test_mds_partitioning(self):
+        fs = LustreFilesystem(mds_count=5)
+        paths = [f"/proj{i}/file{j}" for i in range(50) for j in range(20)]
+        usage = fs.mds_usage(paths)
+        assert usage.sum() == 1000
+        # All files of one project land on one MDS.
+        one_proj = fs.mds_usage([f"/proj7/f{j}" for j in range(20)])
+        assert (one_proj > 0).sum() == 1
+
+    def test_mds_stable(self):
+        fs = LustreFilesystem()
+        assert fs.mds_of("/proj/x") == fs.mds_of("/proj/y")
+
+    def test_ost_usage(self, rng):
+        fs = LustreFilesystem(ost_count=16)
+        for i in range(64):
+            fs.create(f"/f{i}", rng, stripe_count=4)
+        usage = fs.ost_usage()
+        assert usage.sum() == 64 * 4
+
+    def test_duplicate_and_remove(self, rng):
+        fs = LustreFilesystem()
+        fs.create("/a", rng)
+        with pytest.raises(SimulationError):
+            fs.create("/a", rng)
+        fs.remove("/a")
+        with pytest.raises(SimulationError):
+            fs.layout("/a")
+
+    def test_file_parallelism(self, rng):
+        fs = LustreFilesystem()
+        fs.create("/wide", rng, stripe_count=8)
+        assert fs.file_parallelism("/wide", 100 * GB) == 8
+        assert fs.file_parallelism("/wide", 1) == 1

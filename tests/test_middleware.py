@@ -1,0 +1,146 @@
+"""Tests for the middleware optimizations (chunk cache, adaptive placer)."""
+
+import numpy as np
+import pytest
+
+from repro.darshan.accumulate import OP_WRITE, make_ops
+from repro.darshan.stdio_ext import accumulate_stdio_ext
+from repro.errors import ConfigurationError
+from repro.middleware import (
+    AccessPlan,
+    WriteBackChunkCache,
+    place_dataset,
+)
+from repro.middleware.chunkcache import CacheStats
+from repro.platforms import cori, summit
+from repro.units import GiB, KiB, MiB
+
+
+def _write_stream(offsets, sizes):
+    n = len(offsets)
+    return make_ops(
+        [OP_WRITE] * n, offsets, sizes,
+        np.arange(n, dtype=float), [0.001] * n,
+    )
+
+
+class TestChunkCache:
+    def test_small_writes_coalesce(self):
+        cache = WriteBackChunkCache(chunk_size=64 * KiB, capacity_chunks=16)
+        for i in range(128):
+            cache.write(i * 512, 512)  # sequential 512B appends
+        cache.flush()
+        # 128 app writes fit one 64 KiB chunk -> 1 downstream write.
+        assert cache.stats.flushed_writes == 1
+        assert cache.stats.write_reduction == 128
+
+    def test_rewrites_absorbed(self):
+        cache = WriteBackChunkCache(chunk_size=64 * KiB, capacity_chunks=4)
+        for _ in range(100):
+            cache.write(0, 4096)  # hammer the same extent
+        cache.flush()
+        assert cache.stats.flushed_writes == 1
+        assert cache.stats.absorbed_bytes > 0
+
+    def test_eviction_under_pressure(self):
+        cache = WriteBackChunkCache(chunk_size=64 * KiB, capacity_chunks=2)
+        for chunk in range(5):
+            cache.write(chunk * 64 * KiB, 1024)
+        assert cache.stats.evictions == 3
+        cache.flush()
+        assert cache.stats.flushed_writes == 5
+
+    def test_spanning_write(self):
+        cache = WriteBackChunkCache(chunk_size=64 * KiB, capacity_chunks=8)
+        cache.write(60 * KiB, 8 * KiB)  # spans two chunks
+        cache.flush()
+        assert cache.stats.flushed_writes == 2
+
+    def test_downstream_ops_are_chunk_aligned(self):
+        cache = WriteBackChunkCache(chunk_size=64 * KiB, capacity_chunks=8)
+        cache.write(100, 10)
+        cache.write(70 * KiB, 10)
+        cache.flush()
+        ops = cache.downstream_ops()
+        assert (ops["offset"] % (64 * KiB) == 0).all()
+        assert (ops["size"] == 64 * KiB).all()
+
+    def test_apply_to_stream_reduces_waf(self):
+        """The Recommendation 4 payoff, measured with the extended counters."""
+        rng = np.random.default_rng(9)
+        offsets = (rng.permutation(400) * 6_000).tolist()
+        raw = _write_stream(offsets, [512] * 400)
+        cached, stats = WriteBackChunkCache.apply_to_stream(
+            raw, chunk_size=256 * KiB, capacity_chunks=32
+        )
+        waf_raw = accumulate_stdio_ext(1, 0, raw).write_amplification()
+        waf_cached = accumulate_stdio_ext(1, 0, cached).write_amplification()
+        assert waf_cached < waf_raw / 2
+        assert stats.write_reduction > 10
+
+    def test_zero_write_ignored(self):
+        cache = WriteBackChunkCache()
+        cache.write(0, 0)
+        assert cache.stats.app_writes == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            WriteBackChunkCache(chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            WriteBackChunkCache().write(-1, 10)
+        with pytest.raises(TypeError):
+            WriteBackChunkCache.apply_to_stream(np.zeros(3))
+
+    def test_stats_dataclass(self):
+        assert CacheStats().write_reduction == float("inf")
+
+
+class TestAdaptivePlacer:
+    def test_small_persistent_dataset_stays_on_pfs(self):
+        """Staging overhead swamps the gain for small persistent data."""
+        plan = AccessPlan(
+            bytes_read=64 * MiB, bytes_written=0,
+            request_size=1 * MiB, nprocs=8,
+        )
+        decision = place_dataset(
+            summit(), plan, count_staging_in_job=True
+        )
+        assert decision.layer_key == "pfs"
+
+    def test_hot_scratch_goes_in_system(self):
+        """Non-persistent, re-read scratch: the BB case."""
+        plan = AccessPlan(
+            bytes_read=200 * GiB, bytes_written=200 * GiB,
+            request_size=64 * KiB, nprocs=512,
+            persistent_input=False, persistent_output=False,
+        )
+        decision = place_dataset(summit(), plan, count_staging_in_job=True)
+        assert decision.layer_key == "insystem"
+        assert decision.staging_seconds == 0.0
+        assert decision.speedup > 1.0
+
+    def test_scheduler_staging_favours_bb(self):
+        """With movement outside the window (Cori style), the in-system
+        layer wins for big streaming inputs too."""
+        plan = AccessPlan(
+            bytes_read=500 * GiB, bytes_written=0,
+            request_size=4 * MiB, nprocs=1024,
+        )
+        decision = place_dataset(cori(), plan, count_staging_in_job=False)
+        assert decision.layer_key == "insystem"
+        assert decision.staging_seconds > 0
+
+    def test_prices_both_options(self):
+        plan = AccessPlan(
+            bytes_read=1 * GiB, bytes_written=1 * GiB,
+            request_size=1 * MiB, nprocs=64,
+        )
+        decision = place_dataset(summit(), plan)
+        assert decision.pfs_seconds > 0
+        assert decision.insystem_seconds > 0
+
+    def test_plan_validation(self):
+        with pytest.raises(ConfigurationError):
+            AccessPlan(bytes_read=0, bytes_written=0, request_size=1, nprocs=1)
+        with pytest.raises(ConfigurationError):
+            AccessPlan(bytes_read=-1, bytes_written=0, request_size=1, nprocs=1)

@@ -1,0 +1,154 @@
+"""Tests for archetype specifications and the calibrated platform mixes."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platforms.interfaces import IOInterface
+from repro.workloads.archetypes import ArchetypeSpec, FileGroupSpec
+from repro.workloads.distributions import (
+    BinProfile,
+    Constant,
+    DiscreteLogUniform,
+    LogNormal,
+)
+from repro.workloads.domains import (
+    CORI_DOMAINS,
+    SUMMIT_DOMAINS,
+    domain_catalog,
+)
+from repro.workloads.mixes import cori_mix, summit_mix
+
+
+def _group(**over):
+    base = dict(
+        name="g",
+        layer="pfs",
+        interface=IOInterface.POSIX,
+        files_per_run=1.0,
+        opclass_probs=(0.5, 0.25, 0.25),
+        read_size=Constant(100.0),
+        write_size=Constant(100.0),
+        read_profile=BinProfile.from_dict({"0_100": 1.0}),
+        write_profile=BinProfile.from_dict({"0_100": 1.0}),
+    )
+    base.update(over)
+    return FileGroupSpec(**base)
+
+
+class TestFileGroupSpec:
+    def test_valid(self):
+        _group()
+
+    def test_bad_layer(self):
+        with pytest.raises(ConfigurationError):
+            _group(layer="tape")
+
+    def test_opclass_probs_sum(self):
+        with pytest.raises(ConfigurationError):
+            _group(opclass_probs=(0.5, 0.5, 0.5))
+
+    def test_bad_shared_prob(self):
+        with pytest.raises(ConfigurationError):
+            _group(shared_prob=1.5)
+
+    def test_bad_ext_probs(self):
+        with pytest.raises(ConfigurationError):
+            _group(ext_probs={"h5": -1.0})
+
+
+class TestArchetypeSpec:
+    def _spec(self, **over):
+        base = dict(
+            name="a",
+            domains={"physics": 1.0},
+            nnodes=DiscreteLogUniform(1, 4),
+            procs_per_node=4,
+            runtime=LogNormal(100, 0.5),
+            instances=DiscreteLogUniform(1, 4),
+            groups=(_group(),),
+        )
+        base.update(over)
+        return ArchetypeSpec(**base)
+
+    def test_valid(self):
+        assert self._spec().expected_files_per_run() == 1.0
+
+    def test_needs_domains(self):
+        with pytest.raises(ConfigurationError):
+            self._spec(domains={})
+
+    def test_needs_groups(self):
+        with pytest.raises(ConfigurationError):
+            self._spec(groups=())
+
+    def test_positive_domain_weights(self):
+        with pytest.raises(ConfigurationError):
+            self._spec(domains={"physics": 0})
+
+
+class TestPlatformMixes:
+    @pytest.mark.parametrize("mix_fn,catalog", [
+        (summit_mix, SUMMIT_DOMAINS),
+        (cori_mix, CORI_DOMAINS),
+    ])
+    def test_domains_within_catalog(self, mix_fn, catalog):
+        for _, spec in mix_fn():
+            for domain in spec.domains:
+                assert domain in catalog, (spec.name, domain)
+
+    @pytest.mark.parametrize("mix_fn", [summit_mix, cori_mix])
+    def test_weights_sum_to_one(self, mix_fn):
+        total = sum(w for w, _ in mix_fn())
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_summit_scnl_users_are_rare(self):
+        """Table 5: only ~1.2% of Summit jobs touch SCNL."""
+        scnl_weight = sum(
+            w for w, spec in summit_mix()
+            if any(g.layer == "insystem" for g in spec.groups)
+        )
+        assert 0.005 < scnl_weight < 0.03
+
+    def test_cori_bb_exclusive_weight(self):
+        """Table 5: 14.38% of Cori jobs are CBB-exclusive."""
+        for w, spec in cori_mix():
+            if spec.name == "bb_exclusive":
+                assert w == pytest.approx(0.144, abs=0.01)
+                assert all(g.layer == "insystem" for g in spec.groups)
+                break
+        else:
+            pytest.fail("no bb_exclusive archetype")
+
+    def test_summit_has_no_bb_directives(self):
+        """DataWarp-style capacity requests are a Cori thing."""
+        assert all(spec.bb_capacity is None for _, spec in summit_mix())
+
+    def test_cori_bb_archetypes_request_capacity(self):
+        bb = [s for _, s in cori_mix() if any(g.layer == "insystem" for g in s.groups)]
+        assert bb and all(s.bb_capacity is not None for s in bb)
+
+    def test_scnl_domain_specialists(self):
+        """Figure 7a: biology/materials read-only; chemistry write-only."""
+        by_name = {s.name: s for _, s in summit_mix()}
+        bio = by_name["scnl_bio_readonly"]
+        assert set(bio.domains) == {"biology", "materials"}
+        scnl_groups = [g for g in bio.groups if g.layer == "insystem"]
+        assert all(g.opclass_probs == (1.0, 0.0, 0.0) for g in scnl_groups)
+        chem = by_name["scnl_chem_writeonly"]
+        assert set(chem.domains) == {"chemistry"}
+        scnl_groups = [g for g in chem.groups if g.layer == "insystem"]
+        assert all(g.opclass_probs == (0.0, 0.0, 1.0) for g in scnl_groups)
+
+
+class TestDomainCatalogs:
+    def test_catalog_lookup(self):
+        assert domain_catalog("summit") is SUMMIT_DOMAINS
+        assert domain_catalog("Cori") is CORI_DOMAINS
+        with pytest.raises(ValueError):
+            domain_catalog("perlmutter")
+
+    def test_paper_domains_present(self):
+        assert "lattice theory" in SUMMIT_DOMAINS
+        assert "staff" in SUMMIT_DOMAINS
+        assert "fusion" in CORI_DOMAINS
+        assert "energy sciences" in CORI_DOMAINS

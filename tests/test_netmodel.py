@@ -1,0 +1,116 @@
+"""Tests for the interconnect model and its perf-model integration."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iosim.netmodel import (
+    CORI_NETWORK,
+    SUMMIT_NETWORK,
+    InterconnectModel,
+    Topology,
+    network_for,
+)
+from repro.iosim.perfmodel import PerfModel, TransferSpec
+from repro.platforms import summit
+from repro.platforms.interfaces import IOInterface
+from repro.units import GB, MiB
+
+
+class TestInterconnectModel:
+    def test_injection_scales_with_nodes(self):
+        cap = SUMMIT_NETWORK.injection_cap(np.array([1, 2, 100]))
+        assert cap[1] == 2 * cap[0]
+        assert cap[2] == 100 * cap[0]
+
+    def test_zero_nodes_clamped_to_one(self):
+        cap = SUMMIT_NETWORK.injection_cap(np.array([0]))
+        assert cap[0] == SUMMIT_NETWORK.injection_per_node
+
+    def test_bisection_binds_wide_jobs(self):
+        wide = SUMMIT_NETWORK.job_cap(np.array([100_000]))
+        assert wide[0] < SUMMIT_NETWORK.injection_cap(np.array([100_000]))[0]
+        assert wide[0] == pytest.approx(
+            SUMMIT_NETWORK.bisection * SUMMIT_NETWORK.job_bisection_share
+        )
+
+    def test_dragonfly_taper(self):
+        ft = InterconnectModel(Topology.FAT_TREE, 10 * GB, 1000 * GB)
+        df = InterconnectModel(Topology.DRAGONFLY, 10 * GB, 1000 * GB)
+        wide = np.array([10_000])
+        assert df.job_cap(wide)[0] < ft.job_cap(wide)[0]
+
+    def test_lookup(self):
+        assert network_for("summit") is SUMMIT_NETWORK
+        assert network_for("CORI") is CORI_NETWORK
+        with pytest.raises(ConfigurationError):
+            network_for("perlmutter")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectModel(Topology.FAT_TREE, 0, 1)
+        with pytest.raises(ConfigurationError):
+            InterconnectModel(Topology.FAT_TREE, 1, 1, job_bisection_share=0)
+        with pytest.raises(ConfigurationError):
+            SUMMIT_NETWORK.injection_cap(np.array([-1]))
+
+
+class TestPerfModelIntegration:
+    def _spec(self, nnodes):
+        n = len(nnodes)
+        return TransferSpec(
+            nbytes=np.full(n, 1e12),
+            request_size=np.full(n, 16 * MiB),
+            nprocs=np.asarray(nnodes, dtype=np.float64) * 6,
+            file_parallelism=np.full(n, 154.0),
+            shared=np.ones(n, dtype=bool),
+            nnodes=np.asarray(nnodes, dtype=np.float64),
+        )
+
+    def test_single_node_job_injection_limited(self):
+        pm = PerfModel(deterministic=True, network=SUMMIT_NETWORK)
+        rng = np.random.default_rng(0)
+        bw = pm.sample_bandwidth(
+            summit().pfs, IOInterface.POSIX, "read", self._spec([1, 512]), rng
+        )
+        assert bw[0] <= SUMMIT_NETWORK.injection_per_node
+        assert bw[1] > bw[0]
+
+    def test_node_local_layer_bypasses_fabric(self):
+        """SCNL traffic never crosses the interconnect."""
+        pm = PerfModel(deterministic=True, network=SUMMIT_NETWORK)
+        rng = np.random.default_rng(0)
+        scnl = summit().in_system
+        with_net = pm.sample_bandwidth(
+            scnl, IOInterface.POSIX, "read", self._spec([2]), rng
+        )
+        pm_off = PerfModel(deterministic=True)
+        without = pm_off.sample_bandwidth(
+            scnl, IOInterface.POSIX, "read", self._spec([2]), rng
+        )
+        assert with_net[0] == pytest.approx(without[0])
+
+    def test_no_nnodes_means_no_cap(self):
+        pm = PerfModel(deterministic=True, network=SUMMIT_NETWORK)
+        rng = np.random.default_rng(0)
+        spec = self._spec([1])
+        uncapped_spec = TransferSpec(
+            nbytes=spec.nbytes, request_size=spec.request_size,
+            nprocs=spec.nprocs, file_parallelism=spec.file_parallelism,
+            shared=spec.shared,
+        )
+        capped = pm.sample_bandwidth(
+            summit().pfs, IOInterface.POSIX, "read", spec, rng
+        )
+        free = pm.sample_bandwidth(
+            summit().pfs, IOInterface.POSIX, "read", uncapped_spec, rng
+        )
+        assert free[0] >= capped[0]
+
+    def test_nnodes_length_validated(self):
+        with pytest.raises(ConfigurationError):
+            TransferSpec(
+                nbytes=np.zeros(2), request_size=np.ones(2),
+                nprocs=np.ones(2), file_parallelism=np.ones(2),
+                shared=np.zeros(2, dtype=bool), nnodes=np.ones(3),
+            )

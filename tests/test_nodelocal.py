@@ -1,0 +1,103 @@
+"""Tests for the node-local (SCNL) store."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.iosim.nodelocal import NodeLocalStore
+
+
+@pytest.fixture()
+def store():
+    return NodeLocalStore(node_count=8, per_node_capacity=1000)
+
+
+class TestNamespaceLifecycle:
+    def test_create_and_destroy(self, store):
+        store.create_namespace(1, [0, 1, 2])
+        assert store.job_parallelism(1) == 3
+        assert store.destroy_namespace(1) == []
+        with pytest.raises(SimulationError):
+            store.job_parallelism(1)
+
+    def test_duplicate_namespace(self, store):
+        store.create_namespace(1, [0])
+        with pytest.raises(SimulationError):
+            store.create_namespace(1, [1])
+
+    def test_bad_nodes(self, store):
+        with pytest.raises(SimulationError):
+            store.create_namespace(1, [])
+        with pytest.raises(SimulationError):
+            store.create_namespace(2, [99])
+        with pytest.raises(SimulationError):
+            store.create_namespace(3, [0, 0])
+
+    def test_unstaged_files_are_lost(self, store):
+        """The UnifyFS lifecycle: files vanish at namespace teardown."""
+        store.create_namespace(1, [0, 1])
+        store.write(1, "/tmp/a", 100, rank=0, nprocs=2)
+        store.write(1, "/tmp/b", 100, rank=1, nprocs=2)
+        lost = store.destroy_namespace(1)
+        assert lost == ["/tmp/a", "/tmp/b"]
+        assert store.total_used() == 0
+
+
+class TestFileOps:
+    def test_write_lands_on_rank_node(self, store):
+        store.create_namespace(1, [3, 5])
+        assert store.write(1, "/a", 10, rank=0, nprocs=4) == 3
+        assert store.write(1, "/b", 10, rank=1, nprocs=4) == 5
+        assert store.write(1, "/c", 10, rank=2, nprocs=4) == 3  # round robin
+
+    def test_read_returns_size(self, store):
+        store.create_namespace(1, [0])
+        store.write(1, "/a", 123, rank=0, nprocs=1)
+        assert store.read(1, "/a") == 123
+
+    def test_read_missing(self, store):
+        store.create_namespace(1, [0])
+        with pytest.raises(SimulationError):
+            store.read(1, "/nope")
+
+    def test_overwrite_replaces(self, store):
+        store.create_namespace(1, [0])
+        store.write(1, "/a", 600, rank=0, nprocs=1)
+        store.write(1, "/a", 700, rank=0, nprocs=1)  # rewrite fits
+        assert store.node_used(0) == 700
+
+    def test_capacity_enforced(self, store):
+        store.create_namespace(1, [0])
+        store.write(1, "/a", 900, rank=0, nprocs=1)
+        with pytest.raises(SimulationError, match="capacity"):
+            store.write(1, "/b", 200, rank=0, nprocs=1)
+
+    def test_capacity_per_node_not_global(self, store):
+        store.create_namespace(1, [0, 1])
+        store.write(1, "/a", 900, rank=0, nprocs=2)
+        # Rank 1 writes to node 1, which is empty.
+        store.write(1, "/b", 900, rank=1, nprocs=2)
+
+    def test_remove_frees(self, store):
+        store.create_namespace(1, [0])
+        store.write(1, "/a", 500, rank=0, nprocs=1)
+        store.remove(1, "/a")
+        assert store.node_used(0) == 0
+
+    def test_files_listing(self, store):
+        store.create_namespace(1, [0])
+        store.write(1, "/a", 5, rank=0, nprocs=1)
+        assert store.files(1) == {"/a": 5}
+
+    def test_rank_validation(self, store):
+        store.create_namespace(1, [0])
+        with pytest.raises(SimulationError):
+            store.write(1, "/a", 5, rank=9, nprocs=4)
+
+
+class TestIsolation:
+    def test_namespaces_do_not_share_files(self, store):
+        store.create_namespace(1, [0])
+        store.create_namespace(2, [1])
+        store.write(1, "/a", 5, rank=0, nprocs=1)
+        with pytest.raises(SimulationError):
+            store.read(2, "/a")

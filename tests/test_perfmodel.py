@@ -1,0 +1,239 @@
+"""Tests for the bandwidth model — the mechanisms behind Figures 11/12."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iosim.contention import ContentionModel
+from repro.iosim.perfmodel import PerfModel, TransferSpec
+from repro.platforms import cori, summit
+from repro.platforms.interfaces import IOInterface
+from repro.units import GB, KiB, MB, MiB
+
+
+def spec_of(nbytes, req, nprocs=1, par=1, shared=False, collective=False, n=1):
+    return TransferSpec(
+        nbytes=np.full(n, nbytes, dtype=np.float64),
+        request_size=np.full(n, req, dtype=np.float64),
+        nprocs=np.full(n, nprocs, dtype=np.float64),
+        file_parallelism=np.full(n, par, dtype=np.float64),
+        shared=np.full(n, shared),
+        collective=np.full(n, collective),
+    )
+
+
+@pytest.fixture()
+def pm():
+    return PerfModel(deterministic=True)
+
+
+@pytest.fixture()
+def alpine():
+    return summit().pfs
+
+
+@pytest.fixture()
+def scnl():
+    return summit().in_system
+
+
+class TestMechanisms:
+    def test_larger_requests_are_faster(self, pm, alpine, rng):
+        slow = pm.sample_bandwidth(
+            alpine, IOInterface.POSIX, "read", spec_of(1 * GB, 4 * KiB), rng
+        )
+        fast = pm.sample_bandwidth(
+            alpine, IOInterface.POSIX, "read", spec_of(1 * GB, 16 * MiB), rng
+        )
+        assert fast[0] > slow[0] * 10
+
+    def test_shared_parallelism_helps_posix(self, pm, alpine, rng):
+        serial = pm.sample_bandwidth(
+            alpine, IOInterface.POSIX, "read",
+            spec_of(100 * GB, 1 * MiB, nprocs=256, par=64, shared=False), rng,
+        )
+        parallel = pm.sample_bandwidth(
+            alpine, IOInterface.POSIX, "read",
+            spec_of(100 * GB, 1 * MiB, nprocs=256, par=64, shared=True), rng,
+        )
+        assert parallel[0] > serial[0] * 2
+
+    def test_stdio_never_parallel(self, pm, alpine, rng):
+        solo = pm.sample_bandwidth(
+            alpine, IOInterface.STDIO, "read",
+            spec_of(100 * GB, 1 * MiB, nprocs=1, par=1, shared=False), rng,
+        )
+        shared = pm.sample_bandwidth(
+            alpine, IOInterface.STDIO, "read",
+            spec_of(100 * GB, 1 * MiB, nprocs=512, par=64, shared=True), rng,
+        )
+        assert shared[0] == pytest.approx(solo[0])
+
+    def test_stdio_coalesces_small_requests(self, pm, alpine, rng):
+        posix = pm.sample_bandwidth(
+            alpine, IOInterface.POSIX, "read", spec_of(1 * GB, 100), rng
+        )
+        stdio = pm.sample_bandwidth(
+            alpine, IOInterface.STDIO, "read", spec_of(1 * GB, 100), rng
+        )
+        # Tiny fscanf-style requests: buffering wins by orders of magnitude.
+        assert stdio[0] > posix[0] * 50
+
+    def test_collective_buffering(self, pm, alpine, rng):
+        ind = pm.sample_bandwidth(
+            alpine, IOInterface.MPIIO, "write",
+            spec_of(10 * GB, 64 * KiB, nprocs=64, par=16, shared=True), rng,
+        )
+        coll = pm.sample_bandwidth(
+            alpine, IOInterface.MPIIO, "write",
+            spec_of(10 * GB, 64 * KiB, nprocs=64, par=16, shared=True, collective=True),
+            rng,
+        )
+        assert coll[0] > ind[0]
+
+    def test_job_share_ceiling(self, pm, alpine, rng):
+        bw = pm.sample_bandwidth(
+            alpine, IOInterface.POSIX, "read",
+            spec_of(1e12, 16 * MiB, nprocs=10000, par=154, shared=True), rng,
+        )
+        assert bw[0] <= alpine.peak_read_bw * pm.job_share_fraction + 1
+
+    def test_stdio_wins_scnl_writes_at_one_stream(self, pm, scnl, rng):
+        """The Figure 11b SCNL 100MB-1GB write observation."""
+        posix = pm.sample_bandwidth(
+            scnl, IOInterface.POSIX, "write",
+            spec_of(500 * MB, 64 * KiB, nprocs=12, par=4, shared=True), rng,
+        )
+        stdio = pm.sample_bandwidth(
+            scnl, IOInterface.STDIO, "write",
+            spec_of(500 * MB, 8 * KiB, nprocs=12, par=4, shared=True), rng,
+        )
+        assert stdio[0] > posix[0] * 0.9
+
+    def test_posix_wins_scnl_reads(self, pm, scnl, rng):
+        posix = pm.sample_bandwidth(
+            scnl, IOInterface.POSIX, "read",
+            spec_of(500 * MB, 64 * KiB, nprocs=12, par=4, shared=True), rng,
+        )
+        stdio = pm.sample_bandwidth(
+            scnl, IOInterface.STDIO, "read",
+            spec_of(500 * MB, 8 * KiB, nprocs=12, par=4, shared=True), rng,
+        )
+        assert posix[0] > stdio[0] * 1.5
+
+
+class TestTransferTime:
+    def test_time_is_bytes_over_bw(self, pm, alpine, rng):
+        spec = spec_of(1 * GB, 1 * MiB)
+        bw = pm.sample_bandwidth(alpine, IOInterface.POSIX, "read", spec, rng)
+        t = pm.transfer_time(alpine, IOInterface.POSIX, "read", spec, rng)
+        assert t[0] == pytest.approx(1 * GB / bw[0])
+
+    def test_zero_bytes_zero_time(self, pm, alpine, rng):
+        t = pm.transfer_time(
+            alpine, IOInterface.POSIX, "read", spec_of(0, 1 * MiB), rng
+        )
+        assert t[0] == 0.0
+
+    def test_single_transfer_time_deterministic(self, alpine):
+        pm = PerfModel()
+        a = pm.single_transfer_time(
+            alpine, IOInterface.POSIX, "read", nbytes=10**9, request_size=2**20
+        )
+        b = pm.single_transfer_time(
+            alpine, IOInterface.POSIX, "read", nbytes=10**9, request_size=2**20
+        )
+        assert a == b > 0
+
+    def test_empty_spec(self, pm, alpine, rng):
+        out = pm.sample_bandwidth(
+            alpine, IOInterface.POSIX, "read", spec_of(1, 1, n=1)[:0]
+            if False else TransferSpec(
+                nbytes=np.empty(0), request_size=np.empty(0),
+                nprocs=np.empty(0), file_parallelism=np.empty(0),
+                shared=np.empty(0, dtype=bool),
+            ),
+            rng,
+        )
+        assert out.size == 0
+
+
+class TestNoiseAndContention:
+    def test_noise_spreads_but_preserves_order(self, alpine):
+        pm = PerfModel()
+        rng = np.random.default_rng(3)
+        spec = spec_of(1 * GB, 1 * MiB, n=4000)
+        bw = pm.sample_bandwidth(alpine, IOInterface.POSIX, "read", spec, rng)
+        assert bw.std() > 0
+        # Median should still be far below the deterministic ideal.
+        det = PerfModel(deterministic=True).sample_bandwidth(
+            alpine, IOInterface.POSIX, "read", spec_of(1 * GB, 1 * MiB),
+            np.random.default_rng(0),
+        )
+        assert np.median(bw) < det[0]
+
+    def test_bandwidth_floor(self, alpine):
+        pm = PerfModel()
+        rng = np.random.default_rng(3)
+        bw = pm.sample_bandwidth(
+            alpine, IOInterface.POSIX, "read", spec_of(1 * GB, 1, n=1000), rng
+        )
+        assert bw.min() >= pm.min_bandwidth
+
+
+class TestContentionModel:
+    def test_fractions_in_range(self, rng):
+        cm = ContentionModel()
+        frac = cm.sample(rng, 10_000)
+        assert frac.min() >= cm.floor
+        assert frac.max() <= 1.0
+
+    def test_pfs_contends_harder(self, rng):
+        pfs = ContentionModel.for_layer_kind("pfs")
+        bb = ContentionModel.for_layer_kind("insystem")
+        assert pfs.sample(rng, 20_000).mean() < bb.sample(rng, 20_000).mean()
+
+    def test_time_of_day_shape(self, rng):
+        cm = ContentionModel(diurnal_amplitude=0.3)
+        tod = np.array([3 * 3600.0] * 5000 + [15 * 3600.0] * 5000)
+        frac = cm.sample(rng, 10_000, time_of_day=tod)
+        assert frac[:5000].mean() > frac[5000:].mean()  # nights are calmer
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ContentionModel(alpha=0)
+        with pytest.raises(ConfigurationError):
+            ContentionModel(floor=1.5)
+
+    def test_bad_time_of_day_shape(self, rng):
+        cm = ContentionModel()
+        with pytest.raises(ValueError):
+            cm.sample(rng, 5, time_of_day=np.zeros(3))
+
+
+class TestValidation:
+    def test_unknown_technology(self, pm, rng):
+        from repro.platforms.storage import LayerKind, Locality, StorageLayer
+
+        weird = StorageLayer(
+            key="pfs", name="W", kind=LayerKind.PFS,
+            locality=Locality.CENTER_WIDE, technology="TAPE",
+            capacity_bytes=10**15, peak_read_bw=1e9, peak_write_bw=1e9,
+            mount_point="/w",
+        )
+        with pytest.raises(ConfigurationError, match="TAPE"):
+            pm.sample_bandwidth(weird, IOInterface.POSIX, "read", spec_of(1, 1), rng)
+
+    def test_mismatched_spec_lengths(self):
+        with pytest.raises(ConfigurationError):
+            TransferSpec(
+                nbytes=np.zeros(3), request_size=np.zeros(2),
+                nprocs=np.zeros(3), file_parallelism=np.zeros(3),
+                shared=np.zeros(3, dtype=bool),
+            )
+
+    def test_bad_direction(self, pm, alpine, rng):
+        with pytest.raises(ValueError):
+            pm.sample_bandwidth(
+                alpine, IOInterface.POSIX, "sideways", spec_of(1, 1), rng
+            )

@@ -1,0 +1,144 @@
+"""Tests for repro.platforms."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.platforms import get_platform
+from repro.platforms.interfaces import ACCOUNTING_INTERFACES, IOInterface
+from repro.platforms.machine import Machine, MountTable
+from repro.platforms.storage import LayerKind, Locality, StorageLayer
+from repro.units import PB, TB
+
+
+class TestSummit:
+    def test_paper_facts(self, summit_machine):
+        m = summit_machine
+        assert m.compute_nodes == 4608
+        assert m.gpus_per_node == 6
+        assert m.peak_flops == pytest.approx(148.8e15)
+        assert m.pfs.name == "Alpine"
+        assert m.pfs.technology == "GPFS"
+        assert m.pfs.capacity_bytes == 250 * PB
+        assert m.pfs.peak_read_bw == pytest.approx(2.5 * TB)
+        assert m.pfs.server_count == 154
+        assert m.in_system.name == "SCNL"
+        assert m.in_system.locality is Locality.NODE_LOCAL
+        assert m.in_system.peak_read_bw == pytest.approx(26.7 * TB)
+        assert m.in_system.peak_write_bw == pytest.approx(9.7 * TB)
+
+    def test_gpfs_block_size(self, summit_machine):
+        assert summit_machine.pfs.params["block_size"] == 16 * 1024**2
+
+
+class TestCori:
+    def test_paper_facts(self, cori_machine):
+        m = cori_machine
+        assert m.compute_nodes == 2388 + 9688
+        assert m.pfs.name == "Cori Scratch"
+        assert m.pfs.technology == "Lustre"
+        assert m.pfs.capacity_bytes == 30 * PB
+        assert m.pfs.server_count == 248
+        assert m.pfs.params["mds_count"] == 5
+        assert m.pfs.params["stripe_count"] == 1
+        assert m.in_system.name == "CBB"
+        assert m.in_system.technology == "DataWarp"
+        assert m.in_system.locality is Locality.SYSTEM_LOCAL
+        assert m.in_system.capacity_bytes == int(1.8 * PB)
+
+    def test_flash_layers_flagged(self, cori_machine, summit_machine):
+        assert cori_machine.in_system.is_flash
+        assert summit_machine.in_system.is_flash
+        assert not summit_machine.pfs.is_flash
+
+
+class TestGetPlatform:
+    def test_by_name(self):
+        assert get_platform("Summit").name == "Summit"
+        assert get_platform("CORI").name == "Cori"
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            get_platform("frontier")
+
+
+class TestMountTable:
+    def test_longest_prefix_wins(self, summit_machine):
+        table = summit_machine.mount_table()
+        layer = table.resolve("/gpfs/alpine/proj/x.h5")
+        assert layer.key == "pfs"
+        assert table.resolve("/mnt/bb/tmp/y").key == "insystem"
+
+    def test_unmounted_is_none(self, summit_machine):
+        table = summit_machine.mount_table()
+        assert table.resolve("/dev/null") is None
+        assert table.resolve("/gpfs_alpine_lookalike/x") is None
+
+    def test_relative_prefix_rejected(self, summit_machine):
+        with pytest.raises(ConfigurationError):
+            MountTable({"relative/path": summit_machine.pfs})
+
+
+class TestValidation:
+    def _layer(self, **over):
+        base = dict(
+            key="pfs", name="X", kind=LayerKind.PFS,
+            locality=Locality.CENTER_WIDE, technology="GPFS",
+            capacity_bytes=10**15, peak_read_bw=1e12, peak_write_bw=1e12,
+            mount_point="/x", server_count=10,
+        )
+        base.update(over)
+        return StorageLayer(**base)
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            self._layer(capacity_bytes=0)
+
+    def test_bad_mount(self):
+        with pytest.raises(ConfigurationError):
+            self._layer(mount_point="x")
+
+    def test_machine_requires_pfs(self):
+        ins = self._layer(key="insystem", kind=LayerKind.IN_SYSTEM, mount_point="/bb")
+        with pytest.raises(ConfigurationError, match="PFS"):
+            Machine(
+                name="M", model="?", compute_nodes=10, cores_per_node=8,
+                gpus_per_node=0, peak_flops=1e15, layers={"insystem": ins},
+            )
+
+    def test_layer_key_consistency(self):
+        pfs = self._layer()
+        with pytest.raises(ConfigurationError, match="layer.key"):
+            Machine(
+                name="M", model="?", compute_nodes=10, cores_per_node=8,
+                gpus_per_node=0, peak_flops=1e15, layers={"wrong": pfs},
+            )
+
+    def test_layer_by_name(self, summit_machine):
+        assert summit_machine.layer_by_name("alpine").key == "pfs"
+        assert summit_machine.layer_by_name("insystem").name == "SCNL"
+        with pytest.raises(KeyError):
+            summit_machine.layer_by_name("nope")
+
+
+class TestInterfaces:
+    def test_module_mapping(self):
+        from repro.darshan.constants import ModuleId
+
+        assert IOInterface.POSIX.module is ModuleId.POSIX
+        assert IOInterface.STDIO.module is ModuleId.STDIO
+
+    def test_stdio_lacks_request_sizes(self):
+        assert not IOInterface.STDIO.records_request_sizes
+        assert IOInterface.POSIX.records_request_sizes
+
+    def test_accounting_interfaces(self):
+        assert IOInterface.MPIIO not in ACCOUNTING_INTERFACES
+
+    def test_from_name(self):
+        assert IOInterface.from_name("mpi-io") is IOInterface.MPIIO
+        assert IOInterface.from_name("POSIX") is IOInterface.POSIX
+        with pytest.raises(ValueError):
+            IOInterface.from_name("hdf5")
+
+    def test_labels(self):
+        assert IOInterface.MPIIO.label == "MPI-IO"

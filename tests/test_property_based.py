@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.darshan.accumulate import (
+    OP_CLOSE,
+    OP_OPEN,
+    OP_READ,
+    OP_WRITE,
+    accumulate,
+    make_ops,
+)
+from repro.darshan.bins import ACCESS_SIZE_BINS, TRANSFER_SIZE_BINS
+from repro.darshan.constants import ModuleId
+from repro.darshan.format import read_log_bytes, write_log_bytes
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import FileRecord, JobRecord, NameRecord
+from repro.darshan.validate import validate_record
+from repro.instrument.opstream import synthesize_ops
+from repro.units import format_size, parse_size
+
+sizes = st.integers(min_value=0, max_value=10**14)
+
+
+class TestBinProperties:
+    @given(sizes)
+    def test_every_size_has_exactly_one_bin(self, size):
+        for bins in (ACCESS_SIZE_BINS, TRANSFER_SIZE_BINS):
+            idx = bins.index_of(size)
+            assert 0 <= idx < bins.nbins
+            lo, hi = bins.edges[idx], bins.edges[idx + 1]
+            assert lo <= size < hi
+
+    @given(st.lists(sizes, min_size=1, max_size=200))
+    def test_histogram_conserves_count(self, values):
+        hist = ACCESS_SIZE_BINS.histogram(np.array(values))
+        assert hist.sum() == len(values)
+
+    @given(st.lists(sizes, min_size=1, max_size=100))
+    def test_vectorized_matches_scalar(self, values):
+        arr = np.array(values)
+        vec = TRANSFER_SIZE_BINS.index_array(arr)
+        for v, i in zip(values, vec):
+            assert TRANSFER_SIZE_BINS.index_of(v) == i
+
+
+class TestUnitsProperties:
+    @given(st.integers(min_value=1, max_value=10**17))
+    def test_format_parse_within_rounding(self, n):
+        text = format_size(n)
+        back = parse_size(text.replace(" ", ""))
+        assert abs(back - n) <= 0.01 * n + 1
+
+
+class TestAccumulateProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([OP_READ, OP_WRITE]),
+                st.integers(min_value=0, max_value=10**9),  # size
+            ),
+            min_size=0,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=60)
+    def test_accumulation_conserves_bytes_and_counts(self, data_ops):
+        kinds = [OP_OPEN] + [k for k, _ in data_ops] + [OP_CLOSE]
+        op_sizes = [0] + [s for _, s in data_ops] + [0]
+        n = len(kinds)
+        ops = make_ops(
+            kinds, offsets=[0] * n, sizes=op_sizes,
+            starts=np.arange(n, dtype=float), durations=[0.001] * n,
+        )
+        rec = accumulate(ModuleId.POSIX, 1, 0, ops)
+        expect_read = sum(s for k, s in data_ops if k == OP_READ)
+        expect_write = sum(s for k, s in data_ops if k == OP_WRITE)
+        assert rec.bytes_read == expect_read
+        assert rec.bytes_written == expect_write
+        assert rec["READS"] == sum(1 for k, _ in data_ops if k == OP_READ)
+        # histogram totals match op counts
+        hist_reads = sum(
+            int(rec.get(f"SIZE_READ_{label}")) for label in ACCESS_SIZE_BINS.labels
+        )
+        assert hist_reads == rec["READS"]
+        validate_record(rec)
+
+
+class TestOpstreamProperties:
+    @given(
+        st.integers(min_value=0, max_value=10**12),
+        st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=80)
+    def test_uniform_sizes_sum_exactly(self, nbytes, nops):
+        ops = synthesize_ops(
+            bytes_read=nbytes, bytes_written=0,
+            read_ops=nops if nbytes else 0, write_ops=0,
+            read_time=1.0 if nbytes else 0.0, write_time=0.0, meta_time=0.01,
+        )
+        assert ops["size"][ops["kind"] == OP_READ].sum() == nbytes
+        assert (np.diff(ops["start"]) >= 0).all()
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=10, max_size=10)
+    )
+    @settings(max_examples=60)
+    def test_histogram_realization_round_trips(self, hist_list):
+        hist = np.array(hist_list, dtype=np.int64)
+        nops = int(hist.sum())
+        if nops == 0:
+            return
+        # Choose achievable bytes: midpoint of the histogram's range.
+        edges = np.asarray(ACCESS_SIZE_BINS.edges)
+        lower = edges[:-1].copy()
+        lower[0] = 1
+        floor = int(hist @ lower)
+        upper = np.where(np.isfinite(edges[1:]), edges[1:] - 1, edges[:-1] * 4 + 100)
+        cap = int(hist @ upper)
+        nbytes = (floor + cap) // 2
+        ops = synthesize_ops(
+            bytes_read=nbytes, bytes_written=0, read_ops=nops, write_ops=0,
+            read_time=1.0, write_time=0.0, meta_time=0.0, read_hist=hist,
+        )
+        reads = ops[ops["kind"] == OP_READ]["size"]
+        assert reads.sum() == nbytes
+        realized = ACCESS_SIZE_BINS.histogram(reads)
+        # At most one op may drift a bin (the remainder carrier).
+        assert int(np.abs(realized - hist).sum()) <= 2
+
+
+class TestFormatProperties:
+    @given(
+        st.integers(min_value=0, max_value=2**63 - 1),
+        st.integers(min_value=1, max_value=100_000),
+        st.text(
+            alphabet=st.characters(blacklist_categories=("Cs",)), max_size=40
+        ),
+    )
+    @settings(max_examples=40)
+    def test_round_trip_arbitrary_job(self, job_id, nprocs, domain):
+        job = JobRecord(
+            job_id, 1, nprocs, 0.0, 1.0, platform="summit", domain=domain
+        )
+        log = DarshanLog(job)
+        log.register_name(NameRecord(1, "/gpfs/alpine/x"))
+        rec = FileRecord(ModuleId.POSIX, 1)
+        rec.set("BYTES_READ", 512)
+        rec.set("READS", 1)
+        rec.set("SIZE_READ_100_1K", 1)
+        rec.set("F_READ_TIME", 0.25)
+        log.add_record(rec)
+        out = read_log_bytes(write_log_bytes(log))
+        assert out.job.job_id == job_id
+        assert out.job.nprocs == nprocs
+        assert out.job.domain == domain
+
+    @given(st.binary(max_size=400))
+    @settings(max_examples=100)
+    def test_parser_never_crashes_on_garbage(self, data):
+        from repro.errors import LogFormatError
+
+        try:
+            read_log_bytes(data)
+        except LogFormatError:
+            pass  # rejecting garbage is the contract

@@ -1,0 +1,147 @@
+"""Property-based tests for the extension modules (DXT, stdio_ext, cache)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.darshan.accumulate import OP_READ, OP_WRITE, make_ops
+from repro.darshan.constants import ModuleId
+from repro.darshan.dxt import SEGMENT_DTYPE, DxtTrace, decode_traces, encode_traces
+from repro.darshan.stdio_ext import accumulate_stdio_ext
+from repro.middleware.chunkcache import WriteBackChunkCache
+
+write_stream = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200_000),   # offset
+        st.integers(min_value=0, max_value=10_000),    # size
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+
+def _ops_from(writes):
+    n = len(writes)
+    return make_ops(
+        [OP_WRITE] * n,
+        [o for o, _ in writes],
+        [s for _, s in writes],
+        np.arange(n, dtype=float),
+        [0.001] * n,
+    )
+
+
+class TestRewriteStatsProperties:
+    @given(write_stream)
+    @settings(max_examples=80)
+    def test_matches_bitmap_oracle(self, writes):
+        """Interval sweep == brute-force byte bitmap."""
+        ext = accumulate_stdio_ext(1, 0, _ops_from(writes))
+        bitmap = np.zeros(220_000, dtype=bool)
+        rewritten = first = 0
+        for off, size in writes:
+            if size == 0:
+                continue
+            seg = bitmap[off : off + size]
+            overlap = int(seg.sum())
+            rewritten += overlap
+            first += size - overlap
+            seg[:] = True
+        assert ext.bytes_rewritten == rewritten
+        assert ext.bytes_first_written == first
+        assert ext.write_extent == int(bitmap.sum())
+
+    @given(write_stream)
+    @settings(max_examples=60)
+    def test_conservation(self, writes):
+        ext = accumulate_stdio_ext(1, 0, _ops_from(writes))
+        total = sum(s for _, s in writes)
+        assert ext.bytes_rewritten + ext.bytes_first_written == total
+        assert ext.write_extent <= total
+        assert 0.0 <= ext.rewrite_ratio <= 1.0
+        assert ext.write_amplification() >= 1.0
+
+
+class TestDxtProperties:
+    segments = st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),          # rank
+            st.sampled_from([OP_READ, OP_WRITE]),            # kind
+            st.integers(min_value=0, max_value=10**9),       # offset
+            st.integers(min_value=0, max_value=10**8),       # length
+            st.floats(min_value=0, max_value=1e4, allow_nan=False),  # start
+            st.floats(min_value=0, max_value=1e3, allow_nan=False),  # duration
+        ),
+        max_size=30,
+    )
+
+    @given(segments)
+    @settings(max_examples=60)
+    def test_round_trip(self, rows):
+        seg = np.zeros(len(rows), dtype=SEGMENT_DTYPE)
+        for i, (rank, kind, off, length, start, dur) in enumerate(rows):
+            seg[i] = (rank, kind, off, length, start, start + dur)
+        trace = DxtTrace(ModuleId.POSIX, 42, seg)
+        (out,) = decode_traces(encode_traces([trace]))
+        np.testing.assert_array_equal(out.segments, trace.segments)
+        assert out.record_id == 42
+
+    @given(segments)
+    @settings(max_examples=60)
+    def test_busy_time_bounds(self, rows):
+        seg = np.zeros(len(rows), dtype=SEGMENT_DTYPE)
+        for i, (rank, kind, off, length, start, dur) in enumerate(rows):
+            seg[i] = (rank, kind, off, length, start, start + dur)
+        trace = DxtTrace(ModuleId.POSIX, 1, seg)
+        busy = trace.busy_time()
+        durations = (seg["end"] - seg["start"]).sum()
+        lo, hi = trace.span()
+        assert busy <= durations + 1e-6
+        assert busy <= (hi - lo) + 1e-6
+        assert busy >= 0
+
+
+class TestChunkCacheProperties:
+    @given(
+        write_stream,
+        st.sampled_from([4096, 65536, 262144]),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60)
+    def test_flushes_cover_all_written_chunks(self, writes, chunk, capacity):
+        cache = WriteBackChunkCache(chunk_size=chunk, capacity_chunks=capacity)
+        touched = set()
+        for off, size in writes:
+            cache.write(off, size)
+            if size:
+                touched.update(
+                    range(off // chunk, (off + size - 1) // chunk + 1)
+                )
+        cache.flush()
+        ops = cache.downstream_ops()
+        flushed_chunks = set(int(o) // chunk for o in ops["offset"])
+        assert touched <= flushed_chunks
+
+    @given(write_stream)
+    @settings(max_examples=40)
+    def test_never_more_downstream_than_app_chunk_touches(self, writes):
+        cache = WriteBackChunkCache(chunk_size=65536, capacity_chunks=8)
+        chunk_touches = 0
+        for off, size in writes:
+            cache.write(off, size)
+            if size:
+                chunk_touches += (off + size - 1) // 65536 - off // 65536 + 1
+        cache.flush()
+        assert cache.stats.flushed_writes <= max(chunk_touches, 0)
+
+    @given(write_stream)
+    @settings(max_examples=40)
+    def test_stats_consistent(self, writes):
+        cache = WriteBackChunkCache(chunk_size=65536, capacity_chunks=8)
+        for off, size in writes:
+            cache.write(off, size)
+        cache.flush()
+        s = cache.stats
+        assert s.app_bytes == sum(size for _, size in writes)
+        assert s.app_writes == sum(1 for _, size in writes if size)
+        assert s.flushed_bytes == s.flushed_writes * 65536

@@ -1,0 +1,73 @@
+"""Tests for the facility replay engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.iosim.replay import FacilityReplay
+from repro.platforms import cori, summit
+from repro.platforms.interfaces import IOInterface
+
+
+class TestFacilityReplay:
+    @pytest.fixture(scope="class")
+    def replay(self, summit_store_small, summit_machine):
+        return FacilityReplay(summit_store_small, summit_machine)
+
+    def test_demand_series_exist(self, replay):
+        demands = replay.demands()
+        assert set(demands) == {
+            ("pfs", "read"), ("pfs", "write"),
+            ("insystem", "read"), ("insystem", "write"),
+        }
+
+    def test_volume_conserved(self, replay, summit_store_small):
+        """Integrated demand equals the store's scaled byte totals."""
+        f = summit_store_small.files
+        unique = f[f["interface"] != int(IOInterface.MPIIO)]
+        pfs_read = unique["bytes_read"][unique["layer"] == 0].sum()
+        demand = replay.demand("pfs", "read")
+        integrated = demand.series.sum() * demand.bin_seconds
+        expected = pfs_read / summit_store_small.scale
+        assert integrated == pytest.approx(expected, rel=0.02)
+
+    def test_utilization_bounds(self, replay):
+        for demand in replay.demands().values():
+            assert demand.mean_utilization() >= 0
+            assert 0 <= demand.saturated_fraction() <= 1
+
+    def test_summit_story(self, replay):
+        """Finding C, facility view: the PFS works, SCNL idles."""
+        pfs_w = replay.demand("pfs", "write")
+        scnl_w = replay.demand("insystem", "write")
+        assert pfs_w.mean_utilization() > 10 * scnl_w.mean_utilization()
+        # The paper-implied sustained write load is ~10% of Alpine peak.
+        assert 0.01 < pfs_w.mean_utilization() < 0.6
+
+    def test_write_demand_bursty(self, replay):
+        """Peaks far above the mean — why burst buffers exist."""
+        pfs_w = replay.demand("pfs", "write")
+        assert pfs_w.peak_utilization() > 3 * pfs_w.mean_utilization()
+
+    def test_summary_rows(self, replay):
+        rows = replay.summary_rows()
+        assert len(rows) == 4
+        assert all(r[0] == "summit" for r in rows)
+
+    def test_unknown_layer(self, replay):
+        with pytest.raises(AnalysisError):
+            replay.demand("cloud", "read")
+
+    def test_bad_bin(self, summit_store_small, summit_machine):
+        with pytest.raises(AnalysisError):
+            FacilityReplay(summit_store_small, summit_machine, bin_seconds=0)
+
+    def test_cori_read_dominance_facility_view(
+        self, cori_store_small, cori_machine
+    ):
+        replay = FacilityReplay(cori_store_small, cori_machine)
+        read = replay.demand("pfs", "read")
+        write = replay.demand("pfs", "write")
+        assert (
+            read.series.sum() > 2 * write.series.sum()
+        )  # Cori reads dominate

@@ -1,0 +1,54 @@
+"""Tests for deterministic random-stream management."""
+
+import numpy as np
+import pytest
+
+from repro.rng import RngHub
+
+
+class TestRngHub:
+    def test_same_name_same_stream(self):
+        hub = RngHub(7)
+        a = hub.generator("x").random(10)
+        b = hub.generator("x").random(10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_differ(self):
+        hub = RngHub(7)
+        a = hub.generator("x").random(10)
+        b = hub.generator("y").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngHub(1).generator("x").random(10)
+        b = RngHub(2).generator("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_streams_keyed_by_name_not_order(self):
+        """Adding a consumer must not perturb existing streams."""
+        hub1 = RngHub(7)
+        _ = hub1.generator("a")
+        x1 = hub1.generator("x").random(5)
+        hub2 = RngHub(7)
+        _ = hub2.generator("b")
+        _ = hub2.generator("c")
+        x2 = hub2.generator("x").random(5)
+        np.testing.assert_array_equal(x1, x2)
+
+    def test_child_hubs_independent(self):
+        hub = RngHub(7)
+        a = hub.child("summit").generator("jobs").random(5)
+        b = hub.child("cori").generator("jobs").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_child_deterministic(self):
+        a = RngHub(7).child("p").generator("x").random(5)
+        b = RngHub(7).child("p").generator("x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(TypeError):
+            RngHub("seed")  # type: ignore[arg-type]
+
+    def test_repr(self):
+        assert "7" in repr(RngHub(7))

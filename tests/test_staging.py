@@ -1,0 +1,71 @@
+"""Tests for the staging engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.iosim.perfmodel import PerfModel
+from repro.iosim.staging import StagePlan, StagingEngine, StagingStyle
+from repro.platforms import cori, summit
+from repro.units import GB
+
+
+@pytest.fixture()
+def engine():
+    return StagingEngine(cori(), PerfModel(deterministic=True), StagingStyle.SCHEDULER)
+
+
+class TestPlanning:
+    def test_read_only_stages_in(self, engine):
+        plans = engine.plan_for_files([("/p/a", 100, "read-only")])
+        assert plans == [StagePlan("/p/a", 100, "in")]
+
+    def test_write_only_stages_out(self, engine):
+        plans = engine.plan_for_files([("/p/a", 100, "write-only")])
+        assert plans == [StagePlan("/p/a", 100, "out")]
+
+    def test_read_write_stages_both(self, engine):
+        plans = engine.plan_for_files([("/p/a", 100, "read-write")])
+        assert {p.direction for p in plans} == {"in", "out"}
+
+    def test_unknown_opclass(self, engine):
+        with pytest.raises(SimulationError):
+            engine.plan_for_files([("/p/a", 100, "append-only")])
+
+    def test_bad_plan_direction(self):
+        with pytest.raises(SimulationError):
+            StagePlan("/x", 1, "sideways")
+
+
+class TestCosting:
+    def test_staging_time_positive_and_scales(self, engine):
+        small = engine.staging_time(
+            [StagePlan("/a", 1 * GB, "in")], nprocs=32
+        )
+        large = engine.staging_time(
+            [StagePlan("/a", 100 * GB, "in")], nprocs=32
+        )
+        assert 0 < small < large
+
+    def test_empty_plan_is_free(self, engine):
+        assert engine.staging_time([]) == 0.0
+
+    def test_directions_are_additive(self, engine):
+        t_in = engine.staging_time([StagePlan("/a", 10 * GB, "in")])
+        t_out = engine.staging_time([StagePlan("/a", 10 * GB, "out")])
+        both = engine.staging_time(
+            [StagePlan("/a", 10 * GB, "in"), StagePlan("/a", 10 * GB, "out")]
+        )
+        assert both == pytest.approx(t_in + t_out)
+
+
+class TestVisibility:
+    def test_scheduler_style_invisible(self):
+        """DataWarp staging happens outside MPI_Init..Finalize — the
+        mechanism behind Cori's CBB-exclusive jobs (Table 5)."""
+        eng = StagingEngine(cori(), PerfModel(), StagingStyle.SCHEDULER)
+        assert not eng.visible_in_darshan_window()
+
+    def test_runtime_style_visible(self):
+        eng = StagingEngine(summit(), PerfModel(), StagingStyle.RUNTIME)
+        assert eng.visible_in_darshan_window()

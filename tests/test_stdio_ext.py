@@ -1,0 +1,106 @@
+"""Tests for the proposed STDIO extended counters (Recommendation 4)."""
+
+import numpy as np
+import pytest
+
+from repro.darshan.accumulate import OP_READ, OP_WRITE, make_ops
+from repro.darshan.stdio_ext import accumulate_stdio_ext
+from repro.units import KiB
+
+
+def _write_stream(offsets, sizes):
+    n = len(offsets)
+    return make_ops(
+        kinds=[OP_WRITE] * n,
+        offsets=offsets,
+        sizes=sizes,
+        starts=np.arange(n, dtype=float),
+        durations=[0.01] * n,
+    )
+
+
+class TestHistograms:
+    def test_request_sizes_now_visible(self):
+        """The histogram STDIO lacks in baseline Darshan."""
+        ops = make_ops(
+            [OP_READ, OP_READ, OP_WRITE], [0, 50, 0], [50, 5000, 200],
+            [0.0, 1.0, 2.0], [0.1, 0.1, 0.1],
+        )
+        ext = accumulate_stdio_ext(1, 0, ops)
+        assert ext.read_size_hist[0] == 1   # 0-100
+        assert ext.read_size_hist[2] == 1   # 1K-10K
+        assert ext.write_size_hist[1] == 1  # 100-1K
+
+
+class TestRewriteDetection:
+    def test_write_once_is_static(self):
+        ext = accumulate_stdio_ext(1, 0, _write_stream([0, 100, 200], [100, 100, 100]))
+        assert ext.bytes_rewritten == 0
+        assert ext.bytes_first_written == 300
+        assert ext.write_extent == 300
+        assert ext.rewrite_ratio == 0.0
+
+    def test_full_rewrite(self):
+        ext = accumulate_stdio_ext(1, 0, _write_stream([0, 0], [100, 100]))
+        assert ext.bytes_rewritten == 100
+        assert ext.bytes_first_written == 100
+        assert ext.write_extent == 100
+        assert ext.rewrite_ratio == 0.5
+
+    def test_partial_overlap(self):
+        ext = accumulate_stdio_ext(1, 0, _write_stream([0, 50], [100, 100]))
+        assert ext.bytes_rewritten == 50
+        assert ext.bytes_first_written == 150
+        assert ext.write_extent == 150
+
+    def test_disjoint_then_bridge(self):
+        # [0,100) and [200,300) then [50,250) bridges both.
+        ext = accumulate_stdio_ext(
+            1, 0, _write_stream([0, 200, 50], [100, 100, 200])
+        )
+        assert ext.bytes_rewritten == 50 + 50
+        assert ext.write_extent == 300
+
+    def test_zero_length_ignored(self):
+        ext = accumulate_stdio_ext(1, 0, _write_stream([0, 0], [100, 0]))
+        assert ext.bytes_rewritten == 0
+
+
+class TestSequentialityAndWaf:
+    def test_sequential_low_waf(self):
+        offsets = list(range(0, 64 * 1024, 4096))
+        ext = accumulate_stdio_ext(1, 0, _write_stream(offsets, [4096] * len(offsets)))
+        assert ext.random_write_fraction == 0.0
+        assert ext.write_amplification() == pytest.approx(1.0)
+
+    def test_random_small_writes_high_waf(self):
+        rng = np.random.default_rng(1)
+        offsets = (rng.permutation(200) * 10_000).tolist()
+        ext = accumulate_stdio_ext(1, 0, _write_stream(offsets, [512] * 200))
+        assert ext.random_write_fraction > 0.4
+        assert ext.write_amplification() > 2.0
+
+    def test_rewrites_raise_waf(self):
+        once = accumulate_stdio_ext(1, 0, _write_stream([0, 4096], [4096, 4096]))
+        rewritten = accumulate_stdio_ext(
+            1, 0, _write_stream([0, 0, 0, 0], [4096] * 4)
+        )
+        assert rewritten.write_amplification() > once.write_amplification()
+
+    def test_waf_floor_is_one(self):
+        ext = accumulate_stdio_ext(1, 0, _write_stream([], []))
+        assert ext.write_amplification() == 1.0
+
+    def test_erase_block_scaling(self):
+        rng = np.random.default_rng(2)
+        offsets = (rng.permutation(100) * 10_000).tolist()
+        ext = accumulate_stdio_ext(1, 0, _write_stream(offsets, [512] * 100))
+        small = ext.write_amplification(erase_block=64 * KiB)
+        big = ext.write_amplification(erase_block=1024 * KiB)
+        assert big > small
+
+
+class TestInputValidation:
+    def test_wrong_dtype(self):
+        with pytest.raises(TypeError):
+            accumulate_stdio_ext(1, 0, np.zeros(3))

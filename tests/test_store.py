@@ -1,0 +1,172 @@
+"""Tests for the columnar record store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.platforms.interfaces import IOInterface
+from repro.store import load_store, save_store
+from repro.store.recordstore import RecordStore
+from repro.store.schema import (
+    LAYER_INSYSTEM,
+    LAYER_PFS,
+    OPCLASS_READ_ONLY,
+    OPCLASS_READ_WRITE,
+    OPCLASS_WRITE_ONLY,
+    empty_files,
+    empty_jobs,
+)
+
+
+def tiny_store():
+    files = empty_files(4)
+    jobs = empty_jobs(2)
+    jobs["job_id"] = [1, 2]
+    jobs["nprocs"] = [8, 16]
+    jobs["nnodes"] = [2, 4]
+    jobs["runtime"] = [100.0, 200.0]
+    files["job_id"] = [1, 1, 2, 2]
+    files["log_id"] = [10, 10, 20, 21]
+    files["layer"] = [LAYER_PFS, LAYER_INSYSTEM, LAYER_PFS, LAYER_PFS]
+    files["interface"] = [1, 3, 2, 3]
+    files["bytes_read"] = [100, 0, 50, 25]
+    files["bytes_written"] = [0, 10, 50, 0]
+    files["read_time"] = [1.0, 0.0, 2.0, 0.5]
+    files["write_time"] = [0.0, 1.0, 1.0, 0.0]
+    files["domain"] = [0, 0, 1, -1]
+    files["rank"] = [-1, 0, -1, 3]
+    return RecordStore("summit", files, jobs, domains=("physics", "biology"), scale=0.5)
+
+
+class TestBasics:
+    def test_len_and_counts(self):
+        st = tiny_store()
+        assert len(st) == 4
+        assert st.njobs == 2
+        assert st.nlogs == 3
+
+    def test_scaled(self):
+        assert tiny_store().scaled(2) == 4.0
+
+    def test_schema_enforced(self):
+        with pytest.raises(StoreError):
+            RecordStore("x", np.zeros(3), empty_jobs(0))
+
+    def test_bad_scale(self):
+        with pytest.raises(StoreError):
+            RecordStore("x", empty_files(0), empty_jobs(0), scale=0)
+
+    def test_domain_code_range_checked(self):
+        files = empty_files(1)
+        files["domain"] = 5
+        with pytest.raises(StoreError):
+            RecordStore("x", files, empty_jobs(0), domains=("a",))
+
+
+class TestDerivedColumns:
+    def test_transfer_sizes(self):
+        np.testing.assert_array_equal(
+            tiny_store().transfer_sizes(), [100, 10, 100, 25]
+        )
+
+    def test_opclass(self):
+        oc = tiny_store().opclass()
+        assert oc[0] == OPCLASS_READ_ONLY
+        assert oc[1] == OPCLASS_WRITE_ONLY
+        assert oc[2] == OPCLASS_READ_WRITE
+        assert oc[3] == OPCLASS_READ_ONLY
+
+    def test_bandwidths_nan_without_time(self):
+        st = tiny_store()
+        rb = st.read_bandwidth()
+        assert rb[0] == 100.0
+        assert np.isnan(rb[1])
+        wb = st.write_bandwidth()
+        assert wb[1] == 10.0
+
+    def test_domain_names(self):
+        st = tiny_store()
+        assert st.domain_names(st.files["domain"]) == [
+            "physics", "physics", "biology", "",
+        ]
+
+
+class TestFiltering:
+    def test_filter_restricts_jobs(self):
+        st = tiny_store()
+        out = st.filter(st.files["job_id"] == 1)
+        assert len(out) == 2
+        assert out.njobs == 1
+
+    def test_filter_bad_mask(self):
+        st = tiny_store()
+        with pytest.raises(StoreError):
+            st.filter(np.array([True]))
+        with pytest.raises(StoreError):
+            st.filter(np.zeros(4))
+
+    def test_where_layer(self):
+        st = tiny_store().where(layer="pfs")
+        assert (st.files["layer"] == LAYER_PFS).all()
+
+    def test_where_interface_and_shared(self):
+        st = tiny_store().where(interface=IOInterface.STDIO, shared=False)
+        assert len(st) == 2
+
+    def test_where_domain(self):
+        st = tiny_store().where(domain="biology")
+        assert len(st) == 1
+        with pytest.raises(StoreError):
+            tiny_store().where(domain="astrology")
+
+    def test_where_unknown_layer(self):
+        with pytest.raises(StoreError):
+            tiny_store().where(layer="cloud")
+
+    def test_filter_jobs(self):
+        st = tiny_store()
+        out = st.filter_jobs(st.jobs["nprocs"] > 8)
+        assert out.njobs == 1
+        assert (out.files["job_id"] == 2).all()
+
+
+class TestConcat:
+    def test_concat(self):
+        a, b = tiny_store(), tiny_store()
+        both = RecordStore.concat([a, b])
+        assert len(both) == 8
+
+    def test_concat_mismatch(self):
+        a = tiny_store()
+        b = RecordStore("cori", empty_files(0), empty_jobs(0), scale=0.5)
+        with pytest.raises(StoreError):
+            RecordStore.concat([a, b])
+
+    def test_concat_empty_list(self):
+        with pytest.raises(StoreError):
+            RecordStore.concat([])
+
+
+class TestPersistence:
+    def test_npz_round_trip(self, tmp_path):
+        st = tiny_store()
+        path = str(tmp_path / "store.npz")
+        save_store(st, path)
+        out = load_store(path)
+        assert out.platform == st.platform
+        assert out.scale == st.scale
+        assert out.domains == st.domains
+        np.testing.assert_array_equal(out.files, st.files)
+        np.testing.assert_array_equal(out.jobs, st.jobs)
+
+    def test_generated_round_trip(self, tmp_path, cori_store_small):
+        path = str(tmp_path / "cori.npz")
+        save_store(cori_store_small, path)
+        out = load_store(path)
+        np.testing.assert_array_equal(out.files, cori_store_small.files)
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        path = str(tmp_path / "x.npz")
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(StoreError):
+            load_store(path)

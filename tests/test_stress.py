@@ -1,0 +1,50 @@
+"""Stress: the pipeline holds up at a 4x-bench scale in bounded time.
+
+Not a micro-benchmark (that's ``benchmarks/bench_generator.py``) — a
+guard that nothing in the generate→analyze path degrades to quadratic
+behaviour or balloons memory when the population grows.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    layer_volumes,
+    performance_by_bin,
+    request_cdfs,
+    transfer_cdfs,
+)
+from repro.workloads.generator import (
+    GeneratorConfig,
+    WorkloadGenerator,
+    generate_with_shadows,
+)
+
+
+@pytest.mark.parametrize("platform", ["summit"])
+def test_generate_and_analyze_at_4x_scale(platform):
+    t0 = time.time()
+    gen = WorkloadGenerator(platform, GeneratorConfig(scale=4e-3))
+    store = generate_with_shadows(gen, 99)
+    gen_seconds = time.time() - t0
+    assert len(store.files) > 3_000_000
+
+    t1 = time.time()
+    layer_volumes(store)
+    transfer_cdfs(store)
+    request_cdfs(store)
+    performance_by_bin(store)
+    analyze_seconds = time.time() - t1
+
+    # Rates, not absolute times: robust across machines. The vectorized
+    # paths run millions of rows/second; a per-row regression would land
+    # orders of magnitude below these floors.
+    assert len(store.files) / gen_seconds > 100_000, gen_seconds
+    assert len(store.files) / analyze_seconds > 300_000, analyze_seconds
+
+    # Memory sanity: the file table dominates; its nbytes must stay near
+    # the dtype's nominal row cost (no accidental object columns).
+    per_row = store.files.nbytes / len(store.files)
+    assert per_row < 400

@@ -1,0 +1,95 @@
+"""Tests for repro.units."""
+
+import pytest
+
+from repro import units
+
+
+class TestParseSize:
+    def test_plain_bytes(self):
+        assert units.parse_size("123") == 123
+
+    def test_decimal_units(self):
+        assert units.parse_size("1KB") == 1000
+        assert units.parse_size("2 MB") == 2_000_000
+        assert units.parse_size("3GB") == 3_000_000_000
+        assert units.parse_size("1TB") == 10**12
+        assert units.parse_size("1PB") == 10**15
+
+    def test_binary_units(self):
+        assert units.parse_size("1KiB") == 1024
+        assert units.parse_size("1 MiB") == 1024**2
+        assert units.parse_size("2GiB") == 2 * 1024**3
+
+    def test_single_letter_suffixes_are_decimal(self):
+        # Matches Darshan bin labels like 100_1K.
+        assert units.parse_size("1K") == 1000
+        assert units.parse_size("10M") == 10**7
+        assert units.parse_size("1G") == 10**9
+
+    def test_fractional_values(self):
+        assert units.parse_size("1.5GB") == 1_500_000_000
+
+    def test_trailing_plus_tolerated(self):
+        # The figures label their last bin "1TB+".
+        assert units.parse_size("1TB+") == 10**12
+
+    def test_case_insensitive(self):
+        assert units.parse_size("1kb") == 1000
+        assert units.parse_size("1gib") == 1024**3
+
+    def test_rejects_garbage(self):
+        for bad in ("", "abc", "12XB", "--3MB", "1.2.3GB"):
+            with pytest.raises(ValueError):
+                units.parse_size(bad)
+
+    def test_rejects_sub_byte(self):
+        with pytest.raises(ValueError):
+            units.parse_size("1.5B")
+
+
+class TestFormatSize:
+    def test_decimal_default(self):
+        assert units.format_size(1_500_000_000) == "1.50 GB"
+        assert units.format_size(202.18e15) == "202.18 PB"
+
+    def test_binary(self):
+        assert units.format_size(2048, decimal=False) == "2.00 KiB"
+
+    def test_small_values(self):
+        assert units.format_size(42) == "42 B"
+        assert units.format_size(0) == "0 B"
+
+    def test_negative(self):
+        assert units.format_size(-1000).startswith("-")
+
+    def test_round_trip_order_of_magnitude(self):
+        for n in (1234, 56_789_000, 9.9e12, 3.3e15):
+            text = units.format_size(n)
+            assert units.parse_size(text.replace(" ", "")) == pytest.approx(
+                n, rel=0.01
+            )
+
+
+class TestFormatCount:
+    def test_paper_style(self):
+        assert units.format_count(7_740_000) == "7.7M"
+        assert units.format_count(281_600) == "281.6K"
+        assert units.format_count(1_294_850_000) == "1.3B"
+
+    def test_small_integers_verbatim(self):
+        assert units.format_count(950) == "950"
+        assert units.format_count(0) == "0"
+
+    def test_negative(self):
+        assert units.format_count(-1500) == "-1.5K"
+
+
+class TestConstants:
+    def test_decimal_binary_distinct(self):
+        assert units.KB < units.KiB
+        assert units.PB < units.PiB
+
+    def test_magnitudes(self):
+        assert units.GiB == 1024**3
+        assert units.GB == 1000**3
