@@ -1,0 +1,23 @@
+PYTEST = PYTHONPATH=src python -m pytest
+
+.PHONY: check test stress bench bench-analysis
+
+# Fast development loop: everything except the multi-million-row stress guards.
+check:
+	$(PYTEST) -x -q -m "not stress"
+
+# The full tier-1 suite, stress guards included.
+test:
+	$(PYTEST) -x -q
+
+# Only the scale guards (generate + analyze millions of rows; takes minutes).
+stress:
+	$(PYTEST) -q -m stress tests/test_stress.py
+
+# Full pytest-benchmark sweep over benchmarks/ (writes benchmarks/results/).
+bench:
+	$(PYTEST) -q benchmarks
+
+# Just the analysis-throughput benchmark; writes BENCH_analysis.json.
+bench-analysis:
+	$(PYTEST) -q benchmarks/bench_facility.py

@@ -5,9 +5,18 @@ aggregate view of the unbalanced layers (replay), and the production-load
 variability signature behind the Figure 11/12 whiskers (TOKIO-flavored).
 """
 
-from conftest import write_result
+import time
 
-from repro.analysis import bandwidth_variability, median_iqr_ratio
+from conftest import BENCH_SCALE, BENCH_SEED, write_bench_json, write_result
+
+from repro.analysis import (
+    bandwidth_variability,
+    layer_volumes,
+    median_iqr_ratio,
+    performance_by_bin,
+    request_cdfs,
+    transfer_cdfs,
+)
 from repro.analysis.report import render_table
 from repro.iosim.replay import FacilityReplay
 from repro.platforms import cori, summit
@@ -78,3 +87,57 @@ def test_bandwidth_variability(benchmark, summit_store, cori_store, results_dir)
     ins = [c.iqr_ratio for c in summit_cells if c.layer == "insystem"]
     if pfs and ins:
         assert sorted(pfs)[len(pfs) // 2] > sorted(ins)[len(ins) // 2]
+
+
+def _four_analyses(store):
+    """The stress test's analysis set (one per exhibit family)."""
+    layer_volumes(store)
+    transfer_cdfs(store)
+    request_cdfs(store)
+    performance_by_bin(store)
+
+
+def test_analysis_throughput(summit_store, results_dir):
+    """Cold vs warm analysis throughput through the shared context.
+
+    Cold runs against an empty AnalysisContext (invalidated first);
+    warm reruns the same four analyses off the memoized results. The
+    numbers land in BENCH_analysis.json for trend tracking; the floors
+    here are deliberately looser than tests/test_stress.py since the
+    bench store is ~4x smaller.
+    """
+    summit_store.invalidate()  # drop caches other benches may have warmed
+
+    t0 = time.perf_counter()
+    _four_analyses(summit_store)
+    cold_seconds = time.perf_counter() - t0
+
+    t1 = time.perf_counter()
+    _four_analyses(summit_store)
+    warm_seconds = time.perf_counter() - t1
+
+    rows = len(summit_store.files)
+    payload = {
+        "platform": "summit",
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "rows": rows,
+        "analyses": [
+            "layer_volumes",
+            "transfer_cdfs",
+            "request_cdfs",
+            "performance_by_bin",
+        ],
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "cold_rows_per_second": round(rows / cold_seconds),
+        "warm_rows_per_second": round(rows / warm_seconds),
+        "warm_speedup": round(cold_seconds / warm_seconds, 1),
+        "context_cache_entries": sum(
+            summit_store.analysis().cache_info().values()
+        ),
+    }
+    write_bench_json(results_dir, "analysis", payload)
+
+    assert rows / cold_seconds > 300_000, payload
+    assert cold_seconds > 5 * warm_seconds, payload

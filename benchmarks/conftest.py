@@ -9,6 +9,7 @@ a reviewable artifact (pytest captures stdout).
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -52,3 +53,17 @@ def write_result(results_dir: str, name: str, text: str) -> None:
     with open(os.path.join(results_dir, f"{name}.txt"), "w") as fh:
         fh.write(text + "\n")
     print(text)
+
+
+def write_bench_json(results_dir: str, name: str, payload: dict) -> str:
+    """Persist a machine-readable benchmark record (BENCH_<name>.json).
+
+    Dashboards and CI trend lines read these instead of scraping the
+    rendered .txt artifacts.
+    """
+    path = os.path.join(results_dir, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return path

@@ -2,7 +2,11 @@
 
 Every analysis consumes a :class:`~repro.store.recordstore.RecordStore`
 and returns a small result object with ``to_rows()`` for rendering via
-:mod:`repro.analysis.report`. The mapping to the paper:
+:mod:`repro.analysis.report`. All entry points share the store's
+:class:`~repro.analysis.context.AnalysisContext` (one-pass masks,
+groupings, and derived columns — see that module), so running several
+analyses over one store scans the file table's common axes only once.
+The mapping to the paper:
 
 ========================  =====================================
 Module                    Reproduces
@@ -21,6 +25,7 @@ Module                    Reproduces
 """
 
 from repro.analysis.cdf import boxplot_stats, cdf_at
+from repro.analysis.context import AnalysisContext
 from repro.analysis.dataset_summary import DatasetSummary, dataset_summary
 from repro.analysis.layer_volumes import LayerVolumes, layer_volumes
 from repro.analysis.large_files import LargeFiles, large_files
@@ -44,6 +49,7 @@ from repro.analysis.variability import (
 from repro.analysis.tuning import TuningReport, tuning_report
 
 __all__ = [
+    "AnalysisContext",
     "TuningReport",
     "tuning_report",
     "UserActivity",

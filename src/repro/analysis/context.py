@@ -1,0 +1,251 @@
+"""Shared analysis plan: one-pass masks/groupings over a RecordStore.
+
+Every analysis in this package slices ``store.files`` along the same few
+axes — storage layer, I/O interface, shared-file rank, nonzero bytes per
+direction — and the seed implementation recomputed those boolean masks
+(and copied full 250-byte rows, histograms included) once per analysis.
+At facility scale that per-metric rescan dominates: the four stress-test
+analyses together fell under the 300k rows/s floor.
+
+:class:`AnalysisContext` is the shared plan. It lazily computes each
+predicate **once** as a boolean mask, intersects masks into compact
+``int64`` index arrays, caches the derived columns (total transfer per
+direction, per-file bandwidth, op-class), and memoizes whole analysis
+results. Everything is keyed on the owning store's *generation*: a
+mutation (``RecordStore.extend``, or an explicit
+:meth:`RecordStore.invalidate`) bumps the counter and a stale context
+refuses to serve anything rather than return stale index arrays.
+
+Analyses obtain the context via :meth:`RecordStore.analysis`; passing an
+explicit ``context=`` to an analysis entry point overrides it (the
+golden-equivalence suite uses that to pin contexts).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Hashable, TypeVar
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.platforms.interfaces import IOInterface
+from repro.store.schema import (
+    LAYER_CODES,
+    OPCLASS_READ_ONLY,
+    OPCLASS_READ_WRITE,
+    OPCLASS_WRITE_ONLY,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.recordstore import RecordStore
+
+T = TypeVar("T")
+
+#: Base predicates the mask cache understands, beyond the parametric
+#: ``("layer", code)`` / ``("interface", value)`` / ``("pos", column)``
+#: forms. "unique" follows the paper's §3.1 accounting: a file accessed
+#: via MPI-IO is counted once, through its POSIX record.
+_BASE_MASKS = ("unique", "shared", "large_jobs")
+
+
+class AnalysisContext:
+    """Memoized masks, index arrays, derived columns, and results.
+
+    Cheap to construct — nothing is computed until asked for. All cache
+    entries are tied to the store generation observed at construction;
+    :attr:`stale` contexts raise on every access.
+    """
+
+    def __init__(self, store: "RecordStore"):
+        self._store = store
+        self._generation = store.generation
+        self._memo: dict[Hashable, object] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+    @property
+    def store(self) -> "RecordStore":
+        return self._store
+
+    @property
+    def generation(self) -> int:
+        """Store generation this context was built against."""
+        return self._generation
+
+    @property
+    def stale(self) -> bool:
+        """True once the store mutated past this context."""
+        return self._generation != self._store.generation
+
+    def _check_fresh(self) -> None:
+        if self.stale:
+            raise AnalysisError(
+                "stale AnalysisContext: store generation moved from "
+                f"{self._generation} to {self._store.generation}; call "
+                "store.analysis() for a fresh context"
+            )
+
+    def cache_info(self) -> dict[str, int]:
+        """Entry counts per cache kind (introspection for tests/benches)."""
+        kinds: dict[str, int] = {}
+        for key in self._memo:
+            kind = key[0] if isinstance(key, tuple) else str(key)
+            kinds[str(kind)] = kinds.get(str(kind), 0) + 1
+        return kinds
+
+    # -- generic memo --------------------------------------------------------
+    def cached(self, key: Hashable, compute: Callable[[], T]) -> T:
+        """Memoize ``compute()`` under ``key`` for this store generation."""
+        self._check_fresh()
+        try:
+            return self._memo[key]  # type: ignore[return-value]
+        except KeyError:
+            value = compute()
+            self._memo[key] = value
+            return value
+
+    # -- columns (views, never copies) --------------------------------------
+    def column(self, name: str) -> np.ndarray:
+        """A column view of ``store.files`` (no row copies)."""
+        self._check_fresh()
+        return self._store.files[name]
+
+    # -- boolean masks -------------------------------------------------------
+    def mask(self, key) -> np.ndarray:
+        """One predicate over all file rows, computed once.
+
+        Keys: ``"unique"`` (interface != MPI-IO), ``"shared"``
+        (rank == −1), ``"large_jobs"`` (nprocs > 1024),
+        ``("layer", code)``, ``("interface", value)``, and
+        ``("pos", column)`` (column > 0).
+        """
+        return self.cached(("mask", key), lambda: self._compute_mask(key))
+
+    def _compute_mask(self, key) -> np.ndarray:
+        f = self._store.files
+        if key == "unique":
+            return f["interface"] != int(IOInterface.MPIIO)
+        if key == "shared":
+            return f["rank"] == -1
+        if key == "large_jobs":
+            return f["nprocs"] > 1024
+        if isinstance(key, tuple) and len(key) == 2:
+            kind, arg = key
+            if kind == "layer":
+                return f["layer"] == arg
+            if kind == "interface":
+                return f["interface"] == int(arg)
+            if kind == "pos":
+                return f[arg] > 0
+        raise AnalysisError(f"unknown mask key {key!r}")
+
+    # -- index arrays --------------------------------------------------------
+    def idx(self, *keys) -> np.ndarray:
+        """Row indices where every named mask holds, as a cached array.
+
+        The conjunction of cached byte masks is far cheaper than the
+        seed path's full-row fancy indexing, and the resulting ``int64``
+        index array is reused by every analysis that groups on the same
+        axes. Indices are ascending, so column gathers preserve row
+        order — sums and CDFs come out bit-identical to a boolean
+        selection.
+        """
+
+        def compute() -> np.ndarray:
+            combined = self.mask(keys[0])
+            for key in keys[1:]:
+                combined = combined & self.mask(key)
+            return np.flatnonzero(combined)
+
+        if not keys:
+            raise AnalysisError("idx() needs at least one mask key")
+        # Mask conjunction is commutative; normalize the key order so
+        # idx(a, b) and idx(b, a) share one cache entry.
+        keys = tuple(sorted(keys, key=repr))
+        return self.cached(("idx", keys), compute)
+
+    def layer_items(self):
+        """(name, code) pairs of the paper's real layers, 'other' skipped."""
+        return tuple(
+            (name, code) for name, code in LAYER_CODES.items() if name != "other"
+        )
+
+    # -- derived columns -----------------------------------------------------
+    def transfer_sizes(self) -> np.ndarray:
+        """Per-file total transfer (read + written), cached."""
+        return self.cached(
+            "transfer_sizes",
+            lambda: self.column("bytes_read") + self.column("bytes_written"),
+        )
+
+    def opclass(self) -> np.ndarray:
+        """Read-only / read-write / write-only code per file, cached."""
+
+        def compute() -> np.ndarray:
+            r = self.mask(("pos", "bytes_read"))
+            w = self.mask(("pos", "bytes_written"))
+            out = np.full(
+                len(self._store.files), OPCLASS_READ_ONLY, dtype=np.uint8
+            )
+            out[r & w] = OPCLASS_READ_WRITE
+            out[~r & w] = OPCLASS_WRITE_ONLY
+            return out
+
+        return self.cached("opclass", compute)
+
+    def bandwidth(self, direction: str) -> np.ndarray:
+        """Per-file bytes/s for a direction; NaN where no time recorded."""
+        if direction not in ("read", "write"):
+            raise AnalysisError(f"direction must be read/write, got {direction!r}")
+
+        def compute() -> np.ndarray:
+            nbytes = self.column(f"bytes_{'read' if direction == 'read' else 'written'}")
+            times = self.column(f"{direction}_time")
+            with np.errstate(divide="ignore", invalid="ignore"):
+                return np.where(times > 0, nbytes / times, np.nan)
+
+        return self.cached(("bandwidth", direction), compute)
+
+    # -- grouped gathers -----------------------------------------------------
+    def gather(self, column: str, *keys) -> np.ndarray:
+        """Cached column values at ``idx(*keys)`` (one compact copy)."""
+        keys = tuple(sorted(keys, key=repr))
+        return self.cached(
+            ("gather", column, keys), lambda: self.column(column)[self.idx(*keys)]
+        )
+
+    def positive(self, column: str, *keys) -> np.ndarray:
+        """Cached positive entries of a gathered column.
+
+        This is the per-(group, direction) value set behind the transfer
+        CDFs: files with zero bytes in a direction do not enter that
+        direction's curve.
+        """
+
+        def compute() -> np.ndarray:
+            vals = self.gather(column, *keys)
+            return vals[vals > 0]
+
+        keys = tuple(sorted(keys, key=repr))
+        return self.cached(("positive", column, keys), compute)
+
+    def __repr__(self) -> str:
+        state = "stale" if self.stale else "fresh"
+        return (
+            f"AnalysisContext({self._store.platform!r}, "
+            f"generation={self._generation}, {state}, "
+            f"{len(self._memo)} cached)"
+        )
+
+
+def resolve(store: "RecordStore", context: AnalysisContext | None) -> AnalysisContext:
+    """The context analyses should use: explicit one, else the store's.
+
+    An explicit context must belong to the same store object — silently
+    analyzing store A with store B's masks would be a correctness bug.
+    """
+    if context is None:
+        return store.analysis()
+    if context.store is not store:
+        raise AnalysisError("context belongs to a different store")
+    context._check_fresh()
+    return context

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.platforms.interfaces import IOInterface
+from repro.analysis.context import AnalysisContext, resolve
 from repro.store.recordstore import RecordStore
 from repro.units import format_count
 
@@ -55,16 +55,22 @@ class DatasetSummary:
         ]
 
 
-def dataset_summary(store: RecordStore) -> DatasetSummary:
+def dataset_summary(
+    store: RecordStore, *, context: AnalysisContext | None = None
+) -> DatasetSummary:
     """Compute Table 2 for one platform's store.
 
     Files are the paper's unit: unique (path, log) pairs, i.e. rows from
     POSIX/STDIO (MPI-IO files are counted once through their POSIX shadow
     — §3.1 accounting).
     """
-    f = store.files
-    unique_mask = f["interface"] != int(IOInterface.MPIIO)
-    nfiles = int(unique_mask.sum())
+    ctx = resolve(store, context)
+    return ctx.cached(("result", "dataset_summary"), lambda: _compute(ctx))
+
+
+def _compute(ctx: AnalysisContext) -> DatasetSummary:
+    store = ctx.store
+    nfiles = int(ctx.mask("unique").sum())
     jobs = store.jobs
     node_hours = float(np.sum(jobs["nnodes"].astype(np.float64) * jobs["runtime"]) / 3600.0)
     # Count logs from the job table: jobs whose I/O never touched a

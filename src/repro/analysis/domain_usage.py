@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, resolve
 from repro.platforms.interfaces import IOInterface
 from repro.store.recordstore import RecordStore
 from repro.store.schema import LAYER_INSYSTEM
@@ -79,17 +80,22 @@ class DomainUsage:
         return rows
 
 
-def _collect(store: RecordStore, files: np.ndarray, flavor: str) -> DomainUsage:
-    codes = files["domain"]
+def _collect(ctx: AnalysisContext, flavor: str, *keys) -> DomainUsage:
+    store = ctx.store
+    f = store.files
+    idx = ctx.idx(*keys)
+    codes = f["domain"][idx]
+    bytes_read = f["bytes_read"][idx]
+    bytes_written = f["bytes_written"][idx]
     volumes: dict[str, tuple[int, int]] = {}
     for code in np.unique(codes):
-        sel = files[codes == code]
+        per = codes == code
         name = store.domains[code] if code >= 0 else ""
         volumes[name] = (
-            int(sel["bytes_read"].sum()),
-            int(sel["bytes_written"].sum()),
+            int(bytes_read[per].sum()),
+            int(bytes_written[per].sum()),
         )
-    job_ids = np.unique(files["job_id"])
+    job_ids = np.unique(f["job_id"][idx])
     jobs = store.jobs[np.isin(store.jobs["job_id"], job_ids)]
     jobs_by_domain: dict[str, int] = {}
     for code in np.unique(jobs["domain"]):
@@ -106,18 +112,23 @@ def _collect(store: RecordStore, files: np.ndarray, flavor: str) -> DomainUsage:
     )
 
 
-def insystem_domain_usage(store: RecordStore) -> DomainUsage:
+def insystem_domain_usage(
+    store: RecordStore, *, context: AnalysisContext | None = None
+) -> DomainUsage:
     """Figure 7: per-domain POSIX+STDIO transfer on the in-system layer."""
-    f = store.files
-    sel = f[
-        (f["layer"] == LAYER_INSYSTEM)
-        & (f["interface"] != int(IOInterface.MPIIO))
-    ]
-    return _collect(store, sel, "insystem")
+    ctx = resolve(store, context)
+    return ctx.cached(
+        ("result", "insystem_domain_usage"),
+        lambda: _collect(ctx, "insystem", ("layer", LAYER_INSYSTEM), "unique"),
+    )
 
 
-def stdio_domain_usage(store: RecordStore) -> DomainUsage:
+def stdio_domain_usage(
+    store: RecordStore, *, context: AnalysisContext | None = None
+) -> DomainUsage:
     """Figure 10: per-domain STDIO transfer across both layers."""
-    f = store.files
-    sel = f[f["interface"] == int(IOInterface.STDIO)]
-    return _collect(store, sel, "stdio")
+    ctx = resolve(store, context)
+    return ctx.cached(
+        ("result", "stdio_domain_usage"),
+        lambda: _collect(ctx, "stdio", ("interface", int(IOInterface.STDIO))),
+    )

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, resolve
 from repro.store.recordstore import RecordStore
 from repro.store.schema import LAYER_INSYSTEM, LAYER_PFS
 from repro.units import format_count
@@ -45,15 +46,22 @@ class LayerExclusivity:
         ]
 
 
-def layer_exclusivity(store: RecordStore) -> LayerExclusivity:
+def layer_exclusivity(
+    store: RecordStore, *, context: AnalysisContext | None = None
+) -> LayerExclusivity:
     """Compute Table 5 for one platform (over jobs with any file record)."""
-    f = store.files
+    ctx = resolve(store, context)
+    return ctx.cached(("result", "layer_exclusivity"), lambda: _compute(ctx))
+
+
+def _compute(ctx: AnalysisContext) -> LayerExclusivity:
+    store = ctx.store
     job_ids = store.jobs["job_id"]
     touches_pfs = np.isin(
-        job_ids, np.unique(f["job_id"][f["layer"] == LAYER_PFS])
+        job_ids, np.unique(ctx.gather("job_id", ("layer", LAYER_PFS)))
     )
     touches_ins = np.isin(
-        job_ids, np.unique(f["job_id"][f["layer"] == LAYER_INSYSTEM])
+        job_ids, np.unique(ctx.gather("job_id", ("layer", LAYER_INSYSTEM)))
     )
     return LayerExclusivity(
         platform=store.platform,

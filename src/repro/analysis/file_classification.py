@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, resolve
 from repro.platforms.interfaces import IOInterface
 from repro.store.recordstore import RecordStore
 from repro.store.schema import (
@@ -72,21 +73,27 @@ class FileClassification:
 
 
 def file_classification(
-    store: RecordStore, *, stdio_only: bool = False
+    store: RecordStore,
+    *,
+    stdio_only: bool = False,
+    context: AnalysisContext | None = None,
 ) -> FileClassification:
     """Figure 6 (``stdio_only=False``) or Figure 8 (``True``)."""
-    f = store.files
-    if stdio_only:
-        mask = f["interface"] == int(IOInterface.STDIO)
-    else:
-        mask = f["interface"] != int(IOInterface.MPIIO)
-    sub = store.filter(mask)
-    opclass = sub.opclass()
+    ctx = resolve(store, context)
+    key = ("result", "file_classification", stdio_only)
+    return ctx.cached(key, lambda: _compute(ctx, stdio_only))
+
+
+def _compute(ctx: AnalysisContext, stdio_only: bool) -> FileClassification:
+    store = ctx.store
+    base = "unique" if not stdio_only else ("interface", int(IOInterface.STDIO))
+    opclass = ctx.opclass()
     counts: dict[str, dict[str, int]] = {}
     for layer, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS)):
-        layer_mask = sub.files["layer"] == code
+        idx = ctx.idx(base, ("layer", code))
+        per_layer = opclass[idx]
         counts[layer] = {
-            name: int(np.sum(layer_mask & (opclass == cls_code)))
+            name: int(np.sum(per_layer == cls_code))
             for cls_code, name in OPCLASS_NAMES.items()
         }
     return FileClassification(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.analysis.context import AnalysisContext, resolve
 from repro.platforms.interfaces import IOInterface
 from repro.store.recordstore import RecordStore
 from repro.store.schema import LAYER_INSYSTEM, LAYER_PFS
@@ -52,14 +53,20 @@ class InterfaceUsage:
         return rows
 
 
-def interface_usage(store: RecordStore) -> InterfaceUsage:
+def interface_usage(
+    store: RecordStore, *, context: AnalysisContext | None = None
+) -> InterfaceUsage:
     """Compute Table 6 for one platform."""
-    f = store.files
+    ctx = resolve(store, context)
+    return ctx.cached(("result", "interface_usage"), lambda: _compute(ctx))
+
+
+def _compute(ctx: AnalysisContext) -> InterfaceUsage:
+    store = ctx.store
     counts: dict[str, dict[str, int]] = {}
     for name, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS)):
-        sel = f[f["layer"] == code]
         counts[name] = {
-            iface.label: int((sel["interface"] == int(iface)).sum())
+            iface.label: len(ctx.idx(("layer", code), ("interface", int(iface))))
             for iface in IOInterface
         }
     return InterfaceUsage(platform=store.platform, scale=store.scale, counts=counts)

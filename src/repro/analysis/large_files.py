@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.platforms.interfaces import IOInterface
+from repro.analysis.context import AnalysisContext, resolve
 from repro.store.recordstore import RecordStore
 from repro.store.schema import LAYER_INSYSTEM, LAYER_PFS
 from repro.units import TB, format_count
@@ -52,16 +52,26 @@ class LargeFiles:
         return rows
 
 
-def large_files(store: RecordStore, threshold: int = 1 * TB) -> LargeFiles:
+def large_files(
+    store: RecordStore,
+    threshold: int = 1 * TB,
+    *,
+    context: AnalysisContext | None = None,
+) -> LargeFiles:
     """Compute Table 4 for one platform."""
-    f = store.files
-    unique = f[f["interface"] != int(IOInterface.MPIIO)]
+    ctx = resolve(store, context)
+    key = ("result", "large_files", threshold)
+    return ctx.cached(key, lambda: _compute(ctx, threshold))
+
+
+def _compute(ctx: AnalysisContext, threshold: int) -> LargeFiles:
+    store = ctx.store
     counts = {}
     for name, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS)):
-        sel = unique[unique["layer"] == code]
+        keys = ("unique", ("layer", code))
         counts[name] = (
-            int((sel["bytes_read"] > threshold).sum()),
-            int((sel["bytes_written"] > threshold).sum()),
+            int((ctx.gather("bytes_read", *keys) > threshold).sum()),
+            int((ctx.gather("bytes_written", *keys) > threshold).sum()),
         )
     return LargeFiles(
         platform=store.platform,

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.platforms.interfaces import IOInterface
+from repro.analysis.context import AnalysisContext, resolve
 from repro.store.recordstore import RecordStore
 from repro.store.schema import LAYER_INSYSTEM, LAYER_PFS
 from repro.units import format_count, format_size
@@ -54,18 +54,24 @@ class LayerVolumes:
         return rows
 
 
-def layer_volumes(store: RecordStore) -> LayerVolumes:
+def layer_volumes(
+    store: RecordStore, *, context: AnalysisContext | None = None
+) -> LayerVolumes:
     """Compute Table 3 for one platform."""
-    f = store.files
-    unique = f[f["interface"] != int(IOInterface.MPIIO)]
+    ctx = resolve(store, context)
+    return ctx.cached(("result", "layer_volumes"), lambda: _compute(ctx))
+
+
+def _compute(ctx: AnalysisContext) -> LayerVolumes:
+    store = ctx.store
     rows = {}
     for name, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS)):
-        sel = unique[unique["layer"] == code]
+        keys = ("unique", ("layer", code))
         rows[name] = LayerRow(
             layer=name,
-            files=len(sel),
-            bytes_read=int(sel["bytes_read"].sum()),
-            bytes_written=int(sel["bytes_written"].sum()),
+            files=len(ctx.idx(*keys)),
+            bytes_read=int(ctx.gather("bytes_read", *keys).sum()),
+            bytes_written=int(ctx.gather("bytes_written", *keys).sum()),
         )
     return LayerVolumes(
         platform=store.platform,

@@ -1,0 +1,406 @@
+"""Seed (pre-context) analysis implementations, preserved verbatim.
+
+These are the direct per-analysis scan paths the analysis package
+shipped with before the shared :mod:`repro.analysis.context` layer: each
+function recomputes its own boolean masks over ``store.files`` and
+fancy-indexes full record rows. They are kept as the **golden reference**
+for ``tests/test_analysis_equivalence.py``, which asserts the context
+path produces bit-identical results — the refactor must never silently
+change a paper number.
+
+Do not "optimize" this module; its value is that it does not share code
+with the fast path. New analyses do not need a twin here unless they
+join the equivalence suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.cdf import BoxStats, boxplot_stats, cdf_at, weighted_cdf
+from repro.analysis.dataset_summary import DatasetSummary
+from repro.analysis.domain_usage import DomainUsage
+from repro.analysis.exclusivity import LayerExclusivity
+from repro.analysis.file_classification import FileClassification
+from repro.analysis.interface_usage import InterfaceUsage
+from repro.analysis.large_files import LargeFiles
+from repro.analysis.layer_volumes import LayerRow, LayerVolumes
+from repro.analysis.performance import PerformanceByBin
+from repro.analysis.request_cdfs import RequestCdf
+from repro.analysis.transfer_cdfs import (
+    FIG3_LABELS,
+    FIG3_THRESHOLDS,
+    FIG9_LABELS,
+    FIG9_THRESHOLDS,
+    TransferCdf,
+)
+from repro.analysis.variability import VariabilityCell
+from repro.darshan.bins import ACCESS_SIZE_BINS, TRANSFER_SIZE_BINS, SizeBins
+from repro.platforms.interfaces import IOInterface
+from repro.store.recordstore import RecordStore
+from repro.store.schema import (
+    LAYER_CODES,
+    LAYER_INSYSTEM,
+    LAYER_PFS,
+    OPCLASS_NAMES,
+)
+from repro.units import TB
+
+
+def dataset_summary(store: RecordStore) -> DatasetSummary:
+    """Seed Table 2 path."""
+    f = store.files
+    unique_mask = f["interface"] != int(IOInterface.MPIIO)
+    nfiles = int(unique_mask.sum())
+    jobs = store.jobs
+    node_hours = float(np.sum(jobs["nnodes"].astype(np.float64) * jobs["runtime"]) / 3600.0)
+    nlogs = int(jobs["nlogs"].sum()) if len(jobs) else store.nlogs
+    lpj_min = int(jobs["nlogs"].min()) if len(jobs) else 0
+    lpj_max = int(jobs["nlogs"].max()) if len(jobs) else 0
+    return DatasetSummary(
+        platform=store.platform,
+        scale=store.scale,
+        logs=nlogs,
+        jobs=len(jobs),
+        files=nfiles,
+        node_hours=node_hours,
+        logs_per_job_min=lpj_min,
+        logs_per_job_max=lpj_max,
+    )
+
+
+def layer_volumes(store: RecordStore) -> LayerVolumes:
+    """Seed Table 3 path."""
+    f = store.files
+    unique = f[f["interface"] != int(IOInterface.MPIIO)]
+    rows = {}
+    for name, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS)):
+        sel = unique[unique["layer"] == code]
+        rows[name] = LayerRow(
+            layer=name,
+            files=len(sel),
+            bytes_read=int(sel["bytes_read"].sum()),
+            bytes_written=int(sel["bytes_written"].sum()),
+        )
+    return LayerVolumes(
+        platform=store.platform,
+        scale=store.scale,
+        insystem=rows["insystem"],
+        pfs=rows["pfs"],
+    )
+
+
+def large_files(store: RecordStore, threshold: int = 1 * TB) -> LargeFiles:
+    """Seed Table 4 path."""
+    f = store.files
+    unique = f[f["interface"] != int(IOInterface.MPIIO)]
+    counts = {}
+    for name, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS)):
+        sel = unique[unique["layer"] == code]
+        counts[name] = (
+            int((sel["bytes_read"] > threshold).sum()),
+            int((sel["bytes_written"] > threshold).sum()),
+        )
+    return LargeFiles(
+        platform=store.platform,
+        scale=store.scale,
+        threshold=threshold,
+        counts=counts,
+    )
+
+
+def layer_exclusivity(store: RecordStore) -> LayerExclusivity:
+    """Seed Table 5 path."""
+    f = store.files
+    job_ids = store.jobs["job_id"]
+    touches_pfs = np.isin(
+        job_ids, np.unique(f["job_id"][f["layer"] == LAYER_PFS])
+    )
+    touches_ins = np.isin(
+        job_ids, np.unique(f["job_id"][f["layer"] == LAYER_INSYSTEM])
+    )
+    return LayerExclusivity(
+        platform=store.platform,
+        scale=store.scale,
+        insystem_only=int((touches_ins & ~touches_pfs).sum()),
+        both=int((touches_ins & touches_pfs).sum()),
+        pfs_only=int((touches_pfs & ~touches_ins).sum()),
+    )
+
+
+def interface_usage(store: RecordStore) -> InterfaceUsage:
+    """Seed Table 6 path."""
+    f = store.files
+    counts: dict[str, dict[str, int]] = {}
+    for name, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS)):
+        sel = f[f["layer"] == code]
+        counts[name] = {
+            iface.label: int((sel["interface"] == int(iface)).sum())
+            for iface in IOInterface
+        }
+    return InterfaceUsage(platform=store.platform, scale=store.scale, counts=counts)
+
+
+def _direction_bytes(files: np.ndarray, direction: str) -> np.ndarray:
+    col = "bytes_read" if direction == "read" else "bytes_written"
+    vals = files[col]
+    return vals[vals > 0]
+
+
+def transfer_cdfs(
+    store: RecordStore,
+    *,
+    thresholds: np.ndarray = FIG3_THRESHOLDS,
+    labels: tuple[str, ...] = FIG3_LABELS,
+) -> list[TransferCdf]:
+    """Seed Figure 3 path."""
+    f = store.files
+    unique = f[f["interface"] != int(IOInterface.MPIIO)]
+    out = []
+    for layer, code in LAYER_CODES.items():
+        if layer == "other":
+            continue
+        sel = unique[unique["layer"] == code]
+        for direction in ("read", "write"):
+            values = _direction_bytes(sel, direction)
+            if values.size == 0:
+                continue
+            out.append(
+                TransferCdf(
+                    platform=store.platform,
+                    layer=layer,
+                    direction=direction,
+                    interface="",
+                    nfiles=int(values.size),
+                    thresholds=tuple(float(t) for t in thresholds),
+                    labels=labels,
+                    percent_at=tuple(cdf_at(values, thresholds)),
+                )
+            )
+    return out
+
+
+def interface_transfer_cdfs(
+    store: RecordStore,
+    *,
+    thresholds: np.ndarray = FIG9_THRESHOLDS,
+    labels: tuple[str, ...] = FIG9_LABELS,
+) -> list[TransferCdf]:
+    """Seed Figure 9 path."""
+    f = store.files
+    out = []
+    for iface in IOInterface:
+        by_iface = f[f["interface"] == int(iface)]
+        for layer, code in LAYER_CODES.items():
+            if layer == "other":
+                continue
+            sel = by_iface[by_iface["layer"] == code]
+            for direction in ("read", "write"):
+                values = _direction_bytes(sel, direction)
+                if values.size == 0:
+                    continue
+                out.append(
+                    TransferCdf(
+                        platform=store.platform,
+                        layer=layer,
+                        direction=direction,
+                        interface=iface.label,
+                        nfiles=int(values.size),
+                        thresholds=tuple(float(t) for t in thresholds),
+                        labels=labels,
+                        percent_at=tuple(cdf_at(values, thresholds)),
+                    )
+                )
+    return out
+
+
+def request_cdfs(
+    store: RecordStore, *, large_jobs_only: bool = False
+) -> list[RequestCdf]:
+    """Seed Figure 4/5 path."""
+    f = store.files
+    sel = f[f["interface"] == int(IOInterface.POSIX)]
+    if large_jobs_only:
+        sel = sel[sel["nprocs"] > 1024]
+    out = []
+    for layer, code in LAYER_CODES.items():
+        if layer == "other":
+            continue
+        per_layer = sel[sel["layer"] == code]
+        if not len(per_layer):
+            continue
+        for direction, col in (("read", "read_hist"), ("write", "write_hist")):
+            totals = per_layer[col].sum(axis=0)
+            if totals.sum() == 0:
+                continue
+            out.append(
+                RequestCdf(
+                    platform=store.platform,
+                    layer=layer,
+                    direction=direction,
+                    large_jobs_only=large_jobs_only,
+                    total_calls=int(totals.sum()),
+                    bin_labels=ACCESS_SIZE_BINS.labels,
+                    cumulative_percent=tuple(weighted_cdf(totals)),
+                )
+            )
+    return out
+
+
+def file_classification(
+    store: RecordStore, *, stdio_only: bool = False
+) -> FileClassification:
+    """Seed Figure 6/8 path."""
+    f = store.files
+    if stdio_only:
+        mask = f["interface"] == int(IOInterface.STDIO)
+    else:
+        mask = f["interface"] != int(IOInterface.MPIIO)
+    sub = store.filter(mask)
+    opclass = sub.opclass()
+    counts: dict[str, dict[str, int]] = {}
+    for layer, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS)):
+        layer_mask = sub.files["layer"] == code
+        counts[layer] = {
+            name: int(np.sum(layer_mask & (opclass == cls_code)))
+            for cls_code, name in OPCLASS_NAMES.items()
+        }
+    return FileClassification(
+        platform=store.platform,
+        scale=store.scale,
+        interfaces="stdio" if stdio_only else "posix+stdio",
+        counts=counts,
+    )
+
+
+def _collect(store: RecordStore, files: np.ndarray, flavor: str) -> DomainUsage:
+    codes = files["domain"]
+    volumes: dict[str, tuple[int, int]] = {}
+    for code in np.unique(codes):
+        sel = files[codes == code]
+        name = store.domains[code] if code >= 0 else ""
+        volumes[name] = (
+            int(sel["bytes_read"].sum()),
+            int(sel["bytes_written"].sum()),
+        )
+    job_ids = np.unique(files["job_id"])
+    jobs = store.jobs[np.isin(store.jobs["job_id"], job_ids)]
+    jobs_by_domain: dict[str, int] = {}
+    for code in np.unique(jobs["domain"]):
+        name = store.domains[code] if code >= 0 else ""
+        jobs_by_domain[name] = int((jobs["domain"] == code).sum())
+    return DomainUsage(
+        platform=store.platform,
+        scale=store.scale,
+        flavor=flavor,
+        volumes=volumes,
+        jobs_total=len(jobs),
+        jobs_with_domain=int((jobs["domain"] >= 0).sum()),
+        jobs_by_domain=jobs_by_domain,
+    )
+
+
+def insystem_domain_usage(store: RecordStore) -> DomainUsage:
+    """Seed Figure 7 path."""
+    f = store.files
+    sel = f[
+        (f["layer"] == LAYER_INSYSTEM)
+        & (f["interface"] != int(IOInterface.MPIIO))
+    ]
+    return _collect(store, sel, "insystem")
+
+
+def stdio_domain_usage(store: RecordStore) -> DomainUsage:
+    """Seed Figure 10 path."""
+    f = store.files
+    sel = f[f["interface"] == int(IOInterface.STDIO)]
+    return _collect(store, sel, "stdio")
+
+
+def performance_by_bin(
+    store: RecordStore,
+    *,
+    bins: SizeBins = TRANSFER_SIZE_BINS,
+) -> list[PerformanceByBin]:
+    """Seed Figure 11/12 path."""
+    f = store.files
+    shared = f[f["rank"] == -1]
+    out = []
+    for layer, code in LAYER_CODES.items():
+        if layer == "other":
+            continue
+        by_layer = shared[shared["layer"] == code]
+        for direction, bytes_col, time_col in (
+            ("read", "bytes_read", "read_time"),
+            ("write", "bytes_written", "write_time"),
+        ):
+            boxes: dict[str, tuple[BoxStats, ...]] = {}
+            for iface in (IOInterface.POSIX, IOInterface.STDIO):
+                sel = by_layer[by_layer["interface"] == int(iface)]
+                nbytes = sel[bytes_col].astype(np.float64)
+                times = sel[time_col]
+                valid = (nbytes > 0) & (times > 0)
+                nbytes, times = nbytes[valid], times[valid]
+                bw = nbytes / times
+                bin_idx = bins.index_array(nbytes)
+                per_bin = []
+                for b in range(bins.nbins):
+                    per_bin.append(boxplot_stats(bw[bin_idx == b]))
+                boxes[iface.label] = tuple(per_bin)
+            if any(box.n for per in boxes.values() for box in per):
+                out.append(
+                    PerformanceByBin(
+                        platform=store.platform,
+                        layer=layer,
+                        direction=direction,
+                        bin_labels=bins.labels,
+                        boxes=boxes,
+                    )
+                )
+    return out
+
+
+def bandwidth_variability(
+    store: RecordStore,
+    *,
+    bins: SizeBins = TRANSFER_SIZE_BINS,
+    min_samples: int = 30,
+) -> list[VariabilityCell]:
+    """Seed variability path (TOKIO-flavored dispersion cells)."""
+    f = store.files
+    shared = f[f["rank"] == -1]
+    out: list[VariabilityCell] = []
+    for layer, code in LAYER_CODES.items():
+        if layer == "other":
+            continue
+        per_layer = shared[shared["layer"] == code]
+        for iface in (IOInterface.POSIX, IOInterface.STDIO):
+            sel = per_layer[per_layer["interface"] == int(iface)]
+            for direction, bytes_col, time_col in (
+                ("read", "bytes_read", "read_time"),
+                ("write", "bytes_written", "write_time"),
+            ):
+                nbytes = sel[bytes_col].astype(np.float64)
+                times = sel[time_col]
+                ok = (nbytes > 0) & (times > 0)
+                bw = nbytes[ok] / times[ok]
+                bin_idx = bins.index_array(nbytes[ok])
+                for b in range(bins.nbins):
+                    vals = bw[bin_idx == b]
+                    if len(vals) < min_samples:
+                        continue
+                    q1, med, q3 = np.percentile(vals, [25, 50, 75])
+                    p10, p90 = np.percentile(vals, [10, 90])
+                    out.append(
+                        VariabilityCell(
+                            layer=layer,
+                            interface=iface.label,
+                            direction=direction,
+                            bin_label=bins.labels[b],
+                            n=int(len(vals)),
+                            median=float(med),
+                            iqr_ratio=float(q3 / q1) if q1 > 0 else float("inf"),
+                            p90_over_p10=float(p90 / p10) if p10 > 0 else float("inf"),
+                        )
+                    )
+    return out

@@ -17,10 +17,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.cdf import BoxStats, boxplot_stats
+from repro.analysis.context import AnalysisContext, resolve
 from repro.darshan.bins import TRANSFER_SIZE_BINS, SizeBins
 from repro.platforms.interfaces import IOInterface
 from repro.store.recordstore import RecordStore
-from repro.store.schema import LAYER_CODES
 
 
 @dataclass(frozen=True)
@@ -74,24 +74,27 @@ def performance_by_bin(
     store: RecordStore,
     *,
     bins: SizeBins = TRANSFER_SIZE_BINS,
+    context: AnalysisContext | None = None,
 ) -> list[PerformanceByBin]:
     """Compute all four panels (layer x direction) for one platform."""
-    f = store.files
-    shared = f[f["rank"] == -1]
+    ctx = resolve(store, context)
+    key = ("result", "performance_by_bin", bins.name, bins.edges)
+    return ctx.cached(key, lambda: _compute(ctx, bins))
+
+
+def _compute(ctx: AnalysisContext, bins: SizeBins) -> list[PerformanceByBin]:
+    store = ctx.store
     out = []
-    for layer, code in LAYER_CODES.items():
-        if layer == "other":
-            continue
-        by_layer = shared[shared["layer"] == code]
+    for layer, code in ctx.layer_items():
         for direction, bytes_col, time_col in (
             ("read", "bytes_read", "read_time"),
             ("write", "bytes_written", "write_time"),
         ):
             boxes: dict[str, tuple[BoxStats, ...]] = {}
             for iface in (IOInterface.POSIX, IOInterface.STDIO):
-                sel = by_layer[by_layer["interface"] == int(iface)]
-                nbytes = sel[bytes_col].astype(np.float64)
-                times = sel[time_col]
+                keys = ("shared", ("layer", code), ("interface", int(iface)))
+                nbytes = ctx.gather(bytes_col, *keys).astype(np.float64)
+                times = ctx.gather(time_col, *keys)
                 valid = (nbytes > 0) & (times > 0)
                 nbytes, times = nbytes[valid], times[valid]
                 bw = nbytes / times

@@ -13,10 +13,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.cdf import weighted_cdf
+from repro.analysis.context import AnalysisContext, resolve
 from repro.darshan.bins import ACCESS_SIZE_BINS
 from repro.platforms.interfaces import IOInterface
 from repro.store.recordstore import RecordStore
-from repro.store.schema import LAYER_CODES
 
 
 @dataclass(frozen=True)
@@ -51,7 +51,10 @@ class RequestCdf:
 
 
 def request_cdfs(
-    store: RecordStore, *, large_jobs_only: bool = False
+    store: RecordStore,
+    *,
+    large_jobs_only: bool = False,
+    context: AnalysisContext | None = None,
 ) -> list[RequestCdf]:
     """Figure 4 (``large_jobs_only=False``) or Figure 5 (``True``).
 
@@ -59,19 +62,26 @@ def request_cdfs(
     file-system requests (including MPI-IO traffic through its shadows),
     and STDIO has no histograms to contribute.
     """
+    ctx = resolve(store, context)
+    key = ("result", "request_cdfs", large_jobs_only)
+    return ctx.cached(key, lambda: _compute(ctx, large_jobs_only))
+
+
+def _compute(ctx: AnalysisContext, large_jobs_only: bool) -> list[RequestCdf]:
+    store = ctx.store
     f = store.files
-    sel = f[f["interface"] == int(IOInterface.POSIX)]
-    if large_jobs_only:
-        sel = sel[sel["nprocs"] > 1024]
     out = []
-    for layer, code in LAYER_CODES.items():
-        if layer == "other":
-            continue
-        per_layer = sel[sel["layer"] == code]
-        if not len(per_layer):
+    for layer, code in ctx.layer_items():
+        keys = [("interface", int(IOInterface.POSIX)), ("layer", code)]
+        if large_jobs_only:
+            keys.append("large_jobs")
+        idx = ctx.idx(*keys)
+        if not len(idx):
             continue
         for direction, col in (("read", "read_hist"), ("write", "write_hist")):
-            totals = per_layer[col].sum(axis=0)
+            # Histogram rows are 80 bytes each; gather them once per
+            # group and reduce immediately rather than caching the copy.
+            totals = f[col][idx].sum(axis=0)
             if totals.sum() == 0:
                 continue
             out.append(

@@ -13,8 +13,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, resolve
 from repro.errors import AnalysisError
-from repro.platforms.interfaces import IOInterface
 from repro.scheduler.trace import SECONDS_PER_DAY
 from repro.store.recordstore import RecordStore
 
@@ -69,29 +69,42 @@ class TemporalProfile:
 
 
 def temporal_profile(
-    store: RecordStore, *, bin_seconds: float = 3600.0
+    store: RecordStore,
+    *,
+    bin_seconds: float = 3600.0,
+    context: AnalysisContext | None = None,
 ) -> TemporalProfile:
     """Bin the store's transfer volume over the trace horizon."""
     if bin_seconds <= 0:
         raise AnalysisError("bin_seconds must be positive")
-    files = store.files
-    unique = files[files["interface"] != int(IOInterface.MPIIO)]
-    if not len(unique):
+    ctx = resolve(store, context)
+    key = ("result", "temporal_profile", float(bin_seconds))
+    return ctx.cached(key, lambda: _compute(ctx, bin_seconds))
+
+
+def _compute(ctx: AnalysisContext, bin_seconds: float) -> TemporalProfile:
+    store = ctx.store
+    unique_idx = ctx.idx("unique")
+    if not len(unique_idx):
         raise AnalysisError("store has no file records")
     jobs = store.jobs
     start_by_job = dict(zip(jobs["job_id"].tolist(), jobs["start_time"].tolist()))
     starts = np.array(
-        [start_by_job.get(int(j), 0.0) for j in unique["job_id"]],
+        [start_by_job.get(int(j), 0.0) for j in ctx.gather("job_id", "unique")],
         dtype=np.float64,
     )
     horizon = float(jobs["start_time"].max() + jobs["runtime"].max())
     nbins = max(int(np.ceil(horizon / bin_seconds)), 1)
     idx = np.minimum((starts / bin_seconds).astype(np.int64), nbins - 1)
     read_series = np.bincount(
-        idx, weights=unique["bytes_read"].astype(np.float64), minlength=nbins
+        idx,
+        weights=ctx.gather("bytes_read", "unique").astype(np.float64),
+        minlength=nbins,
     )
     write_series = np.bincount(
-        idx, weights=unique["bytes_written"].astype(np.float64), minlength=nbins
+        idx,
+        weights=ctx.gather("bytes_written", "unique").astype(np.float64),
+        minlength=nbins,
     )
     return TemporalProfile(
         platform=store.platform,

@@ -13,10 +13,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.cdf import cdf_at
+from repro.analysis.context import AnalysisContext, resolve
 from repro.errors import AnalysisError
 from repro.platforms.interfaces import IOInterface
 from repro.store.recordstore import RecordStore
-from repro.store.schema import LAYER_CODES
 from repro.units import GB, MB, TB
 
 #: Figure 3's x-axis thresholds.
@@ -64,10 +64,7 @@ class TransferCdf:
         ]
 
 
-def _direction_bytes(files: np.ndarray, direction: str) -> np.ndarray:
-    col = "bytes_read" if direction == "read" else "bytes_written"
-    vals = files[col]
-    return vals[vals > 0]
+_DIRECTION_COLS = (("read", "bytes_read"), ("write", "bytes_written"))
 
 
 def transfer_cdfs(
@@ -75,17 +72,20 @@ def transfer_cdfs(
     *,
     thresholds: np.ndarray = FIG3_THRESHOLDS,
     labels: tuple[str, ...] = FIG3_LABELS,
+    context: AnalysisContext | None = None,
 ) -> list[TransferCdf]:
     """Figure 3: per (layer, direction) CDFs over POSIX+STDIO files."""
-    f = store.files
-    unique = f[f["interface"] != int(IOInterface.MPIIO)]
+    ctx = resolve(store, context)
+    key = ("result", "transfer_cdfs", tuple(float(t) for t in thresholds), labels)
+    return ctx.cached(key, lambda: _fig3(ctx, thresholds, labels))
+
+
+def _fig3(ctx: AnalysisContext, thresholds, labels) -> list[TransferCdf]:
+    store = ctx.store
     out = []
-    for layer, code in LAYER_CODES.items():
-        if layer == "other":
-            continue
-        sel = unique[unique["layer"] == code]
-        for direction in ("read", "write"):
-            values = _direction_bytes(sel, direction)
+    for layer, code in ctx.layer_items():
+        for direction, col in _DIRECTION_COLS:
+            values = ctx.positive(col, "unique", ("layer", code))
             if values.size == 0:
                 continue
             out.append(
@@ -108,6 +108,7 @@ def interface_transfer_cdfs(
     *,
     thresholds: np.ndarray = FIG9_THRESHOLDS,
     labels: tuple[str, ...] = FIG9_LABELS,
+    context: AnalysisContext | None = None,
 ) -> list[TransferCdf]:
     """Figure 9: per (interface, layer, direction) CDFs.
 
@@ -116,16 +117,25 @@ def interface_transfer_cdfs(
     be wrong — Darshan's POSIX module does see that traffic, so shadows
     stay in, matching the instrument's view.
     """
-    f = store.files
+    ctx = resolve(store, context)
+    key = (
+        "result",
+        "interface_transfer_cdfs",
+        tuple(float(t) for t in thresholds),
+        labels,
+    )
+    return ctx.cached(key, lambda: _fig9(ctx, thresholds, labels))
+
+
+def _fig9(ctx: AnalysisContext, thresholds, labels) -> list[TransferCdf]:
+    store = ctx.store
     out = []
     for iface in IOInterface:
-        by_iface = f[f["interface"] == int(iface)]
-        for layer, code in LAYER_CODES.items():
-            if layer == "other":
-                continue
-            sel = by_iface[by_iface["layer"] == code]
-            for direction in ("read", "write"):
-                values = _direction_bytes(sel, direction)
+        for layer, code in ctx.layer_items():
+            for direction, col in _DIRECTION_COLS:
+                values = ctx.positive(
+                    col, ("interface", int(iface)), ("layer", code)
+                )
                 if values.size == 0:
                     continue
                 out.append(

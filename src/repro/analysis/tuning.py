@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, resolve
 from repro.errors import AnalysisError
 from repro.platforms.interfaces import IOInterface
 from repro.store.recordstore import RecordStore
@@ -96,10 +97,22 @@ def _spearman(x: np.ndarray, y: np.ndarray) -> float:
     return float(((rx - rx.mean()) * (ry - ry.mean())).mean() / (sx * sy))
 
 
-def tuning_report(store: RecordStore, *, min_jobs: int = 5) -> TuningReport:
+def tuning_report(
+    store: RecordStore,
+    *,
+    min_jobs: int = 5,
+    context: AnalysisContext | None = None,
+) -> TuningReport:
     """Classify every qualifying user's tuning trajectory."""
     if min_jobs < 3:
         raise AnalysisError("min_jobs must be at least 3 for a trend")
+    ctx = resolve(store, context)
+    key = ("result", "tuning_report", min_jobs)
+    return ctx.cached(key, lambda: _compute(ctx, min_jobs))
+
+
+def _compute(ctx: AnalysisContext, min_jobs: int) -> TuningReport:
+    store = ctx.store
     jobs = store.jobs
     files = store.files
     posix = files[files["interface"] == int(IOInterface.POSIX)]

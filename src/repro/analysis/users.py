@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, resolve
 from repro.errors import AnalysisError
 from repro.store.recordstore import RecordStore
 
@@ -72,8 +73,16 @@ class UserActivity:
         ]
 
 
-def user_activity(store: RecordStore) -> UserActivity:
+def user_activity(
+    store: RecordStore, *, context: AnalysisContext | None = None
+) -> UserActivity:
     """Compute per-user activity for a store."""
+    ctx = resolve(store, context)
+    return ctx.cached(("result", "user_activity"), lambda: _compute(ctx))
+
+
+def _compute(ctx: AnalysisContext) -> UserActivity:
+    store = ctx.store
     jobs = store.jobs
     files = store.files
     if not len(jobs):
@@ -88,7 +97,7 @@ def user_activity(store: RecordStore) -> UserActivity:
         idx = user_index.get(int(u))
         if idx is not None:
             file_counts[idx] = c
-    volumes = files["bytes_read"].astype(np.int64) + files["bytes_written"]
+    volumes = ctx.transfer_sizes()
     order = np.argsort(files["user_id"], kind="stable")
     sorted_users = files["user_id"][order]
     sorted_vol = volumes[order]

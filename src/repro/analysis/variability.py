@@ -15,10 +15,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.context import AnalysisContext, resolve
 from repro.darshan.bins import TRANSFER_SIZE_BINS, SizeBins
 from repro.platforms.interfaces import IOInterface
 from repro.store.recordstore import RecordStore
-from repro.store.schema import LAYER_CODES
 
 
 @dataclass(frozen=True)
@@ -49,23 +49,27 @@ def bandwidth_variability(
     *,
     bins: SizeBins = TRANSFER_SIZE_BINS,
     min_samples: int = 30,
+    context: AnalysisContext | None = None,
 ) -> list[VariabilityCell]:
     """Dispersion cells for all shared-file populations with enough data."""
-    f = store.files
-    shared = f[f["rank"] == -1]
+    ctx = resolve(store, context)
+    key = ("result", "bandwidth_variability", bins.name, bins.edges, min_samples)
+    return ctx.cached(key, lambda: _compute(ctx, bins, min_samples))
+
+
+def _compute(
+    ctx: AnalysisContext, bins: SizeBins, min_samples: int
+) -> list[VariabilityCell]:
     out: list[VariabilityCell] = []
-    for layer, code in LAYER_CODES.items():
-        if layer == "other":
-            continue
-        per_layer = shared[shared["layer"] == code]
+    for layer, code in ctx.layer_items():
         for iface in (IOInterface.POSIX, IOInterface.STDIO):
-            sel = per_layer[per_layer["interface"] == int(iface)]
+            keys = ("shared", ("layer", code), ("interface", int(iface)))
             for direction, bytes_col, time_col in (
                 ("read", "bytes_read", "read_time"),
                 ("write", "bytes_written", "write_time"),
             ):
-                nbytes = sel[bytes_col].astype(np.float64)
-                times = sel[time_col]
+                nbytes = ctx.gather(bytes_col, *keys).astype(np.float64)
+                times = ctx.gather(time_col, *keys)
                 ok = (nbytes > 0) & (times > 0)
                 bw = nbytes[ok] / times[ok]
                 bin_idx = bins.index_array(nbytes[ok])

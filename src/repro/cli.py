@@ -154,25 +154,28 @@ def _cmd_analyze(args) -> int:
     )
 
     store = load_store(args.store)
+    # All report paths share the store's analysis context, so rendering
+    # several exhibits against one store scans the common axes once.
+    ctx = store.analysis()
     runners = {
-        "table2": lambda: dataset_summary(store),
-        "table3": lambda: layer_volumes(store),
-        "table4": lambda: large_files(store),
-        "table5": lambda: layer_exclusivity(store),
-        "table6": lambda: interface_usage(store),
-        "fig3": lambda: transfer_cdfs(store),
-        "fig4": lambda: request_cdfs(store),
-        "fig5": lambda: request_cdfs(store, large_jobs_only=True),
-        "fig6": lambda: file_classification(store),
-        "fig7": lambda: insystem_domain_usage(store),
-        "fig8": lambda: file_classification(store, stdio_only=True),
-        "fig9": lambda: interface_transfer_cdfs(store),
-        "fig10": lambda: stdio_domain_usage(store),
-        "fig11": lambda: performance_by_bin(store),
-        "users": lambda: user_activity(store),
-        "temporal": lambda: temporal_profile(store),
-        "variability": lambda: bandwidth_variability(store),
-        "tuning": lambda: tuning_report(store),
+        "table2": lambda: dataset_summary(store, context=ctx),
+        "table3": lambda: layer_volumes(store, context=ctx),
+        "table4": lambda: large_files(store, context=ctx),
+        "table5": lambda: layer_exclusivity(store, context=ctx),
+        "table6": lambda: interface_usage(store, context=ctx),
+        "fig3": lambda: transfer_cdfs(store, context=ctx),
+        "fig4": lambda: request_cdfs(store, context=ctx),
+        "fig5": lambda: request_cdfs(store, large_jobs_only=True, context=ctx),
+        "fig6": lambda: file_classification(store, context=ctx),
+        "fig7": lambda: insystem_domain_usage(store, context=ctx),
+        "fig8": lambda: file_classification(store, stdio_only=True, context=ctx),
+        "fig9": lambda: interface_transfer_cdfs(store, context=ctx),
+        "fig10": lambda: stdio_domain_usage(store, context=ctx),
+        "fig11": lambda: performance_by_bin(store, context=ctx),
+        "users": lambda: user_activity(store, context=ctx),
+        "temporal": lambda: temporal_profile(store, context=ctx),
+        "variability": lambda: bandwidth_variability(store, context=ctx),
+        "tuning": lambda: tuning_report(store, context=ctx),
     }
     header_key, title = _EXHIBITS[args.exhibit]
     print(render_results(title, HEADERS[header_key], runners[args.exhibit]()))

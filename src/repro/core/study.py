@@ -76,21 +76,24 @@ class CharacterizationStudy:
         if key in self._results:
             return self._results[key]
         store = self.store(key)
+        # One shared analysis plan: every exhibit below reuses the same
+        # masks/index arrays instead of rescanning the file table.
+        ctx = store.analysis()
         results = StudyResults(platform=key)
-        results.table2 = dataset_summary(store)
-        results.table3 = layer_volumes(store)
-        results.table4 = large_files(store)
-        results.table5 = layer_exclusivity(store)
-        results.table6 = interface_usage(store)
-        results.fig3 = transfer_cdfs(store)
-        results.fig4 = request_cdfs(store)
-        results.fig5 = request_cdfs(store, large_jobs_only=True)
-        results.fig6 = file_classification(store)
-        results.fig7 = insystem_domain_usage(store)
-        results.fig8 = file_classification(store, stdio_only=True)
-        results.fig9 = interface_transfer_cdfs(store)
-        results.fig10 = stdio_domain_usage(store)
-        results.fig11_12 = performance_by_bin(store)
+        results.table2 = dataset_summary(store, context=ctx)
+        results.table3 = layer_volumes(store, context=ctx)
+        results.table4 = large_files(store, context=ctx)
+        results.table5 = layer_exclusivity(store, context=ctx)
+        results.table6 = interface_usage(store, context=ctx)
+        results.fig3 = transfer_cdfs(store, context=ctx)
+        results.fig4 = request_cdfs(store, context=ctx)
+        results.fig5 = request_cdfs(store, large_jobs_only=True, context=ctx)
+        results.fig6 = file_classification(store, context=ctx)
+        results.fig7 = insystem_domain_usage(store, context=ctx)
+        results.fig8 = file_classification(store, stdio_only=True, context=ctx)
+        results.fig9 = interface_transfer_cdfs(store, context=ctx)
+        results.fig10 = stdio_domain_usage(store, context=ctx)
+        results.fig11_12 = performance_by_bin(store, context=ctx)
         self._results[key] = results
         return results
 

@@ -49,10 +49,65 @@ class RecordStore:
         self.domains = tuple(domains)
         self.extensions = tuple(extensions)
         self.scale = scale
+        self._generation = 0
+        self._analysis = None
         if len(files) and files["domain"].max() >= len(self.domains):
             raise StoreError("file domain code out of catalog range")
         if len(jobs) and jobs["domain"].max() >= len(self.domains):
             raise StoreError("job domain code out of catalog range")
+
+    # -- analysis cache ------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Mutation counter; bumped by :meth:`invalidate` and :meth:`extend`.
+
+        The :class:`~repro.analysis.context.AnalysisContext` returned by
+        :meth:`analysis` is keyed on this value — a context built against
+        an older generation refuses to serve its cached index arrays.
+        """
+        return self._generation
+
+    def invalidate(self) -> None:
+        """Bust the analysis cache after any in-place table mutation.
+
+        Filtering/concat build *new* stores (each with a fresh cache), so
+        only code that writes into ``files``/``jobs`` directly — ingest
+        append paths, replay experiments — needs to call this.
+        """
+        self._generation += 1
+        self._analysis = None
+
+    def analysis(self):
+        """The store's shared :class:`AnalysisContext` (built lazily).
+
+        Repeated analyses over the same store reuse one context, so the
+        common masks, index arrays, and derived columns are computed at
+        most once per store generation.
+        """
+        from repro.analysis.context import AnalysisContext
+
+        if self._analysis is None or self._analysis.generation != self._generation:
+            self._analysis = AnalysisContext(self)
+        return self._analysis
+
+    def extend(self, files: np.ndarray, jobs: np.ndarray | None = None) -> None:
+        """Append rows in place (the ingest/replay-append mutation path).
+
+        Unlike :meth:`concat` this mutates the store, so it bumps the
+        generation and invalidates any outstanding analysis context.
+        """
+        if files.dtype != FILE_DTYPE:
+            raise StoreError(f"files table has dtype {files.dtype}, want FILE_DTYPE")
+        if len(files) and files["domain"].max() >= len(self.domains):
+            raise StoreError("file domain code out of catalog range")
+        if jobs is not None:
+            if jobs.dtype != JOB_DTYPE:
+                raise StoreError(f"jobs table has dtype {jobs.dtype}, want JOB_DTYPE")
+            if len(jobs) and jobs["domain"].max() >= len(self.domains):
+                raise StoreError("job domain code out of catalog range")
+            self.jobs = np.concatenate([self.jobs, jobs])
+        self.files = np.concatenate([self.files, files])
+        self.invalidate()
 
     # -- basic shape ---------------------------------------------------------
     def __len__(self) -> int:

@@ -1,0 +1,272 @@
+"""Unit tests for the shared AnalysisContext layer.
+
+Covers the cache-invalidation contract from DESIGN.md §"Analysis
+pipeline architecture": masks/derived columns are computed once per
+store generation, mutation bumps the generation, and a stale context
+never serves its cached index arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.context import AnalysisContext, resolve
+from repro.errors import AnalysisError
+from repro.platforms.interfaces import IOInterface
+from repro.store.recordstore import RecordStore
+from repro.store.schema import (
+    LAYER_INSYSTEM,
+    LAYER_OTHER,
+    LAYER_PFS,
+    empty_files,
+    empty_jobs,
+)
+
+LAYERS = (LAYER_PFS, LAYER_INSYSTEM, LAYER_OTHER)
+INTERFACES = tuple(int(i) for i in IOInterface)
+
+
+def build_store(rows) -> RecordStore:
+    """A tiny store from (layer, interface, rank, bytes_read, bytes_written)."""
+    files = empty_files(len(rows))
+    for i, (layer, iface, rank, br, bw) in enumerate(rows):
+        files[i]["layer"] = layer
+        files[i]["interface"] = iface
+        files[i]["rank"] = rank
+        files[i]["bytes_read"] = br
+        files[i]["bytes_written"] = bw
+        files[i]["job_id"] = i
+    jobs = empty_jobs(1)
+    jobs[0]["job_id"] = 0
+    return RecordStore("summit", files, jobs)
+
+
+row_strategy = st.tuples(
+    st.sampled_from(LAYERS),
+    st.sampled_from(INTERFACES),
+    st.integers(min_value=-1, max_value=8),
+    st.integers(min_value=0, max_value=10**12),
+    st.integers(min_value=0, max_value=10**12),
+)
+
+
+class TestMaskAndIndexCaching:
+    def test_masks_match_direct_predicates(self):
+        store = build_store(
+            [
+                (LAYER_PFS, int(IOInterface.POSIX), -1, 10, 0),
+                (LAYER_INSYSTEM, int(IOInterface.STDIO), 3, 0, 7),
+                (LAYER_PFS, int(IOInterface.MPIIO), -1, 5, 5),
+            ]
+        )
+        ctx = store.analysis()
+        f = store.files
+        np.testing.assert_array_equal(
+            ctx.mask("unique"), f["interface"] != int(IOInterface.MPIIO)
+        )
+        np.testing.assert_array_equal(ctx.mask("shared"), f["rank"] == -1)
+        np.testing.assert_array_equal(
+            ctx.mask(("layer", LAYER_PFS)), f["layer"] == LAYER_PFS
+        )
+        np.testing.assert_array_equal(
+            ctx.mask(("pos", "bytes_read")), f["bytes_read"] > 0
+        )
+
+    def test_mask_and_idx_are_computed_once(self):
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        ctx = store.analysis()
+        assert ctx.mask("unique") is ctx.mask("unique")
+        assert ctx.idx("unique", "shared") is ctx.idx("unique", "shared")
+
+    def test_idx_is_order_insensitive(self):
+        store = build_store(
+            [
+                (LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1),
+                (LAYER_INSYSTEM, int(IOInterface.STDIO), 0, 1, 1),
+            ]
+        )
+        ctx = store.analysis()
+        a = ctx.idx(("layer", LAYER_PFS), ("interface", int(IOInterface.POSIX)))
+        b = ctx.idx(("interface", int(IOInterface.POSIX)), ("layer", LAYER_PFS))
+        assert a is b
+
+    def test_unknown_mask_key_raises(self):
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        with pytest.raises(AnalysisError):
+            store.analysis().mask("no-such-mask")
+
+    def test_idx_requires_a_key(self):
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        with pytest.raises(AnalysisError):
+            store.analysis().idx()
+
+    @given(st.lists(row_strategy, min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_idx_equals_flatnonzero_of_predicate(self, rows):
+        store = build_store(rows)
+        ctx = store.analysis()
+        f = store.files
+        for layer in (LAYER_PFS, LAYER_INSYSTEM):
+            expect = np.flatnonzero(
+                (f["interface"] != int(IOInterface.MPIIO)) & (f["layer"] == layer)
+            )
+            np.testing.assert_array_equal(
+                ctx.idx("unique", ("layer", layer)), expect
+            )
+
+    @given(st.lists(row_strategy, min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_derived_columns_match_store_methods(self, rows):
+        store = build_store(rows)
+        ctx = store.analysis()
+        np.testing.assert_array_equal(ctx.transfer_sizes(), store.transfer_sizes())
+        np.testing.assert_array_equal(ctx.opclass(), store.opclass())
+        np.testing.assert_array_equal(
+            ctx.bandwidth("read"), store.read_bandwidth()
+        )
+        np.testing.assert_array_equal(
+            ctx.bandwidth("write"), store.write_bandwidth()
+        )
+
+    def test_gather_and_positive(self):
+        store = build_store(
+            [
+                (LAYER_PFS, int(IOInterface.POSIX), -1, 10, 0),
+                (LAYER_PFS, int(IOInterface.POSIX), -1, 0, 3),
+                (LAYER_PFS, int(IOInterface.STDIO), -1, 2, 0),
+            ]
+        )
+        ctx = store.analysis()
+        keys = (("layer", LAYER_PFS), ("interface", int(IOInterface.POSIX)))
+        np.testing.assert_array_equal(ctx.gather("bytes_read", *keys), [10, 0])
+        np.testing.assert_array_equal(ctx.positive("bytes_read", *keys), [10])
+        assert ctx.positive("bytes_read", *keys) is ctx.positive("bytes_read", *keys)
+
+
+class TestGenerationInvalidation:
+    def test_analysis_accessor_reuses_one_context(self):
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        assert store.analysis() is store.analysis()
+
+    def test_invalidate_hands_out_a_fresh_context(self):
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        old = store.analysis()
+        store.invalidate()
+        new = store.analysis()
+        assert new is not old
+        assert new.generation == store.generation == old.generation + 1
+
+    def test_stale_context_never_serves_index_arrays(self):
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        ctx = store.analysis()
+        ctx.idx("unique")  # warm the cache
+        store.invalidate()
+        assert ctx.stale
+        for access in (
+            lambda: ctx.idx("unique"),
+            lambda: ctx.mask("shared"),
+            lambda: ctx.column("bytes_read"),
+            lambda: ctx.transfer_sizes(),
+            lambda: ctx.cached("x", lambda: 1),
+        ):
+            with pytest.raises(AnalysisError, match="stale"):
+                access()
+
+    def test_extend_busts_the_cache_and_new_rows_are_seen(self):
+        store = build_store(
+            [(LAYER_PFS, int(IOInterface.POSIX), -1, 10, 0)]
+        )
+        ctx = store.analysis()
+        assert len(ctx.idx("unique")) == 1
+        extra = empty_files(1)
+        extra[0]["layer"] = LAYER_PFS
+        extra[0]["interface"] = int(IOInterface.STDIO)
+        store.extend(extra)
+        with pytest.raises(AnalysisError, match="stale"):
+            ctx.idx("unique")
+        assert len(store.analysis().idx("unique")) == 2
+
+    def test_extend_validates_dtype(self):
+        from repro.errors import StoreError
+
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        with pytest.raises(StoreError):
+            store.extend(np.zeros(2, dtype=np.int64))
+
+    def test_memoized_results_do_not_survive_invalidation(self):
+        from repro.analysis import layer_volumes
+
+        store = build_store(
+            [
+                (LAYER_PFS, int(IOInterface.POSIX), -1, 10, 0),
+                (LAYER_INSYSTEM, int(IOInterface.STDIO), 0, 0, 5),
+            ]
+        )
+        before = layer_volumes(store)
+        extra = empty_files(1)
+        extra[0]["layer"] = LAYER_PFS
+        extra[0]["interface"] = int(IOInterface.POSIX)
+        extra[0]["bytes_read"] = 100
+        store.extend(extra)
+        after = layer_volumes(store)
+        assert after is not before
+        assert after.pfs.files == before.pfs.files + 1
+        assert after.pfs.bytes_read == before.pfs.bytes_read + 100
+
+    @given(st.lists(row_strategy, min_size=1, max_size=20), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_generation_counts_every_mutation(self, rows, nmutations):
+        store = build_store(rows)
+        contexts = [store.analysis()]
+        for _ in range(nmutations):
+            store.invalidate()
+            contexts.append(store.analysis())
+        assert store.generation == nmutations
+        # All but the newest context are stale; the newest still serves.
+        assert all(c.stale for c in contexts[:-1])
+        assert not contexts[-1].stale
+        contexts[-1].idx("unique")
+
+
+class TestResolve:
+    def test_resolve_defaults_to_store_context(self):
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        assert resolve(store, None) is store.analysis()
+
+    def test_resolve_rejects_foreign_context(self):
+        store_a = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        store_b = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        with pytest.raises(AnalysisError, match="different store"):
+            resolve(store_a, store_b.analysis())
+
+    def test_resolve_rejects_stale_context(self):
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        ctx = store.analysis()
+        store.invalidate()
+        with pytest.raises(AnalysisError, match="stale"):
+            resolve(store, ctx)
+
+    def test_cache_info_reports_kinds(self):
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        ctx = store.analysis()
+        ctx.idx("unique", "shared")
+        info = ctx.cache_info()
+        assert info["idx"] == 1
+        assert info["mask"] == 2
+
+
+class TestContextConstruction:
+    def test_context_is_lazy(self):
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        ctx = AnalysisContext(store)
+        assert ctx.cache_info() == {}
+
+    def test_repr_mentions_state(self):
+        store = build_store([(LAYER_PFS, int(IOInterface.POSIX), -1, 1, 1)])
+        ctx = store.analysis()
+        assert "fresh" in repr(ctx)
+        store.invalidate()
+        assert "stale" in repr(ctx)
