@@ -1,14 +1,22 @@
-PYTEST = PYTHONPATH=src python -m pytest
+# Stable collection order and hashes across runs: the differential suite
+# compares stores bit-for-bit, so the harness itself must be deterministic.
+# -p no:randomly is a no-op unless pytest-randomly happens to be installed.
+PYTEST = PYTHONHASHSEED=0 PYTHONPATH=src python -m pytest -p no:randomly
 
-.PHONY: check test stress bench bench-analysis
+.PHONY: check test parallel stress bench bench-analysis bench-generate
 
-# Fast development loop: everything except the multi-million-row stress guards.
+# Fast development loop: everything except the multi-million-row stress
+# guards and the (pool-spawning, slow on few cores) differential suite.
 check:
-	$(PYTEST) -x -q -m "not stress"
+	$(PYTEST) -x -q -m "not stress and not parallel"
 
 # The full tier-1 suite, stress guards included.
 test:
 	$(PYTEST) -x -q
+
+# Only the sharded-pipeline differential suite (serial vs jobs=N equivalence).
+parallel:
+	$(PYTEST) -x -q -m parallel
 
 # Only the scale guards (generate + analyze millions of rows; takes minutes).
 stress:
@@ -21,3 +29,7 @@ bench:
 # Just the analysis-throughput benchmark; writes BENCH_analysis.json.
 bench-analysis:
 	$(PYTEST) -q benchmarks/bench_facility.py
+
+# Just the sharded-generation speedup benchmark; writes BENCH_generate.json.
+bench-generate:
+	$(PYTEST) -q benchmarks/bench_generator.py

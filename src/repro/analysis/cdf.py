@@ -71,6 +71,10 @@ def boxplot_stats(values: np.ndarray) -> BoxStats:
         median=float(med),
         q1=float(q1),
         q3=float(q3),
-        whisker_lo=float(inside.min()),
-        whisker_hi=float(inside.max()),
+        # Whiskers clip outliers but never retract inside the box: when
+        # every value beyond a quartile jumps its fence, the interpolated
+        # quartile can pass the nearest inside value, and the whisker
+        # collapses onto the box edge (matplotlib semantics).
+        whisker_lo=float(min(inside.min(), q1)),
+        whisker_hi=float(max(inside.max(), q3)),
     )

@@ -4,7 +4,7 @@
 
     python -m repro study    --platform summit --scale 1e-3 [--seed N]
     python -m repro shapes   --platform cori   --scale 1e-3
-    python -m repro generate --platform summit --scale 5e-4 --out year.npz
+    python -m repro generate --platform summit --scale 5e-4 --jobs 4 --out year.npz
     python -m repro analyze  year.npz --exhibit table3
     python -m repro ior      --platform summit --layer pfs --api mpiio \\
                              --tasks 512 --direction write
@@ -62,6 +62,11 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--platform", choices=("summit", "cori"), default="summit")
         p.add_argument("--scale", type=float, default=1e-3)
         p.add_argument("--seed", type=int, default=20220627)
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes for sharded generation "
+                 "(1 = serial, 0 = all cores; output is identical)",
+        )
 
     p_study = sub.add_parser("study", help="run every analysis, print the report")
     common(p_study)
@@ -107,7 +112,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _cmd_study(args) -> int:
     study = CharacterizationStudy(
-        StudyConfig(seed=args.seed, scale=args.scale, platforms=(args.platform,))
+        StudyConfig(seed=args.seed, scale=args.scale,
+                    platforms=(args.platform,), jobs=args.jobs)
     )
     print(study.render(args.platform))
     return 0
@@ -115,7 +121,8 @@ def _cmd_study(args) -> int:
 
 def _cmd_shapes(args) -> int:
     study = CharacterizationStudy(
-        StudyConfig(seed=args.seed, scale=args.scale, platforms=(args.platform,))
+        StudyConfig(seed=args.seed, scale=args.scale,
+                    platforms=(args.platform,), jobs=args.jobs)
     )
     checks = study.shape_checks(args.platform)
     for c in checks:
@@ -127,7 +134,7 @@ def _cmd_shapes(args) -> int:
 
 def _cmd_generate(args) -> int:
     gen = WorkloadGenerator(args.platform, GeneratorConfig(scale=args.scale))
-    store = generate_with_shadows(gen, args.seed)
+    store = generate_with_shadows(gen, args.seed, jobs=args.jobs)
     save_store(store, args.out)
     print(f"wrote {store!r} to {args.out}")
     return 0

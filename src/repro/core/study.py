@@ -67,7 +67,9 @@ class CharacterizationStudy:
             )
         if key not in self._stores:
             gen = WorkloadGenerator(key, self.config.generator_config())
-            self._stores[key] = generate_with_shadows(gen, self.config.seed)
+            self._stores[key] = generate_with_shadows(
+                gen, self.config.seed, jobs=self.config.jobs
+            )
         return self._stores[key]
 
     def run(self, platform: str) -> StudyResults:

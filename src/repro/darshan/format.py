@@ -73,7 +73,10 @@ def _unpack_str(view: memoryview, off: int) -> tuple[str, int]:
     off += 4
     if off + n > len(view):
         raise LogFormatError("truncated string payload")
-    return bytes(view[off : off + n]).decode("utf-8"), off + n
+    try:
+        return bytes(view[off : off + n]).decode("utf-8"), off + n
+    except UnicodeDecodeError as exc:
+        raise LogFormatError("malformed UTF-8 in string field") from exc
 
 
 # -- region payload encoders --------------------------------------------------
@@ -294,9 +297,16 @@ def read_log_bytes(data: bytes) -> DarshanLog:
         payload = data[offset : offset + comp_len]
         if codec == COMPRESSION_ZLIB:
             try:
-                payload = zlib.decompress(payload)
+                # Bounded decompression: a corrupt/hostile raw_len can't
+                # balloon memory — one byte past the declared size is
+                # enough to prove the mismatch below.
+                payload = zlib.decompressobj().decompress(payload, raw_len + 1)
             except zlib.error as exc:
                 raise LogFormatError(f"region {i}: corrupt zlib stream") from exc
+            except (MemoryError, OverflowError) as exc:
+                raise LogFormatError(
+                    f"region {i}: declared size {raw_len} unsatisfiable"
+                ) from exc
         elif codec != COMPRESSION_NONE:
             raise LogFormatError(f"region {i}: unknown codec {codec}")
         if len(payload) != raw_len:

@@ -45,6 +45,19 @@ class SchedulerError(ReproError):
     """The batch scheduler rejected a job or directive."""
 
 
+class ShardError(ReproError):
+    """A worker of a sharded parallel pipeline failed.
+
+    Carries the failing shard's id so a facility-scale generate/ingest run
+    can report *which* slice of the work died (and, for ingest, which log
+    file inside it) instead of an anonymous pool traceback.
+    """
+
+    def __init__(self, shard_id: int, message: str):
+        super().__init__(f"shard {shard_id}: {message}")
+        self.shard_id = shard_id
+
+
 class StoreError(ReproError):
     """The columnar record store was used inconsistently.
 

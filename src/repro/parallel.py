@@ -1,0 +1,132 @@
+"""Deterministic process-pool fan-out for the sharded pipelines.
+
+The generate and ingest paths both follow the same recipe: split the work
+into *shards* whose boundaries depend only on the input (never on worker
+count or scheduling), run each shard in a worker process, and reassemble
+the shard results **in shard order**. Determinism then rests on two
+invariants this module helps enforce:
+
+* shard boundaries are contiguous, cost-balanced slices of the unit list,
+  so the concatenation of shard outputs equals the serial iteration order;
+* randomness is keyed per *unit* (see the generator's per-block RNG
+  substreams), never per shard, so the sampled population is identical for
+  every worker count.
+
+Worker failures are wrapped in :class:`repro.errors.ShardError` carrying
+the failing shard's id; one bad shard fails the whole run loudly rather
+than silently dropping a slice of the year.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import ConfigurationError, ShardError
+
+T = TypeVar("T")
+
+#: Shards per worker: more shards than workers lets the pool rebalance a
+#: straggler, while contiguity keeps reassembly order-deterministic.
+SHARDS_PER_WORKER = 4
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: None/1 → serial, 0 → all cores."""
+    if jobs is None:
+        return 1
+    if not isinstance(jobs, int) or isinstance(jobs, bool):
+        raise ConfigurationError(f"jobs must be an int, got {jobs!r}")
+    if jobs < 0:
+        raise ConfigurationError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def contiguous_shards(costs: Sequence[float], nshards: int) -> list[slice]:
+    """Split ``range(len(costs))`` into ≤ ``nshards`` contiguous slices.
+
+    Greedy sweep: close a shard once it has accumulated its fair share of
+    the remaining cost. Contiguity (never cost-optimal bin packing) is
+    deliberate — concatenating shard outputs in shard order must reproduce
+    the serial unit order exactly.
+    """
+    n = len(costs)
+    if n == 0:
+        return []
+    nshards = max(1, min(nshards, n))
+    total = float(sum(costs))
+    if total <= 0:
+        # Degenerate cost model: equal-count slices.
+        step = -(-n // nshards)
+        return [slice(i, min(i + step, n)) for i in range(0, n, step)]
+    out: list[slice] = []
+    start = 0
+    acc = 0.0
+    spent = 0.0
+    for i, c in enumerate(costs):
+        acc += float(c)
+        shards_left = nshards - len(out)
+        if shards_left <= 1:
+            break  # the last shard absorbs the tail
+        fair = (total - spent) / shards_left
+        # Close the shard at its fair share — unless every remaining unit
+        # is needed to fill the remaining shards one apiece.
+        if acc >= fair and (n - i - 1) >= (shards_left - 1):
+            out.append(slice(start, i + 1))
+            start = i + 1
+            spent += acc
+            acc = 0.0
+    if start < n:
+        out.append(slice(start, n))
+    return out
+
+
+def _invoke(args: tuple) -> tuple:
+    """Pool entry point: run one shard, never raise across the pipe."""
+    fn, shard_id, payload = args
+    try:
+        return ("ok", shard_id, fn(payload))
+    except Exception as exc:  # noqa: BLE001 - reported via ShardError
+        return (
+            "err",
+            shard_id,
+            f"{type(exc).__name__}: {exc}",
+            traceback.format_exc(),
+        )
+
+
+def run_sharded(
+    fn: Callable[[object], T],
+    payloads: Sequence[object],
+    *,
+    jobs: int | None,
+) -> list[T]:
+    """Run ``fn`` over each payload, fanning out across ``jobs`` processes.
+
+    Results come back ordered by shard index regardless of completion
+    order. ``fn`` must be a module-level (picklable) callable. With
+    ``jobs`` ≤ 1 or a single payload everything runs inline — the serial
+    and parallel code paths are literally the same function applications.
+    """
+    njobs = resolve_jobs(jobs)
+    tasks = [(fn, i, p) for i, p in enumerate(payloads)]
+    if njobs <= 1 or len(tasks) <= 1:
+        results = [_invoke(t) for t in tasks]
+    else:
+        ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=min(njobs, len(tasks))) as pool:
+            results = pool.map(_invoke, tasks)
+    out: list[T] = [None] * len(tasks)  # type: ignore[list-item]
+    for res in results:
+        if res[0] == "err":
+            _, shard_id, message, tb = res
+            err = ShardError(shard_id, message)
+            err.worker_traceback = tb
+            raise err
+        _, shard_id, value = res
+        out[shard_id] = value
+    return out

@@ -236,7 +236,14 @@ class RecordStore:
     # -- combination -----------------------------------------------------------------
     @classmethod
     def concat(cls, stores: Iterable["RecordStore"]) -> "RecordStore":
-        """Concatenate stores of the same platform/catalogs/scale."""
+        """Concatenate stores of the same platform/catalogs/scale.
+
+        The result is a *new* store at generation 0 with its own (empty)
+        analysis cache; the inputs keep their generations and any live
+        :class:`~repro.analysis.context.AnalysisContext` they hold. For
+        shard-local stores with differing catalogs or colliding id
+        spaces, use :func:`repro.store.merge.merge_stores` instead.
+        """
         stores = list(stores)
         if not stores:
             raise StoreError("cannot concat zero stores")

@@ -45,6 +45,13 @@ TARGET_JOBS = {"summit": 281_600, "cori": 749_500}
 #: happens for the rare giant files where that is physically accurate).
 MAX_OPS_PER_FILE = 2_000_000
 
+#: Logs per file-generation RNG block. Randomness is keyed per
+#: (archetype, group, block) — never per shard — so any sharding of the
+#: block list samples the identical population (DESIGN.md §8). Small
+#: enough to give the pool balance slack, large enough that per-block
+#: stream setup is noise.
+LOGS_PER_BLOCK = 128
+
 
 #: Fraction of jobs whose Darshan logs carry no layer-attributed file
 #: records (container-local scratch, pipes, /tmp): Table 5's exclusivity
@@ -109,6 +116,19 @@ def _consistent_histograms(
     return hist
 
 
+@dataclass(frozen=True)
+class _FileUnit:
+    """One RNG block of one (archetype, file-group): the unit of sharding."""
+
+    archetype: int
+    group: int
+    block: int
+    log_lo: int
+    log_hi: int
+    #: Expected file rows (for cost-balanced shard planning).
+    cost: float
+
+
 @dataclass
 class _JobBatch:
     """Columnar job attributes for one archetype's jobs."""
@@ -167,30 +187,93 @@ class WorkloadGenerator:
         self._ext_code = {e: i for i, e in enumerate(self.extensions)}
 
     # ------------------------------------------------------------------
-    def generate(self, seed_or_hub: int | RngHub) -> RecordStore:
-        """Generate the synthetic year. Deterministic in the seed."""
+    def generate(
+        self, seed_or_hub: int | RngHub, *, jobs: int | None = None
+    ) -> RecordStore:
+        """Generate the synthetic year. Deterministic in the seed.
+
+        ``jobs`` fans file-row generation out over a process pool; the
+        result is byte-identical for every worker count because all
+        randomness is keyed per (archetype, group, log-block) unit and
+        shards are contiguous slices of the unit list (DESIGN.md §8).
+        """
+        from repro.parallel import (
+            SHARDS_PER_WORKER,
+            contiguous_shards,
+            resolve_jobs,
+            run_sharded,
+        )
+        from repro.store.merge import merge_stores
+
         hub = seed_or_hub if isinstance(seed_or_hub, RngHub) else RngHub(seed_or_hub)
         hub = hub.child(f"workload.{self.platform}")
 
         batches = self._sample_jobs(hub)
-        file_tables: list[np.ndarray] = []
-        used_bb = {}
+        units = self._plan_units(batches)
+        njobs = resolve_jobs(jobs)
+        if njobs <= 1 or len(units) <= 1:
+            return self._generate_shard_store(hub, batches, units)
+        slices = contiguous_shards(
+            [u.cost for u in units], njobs * SHARDS_PER_WORKER
+        )
+        payloads = [(self, hub, units[sl]) for sl in slices]
+        shards = run_sharded(_generate_shard, payloads, jobs=njobs)
+        return merge_stores(shards, nlogs_rule="max")
+
+    def _plan_units(self, batches: list[_JobBatch | None]) -> list[_FileUnit]:
+        """The deterministic unit list: every (archetype, group, block)."""
+        units: list[_FileUnit] = []
         for ai, (spec, batch) in enumerate(zip(self.mix, batches)):
             if batch is None:
                 continue
-            self._expand_logs(batch, ai)
+            nlogs = len(batch.log_ids)
+            if nlogs == 0:
+                continue
             for gi, group in enumerate(spec.groups):
-                rng = hub.generator(f"files.{spec.name}.{group.name}.{gi}")
-                table = self._generate_group(spec, group, batch, rng)
-                if table is not None and len(table):
-                    file_tables.append(table)
-                    if group.layer == "insystem":
-                        for j in np.unique(table["job_id"]):
-                            used_bb[int(j)] = True
+                for b, lo in enumerate(range(0, nlogs, LOGS_PER_BLOCK)):
+                    hi = min(lo + LOGS_PER_BLOCK, nlogs)
+                    units.append(
+                        _FileUnit(ai, gi, b, lo, hi, (hi - lo) * group.files_per_run)
+                    )
+        return units
 
-        files = (
-            np.concatenate(file_tables) if file_tables else empty_files(0)
+    def _generate_unit(
+        self,
+        unit: _FileUnit,
+        batches: list[_JobBatch | None],
+        hub: RngHub,
+    ) -> np.ndarray | None:
+        spec = self.mix[unit.archetype]
+        batch = batches[unit.archetype]
+        group = spec.groups[unit.group]
+        rng = hub.generator(
+            f"files.{spec.name}.{group.name}.{unit.group}.b{unit.block}"
         )
+        return self._generate_block(
+            spec, group, batch, rng, unit.log_lo, unit.log_hi
+        )
+
+    def _generate_shard_store(
+        self,
+        hub: RngHub,
+        batches: list[_JobBatch | None],
+        units: list[_FileUnit],
+    ) -> RecordStore:
+        """One shard's store: its units' file rows plus the full job table.
+
+        Every shard carries the complete job table (job sampling is global
+        and cheap); :func:`repro.store.merge.merge_stores` deduplicates the
+        rows and ORs the shard-local ``used_bb`` flags. With the full unit
+        list this *is* the serial generate path.
+        """
+        file_tables = []
+        for unit in units:
+            table = self._generate_unit(unit, batches, hub)
+            if table is not None and len(table):
+                file_tables.append(table)
+        files = np.concatenate(file_tables) if file_tables else empty_files(0)
+        insystem = files["job_id"][files["layer"] == LAYER_CODES["insystem"]]
+        used_bb = {int(j): True for j in np.unique(insystem)}
         jobs = self._job_table(batches, used_bb)
         target = self.config.target_jobs or TARGET_JOBS[self.platform]
         return RecordStore(
@@ -270,6 +353,9 @@ class WorkloadGenerator:
                     no_io=arng.random(n) < no_io_frac,
                 )
             )
+        for batch in out:
+            if batch is not None:
+                self._expand_logs(batch)
         return out
 
     def _stratified_assignment(
@@ -328,11 +414,11 @@ class WorkloadGenerator:
             out = np.where(unknown, np.int16(-1), out)
         return out
 
-    def _expand_logs(self, batch: _JobBatch, archetype_index: int) -> None:
+    def _expand_logs(self, batch: _JobBatch) -> None:
         """Assign globally-unique log ids: one per application instance."""
         total = int(batch.instances.sum())
-        # Archetype-index striping keeps ids unique across batches without
-        # global coordination: id = job_id * 2^20 + per-job instance index.
+        # Job-id striping keeps ids unique across batches without global
+        # coordination: id = job_id * 2^20 + per-job instance index.
         per_job_idx = np.concatenate(
             [np.arange(k, dtype=np.int64) for k in batch.instances]
         ) if total else np.empty(0, dtype=np.int64)
@@ -343,27 +429,29 @@ class WorkloadGenerator:
         batch.log_job_index = job_index
 
     # ------------------------------------------------------------------
-    def _generate_group(
+    def _generate_block(
         self,
         spec: ArchetypeSpec,
         group: FileGroupSpec,
         batch: _JobBatch,
         rng: np.random.Generator,
+        log_lo: int,
+        log_hi: int,
     ) -> np.ndarray | None:
-        """All file rows of one (archetype, file-group), vectorized."""
-        nlogs = len(batch.log_ids)
-        if nlogs == 0:
+        """File rows of one (archetype, group) log block, vectorized."""
+        nlogs = log_hi - log_lo
+        if nlogs <= 0:
             return None
         counts = rng.poisson(group.files_per_run, size=nlogs)
         # Jobs flagged no-I/O keep their logs (Darshan still runs) but
         # produce no layer-attributed file records (Table 5's gap between
         # the exclusivity partition and the total job count).
-        counts[batch.no_io[batch.log_job_index]] = 0
+        counts[batch.no_io[batch.log_job_index[log_lo:log_hi]]] = 0
         total = int(counts.sum())
         if total == 0:
             return None
 
-        log_index = np.repeat(np.arange(nlogs, dtype=np.int64), counts)
+        log_index = log_lo + np.repeat(np.arange(nlogs, dtype=np.int64), counts)
         job_index = batch.log_job_index[log_index]
 
         files = empty_files(total)
@@ -542,8 +630,19 @@ class WorkloadGenerator:
         return jobs[np.argsort(jobs["job_id"], kind="stable")]
 
 
+def _generate_shard(payload) -> RecordStore:
+    """Pool worker: regenerate the (cheap, global) job plan, then the
+    shard's file units. Module-level so it pickles under any start method."""
+    generator, hub, units = payload
+    batches = generator._sample_jobs(hub)
+    return generator._generate_shard_store(hub, batches, list(units))
+
+
 def generate_with_shadows(
-    generator: WorkloadGenerator, seed_or_hub: int | RngHub
+    generator: WorkloadGenerator,
+    seed_or_hub: int | RngHub,
+    *,
+    jobs: int | None = None,
 ) -> RecordStore:
     """Generate a store and append the POSIX shadow rows for MPI-IO files.
 
@@ -551,7 +650,7 @@ def generate_with_shadows(
     be tested against both representations; the study pipeline always uses
     this function.
     """
-    store = generator.generate(seed_or_hub)
+    store = generator.generate(seed_or_hub, jobs=jobs)
     mpiio = store.files[store.files["interface"] == int(IOInterface.MPIIO)]
     if not len(mpiio):
         return store

@@ -18,19 +18,19 @@ from repro.darshan.format import (
     _HEADER,
     _REGION,
     read_log_bytes,
+    write_log,
     write_log_bytes,
 )
 from repro.darshan.log import DarshanLog
 from repro.darshan.records import FileRecord, JobRecord, NameRecord
 from repro.darshan.validate import validate_log
-from repro.errors import LogFormatError, LogValidationError
+from repro.errors import LogFormatError, LogValidationError, ReproError
 
 
-@pytest.fixture(scope="module")
-def blob():
-    job = JobRecord(3, 7, 8, 0.0, 60.0, platform="summit", domain="biology")
+def _make_log(job_id=3, nfiles=4):
+    job = JobRecord(job_id, 7, 8, 0.0, 60.0, platform="summit", domain="biology")
     log = DarshanLog(job)
-    for i in range(4):
+    for i in range(nfiles):
         rid = 50 + i
         log.register_name(NameRecord(rid, f"/gpfs/alpine/x{i}", "/gpfs/alpine", "pfs"))
         rec = FileRecord(ModuleId.POSIX, rid)
@@ -39,7 +39,42 @@ def blob():
         rec.set("SIZE_READ_1K_10K", 1)
         rec.set("F_READ_TIME", 0.5)
         log.add_record(rec)
-    return write_log_bytes(log)
+    return log
+
+
+@pytest.fixture(scope="module")
+def blob():
+    return write_log_bytes(_make_log())
+
+
+@pytest.fixture(scope="module")
+def blob_plain():
+    """The same log without compression: strings sit raw in the file."""
+    return write_log_bytes(_make_log(), compress=False)
+
+
+def _regions(data):
+    """Parse the region table: list of (kind, desc_offset, offset, raw, comp)."""
+    nregions = struct.unpack_from("<I", data, _HEADER.size - 4)[0]
+    out = []
+    for r in range(nregions):
+        base = _HEADER.size + r * _REGION.size
+        kind, _mod, _codec, _r0, off, raw, comp, _crc, _r1 = _REGION.unpack_from(
+            data, base
+        )
+        out.append((kind, base, off, raw, comp))
+    return out
+
+
+def _fix_crc(data: bytearray, desc_base: int) -> None:
+    """Recompute a region's CRC after an in-place payload edit."""
+    _k, _m, codec, _r0, off, raw, comp, _crc, _r1 = _REGION.unpack_from(
+        data, desc_base
+    )
+    payload = bytes(data[off : off + comp])
+    if codec:  # zlib codec: CRC covers the decompressed bytes
+        payload = zlib.decompress(payload)
+    struct.pack_into("<I", data, desc_base + 32, zlib.crc32(payload) & 0xFFFFFFFF)
 
 
 def _expect_reject_or_valid(data: bytes) -> None:
@@ -117,3 +152,167 @@ class TestPayloadFuzz:
         # offset, so extra bytes are ignorable; either behaviour is fine,
         # crashing is not.
         _expect_reject_or_valid(bytearray(blob + b"\x00" * 64))
+
+
+class TestZlibFuzz:
+    """Compressed-payload attacks must surface as LogFormatError."""
+
+    def test_corrupt_zlib_stream(self, blob):
+        for kind, base, off, raw, comp in _regions(blob):
+            data = bytearray(blob)
+            data[off + comp // 2] ^= 0xFF  # clobber mid-stream
+            try:
+                read_log_bytes(bytes(data))
+            except LogFormatError:
+                continue  # typed rejection (zlib error or CRC mismatch)
+            except Exception as exc:  # pragma: no cover - the bug we guard
+                pytest.fail(f"region {kind}: bare {type(exc).__name__} escaped")
+
+    def test_declared_size_smaller_than_stream(self, blob):
+        # Shrink raw_len: bounded decompression stops one byte past it and
+        # the length check fires — a typed rejection, not a bad log.
+        data = bytearray(blob)
+        _, base, off, raw, comp = _regions(blob)[0]
+        struct.pack_into("<Q", data, base + 16, max(raw // 2, 1))
+        with pytest.raises(LogFormatError):
+            read_log_bytes(bytes(data))
+
+    def test_hostile_declared_size_does_not_allocate(self, blob):
+        # A multi-exabyte raw_len must be rejected by arithmetic, not by
+        # attempting the allocation (bounded zlib.decompressobj path).
+        data = bytearray(blob)
+        _, base, off, raw, comp = _regions(blob)[0]
+        struct.pack_into("<Q", data, base + 16, 2**62)
+        with pytest.raises(LogFormatError):
+            read_log_bytes(bytes(data))
+
+    def test_unknown_codec_rejected(self, blob):
+        data = bytearray(blob)
+        _, base, off, raw, comp = _regions(blob)[0]
+        struct.pack_into("<H", data, base + 4, 77)
+        with pytest.raises(LogFormatError, match="codec"):
+            read_log_bytes(bytes(data))
+
+
+class TestStringFuzz:
+    def test_malformed_utf8_is_typed(self, blob_plain):
+        # Overwrite the job platform string ("summit", right after the
+        # fixed QQIdd prelude) with invalid UTF-8 and re-sign the CRC so
+        # the decoder actually reaches the string field.
+        data = bytearray(blob_plain)
+        kind, base, off, raw, comp = _regions(blob_plain)[0]
+        assert kind == 1  # job region is written first
+        str_off = off + struct.calcsize("<QQIdd") + 4  # skip length prefix
+        data[str_off : str_off + 4] = b"\xff\xfe\xff\xfe"
+        _fix_crc(data, base)
+        with pytest.raises(LogFormatError, match="UTF-8"):
+            read_log_bytes(bytes(data))
+
+    def test_string_length_past_region_end(self, blob_plain):
+        data = bytearray(blob_plain)
+        kind, base, off, raw, comp = _regions(blob_plain)[0]
+        str_len_off = off + struct.calcsize("<QQIdd")
+        struct.pack_into("<I", data, str_len_off, 10**6)
+        _fix_crc(data, base)
+        with pytest.raises(LogFormatError, match="truncated string"):
+            read_log_bytes(bytes(data))
+
+
+class TestSeededCorruptionHarness:
+    """Randomized end-to-end sweep: whatever the mutation, only typed
+    ``repro.errors`` exceptions may escape — a bare ``struct.error``,
+    ``zlib.error``, or ``UnicodeDecodeError`` is a parser bug."""
+
+    MUTATIONS = ("flip", "zero", "truncate", "slice_dup", "insert", "delete")
+
+    @staticmethod
+    def _mutate(rng, data: bytes) -> bytes:
+        kind = rng.choice(TestSeededCorruptionHarness.MUTATIONS)
+        buf = bytearray(data)
+        n = len(buf)
+        if kind == "flip":
+            for _ in range(int(rng.integers(1, 8))):
+                buf[int(rng.integers(0, n))] ^= int(rng.integers(1, 256))
+        elif kind == "zero":
+            i = int(rng.integers(0, n))
+            j = min(n, i + int(rng.integers(1, 64)))
+            buf[i:j] = b"\x00" * (j - i)
+        elif kind == "truncate":
+            del buf[int(rng.integers(0, n)):]
+        elif kind == "slice_dup":
+            i = int(rng.integers(0, n))
+            j = min(n, i + int(rng.integers(1, 64)))
+            buf[i:i] = buf[i:j]
+        elif kind == "insert":
+            i = int(rng.integers(0, n))
+            buf[i:i] = bytes(rng.integers(0, 256, size=int(rng.integers(1, 32)), dtype=np.uint8))
+        else:  # delete
+            i = int(rng.integers(0, n))
+            j = min(n, i + int(rng.integers(1, 32)))
+            del buf[i:j]
+        return bytes(buf)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("compressed", [True, False], ids=["zlib", "raw"])
+    def test_only_typed_errors_escape(self, blob, blob_plain, seed, compressed):
+        rng = np.random.default_rng(20220627 + seed)
+        base = blob if compressed else blob_plain
+        for _ in range(150):
+            data = self._mutate(rng, base)
+            try:
+                out = read_log_bytes(data)
+            except ReproError:
+                continue  # typed rejection: the contract
+            except Exception as exc:  # pragma: no cover - the bug we hunt
+                pytest.fail(
+                    f"bare {type(exc).__name__} escaped the parser: {exc}"
+                )
+            try:
+                validate_log(out)
+            except LogValidationError as exc:  # pragma: no cover
+                pytest.fail(f"accepted a semantically broken log: {exc}")
+
+
+class TestCorruptShardIngest:
+    """A corrupt log fails the whole sharded ingest, naming the shard."""
+
+    @pytest.fixture()
+    def log_dir(self, tmp_path):
+        paths = []
+        for i in range(8):
+            p = str(tmp_path / f"log{i}.darshan")
+            write_log(_make_log(job_id=100 + i), p)
+            paths.append(p)
+        return paths
+
+    @staticmethod
+    def _corrupt(path):
+        with open(path, "r+b") as fh:
+            fh.seek(0)
+            fh.write(b"\x00" * 16)  # destroy the magic
+
+    def test_serial_ingest_names_the_file(self, log_dir, summit_machine):
+        from repro.store.ingest import ingest_log_paths
+
+        self._corrupt(log_dir[5])
+        with pytest.raises(LogFormatError, match="log5"):
+            ingest_log_paths(log_dir, "summit", summit_machine.mount_table())
+
+    def test_sharded_ingest_names_shard_and_file(self, log_dir, summit_machine):
+        from repro.errors import ShardError
+        from repro.store.ingest import ingest_log_paths
+
+        self._corrupt(log_dir[5])
+        with pytest.raises(ShardError, match=r"shard \d+.*log5") as err:
+            ingest_log_paths(
+                log_dir, "summit", summit_machine.mount_table(), jobs=2
+            )
+        assert err.value.shard_id >= 0
+
+    def test_clean_shards_still_ingest(self, log_dir, summit_machine):
+        from repro.store.ingest import ingest_log_paths
+
+        store = ingest_log_paths(
+            log_dir, "summit", summit_machine.mount_table(), jobs=2
+        )
+        assert store.njobs == 8

@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import copy
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -167,3 +169,241 @@ class TestFormatProperties:
             read_log_bytes(data)
         except LogFormatError:
             pass  # rejecting garbage is the contract
+
+
+# ---------------------------------------------------------------------------
+# Shard-store merge invariants (the sharded-pipeline reassembly step).
+# ---------------------------------------------------------------------------
+
+from repro.errors import AnalysisError, StoreError  # noqa: E402
+from repro.store.merge import merge_stores  # noqa: E402
+from repro.store.recordstore import RecordStore  # noqa: E402
+from repro.store.schema import empty_files, empty_jobs  # noqa: E402
+
+EXT_POOL = ("h5", "dat", "txt", "nc", "bp", "chk")
+DOM_POOL = ("physics", "chemistry", "biology", "climate")
+
+
+@st.composite
+def catalogs(draw, pool):
+    """A random-length, random-order prefix-free subset of ``pool``."""
+    k = draw(st.integers(min_value=0, max_value=len(pool)))
+    return tuple(draw(st.permutations(list(pool)))[:k])
+
+
+@st.composite
+def shard_stores(draw, job_offset=0):
+    """A small shard-local store with dense 0-based log ids.
+
+    ``job_offset`` lets callers give each shard a disjoint job-id range,
+    mirroring ingest shards over disjoint log sets. Static job attributes
+    are pure functions of the job id so duplicated ids always agree.
+    """
+    domains = draw(catalogs(DOM_POOL))
+    exts = draw(catalogs(EXT_POOL))
+    njobs = draw(st.integers(min_value=1, max_value=4))
+    job_ids = job_offset + np.array(
+        sorted(
+            draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=60),
+                    min_size=njobs, max_size=njobs, unique=True,
+                )
+            )
+        ),
+        dtype=np.int64,
+    )
+    jobs = empty_jobs(njobs)
+    jobs["job_id"] = job_ids
+    jobs["user_id"] = 1000 + job_ids % 7
+    jobs["nnodes"] = 1 + job_ids % 5
+    jobs["nprocs"] = jobs["nnodes"] * 4
+    jobs["runtime"] = 60.0 * (1 + job_ids % 3)
+    jobs["start_time"] = 3600.0 * job_ids
+    jobs["nlogs"] = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=3),
+            min_size=njobs, max_size=njobs,
+        )
+    )
+    jobs["used_bb"] = draw(
+        st.lists(st.integers(min_value=0, max_value=1),
+                 min_size=njobs, max_size=njobs)
+    )
+    width = int(jobs["nlogs"].sum())
+    nfiles = draw(st.integers(min_value=0, max_value=12))
+    files = empty_files(nfiles)
+    if nfiles:
+        picks = draw(
+            st.lists(st.integers(min_value=0, max_value=njobs - 1),
+                     min_size=nfiles, max_size=nfiles)
+        )
+        files["job_id"] = job_ids[picks]
+        files["user_id"] = jobs["user_id"][picks]
+        files["nprocs"] = jobs["nprocs"][picks]
+        files["log_id"] = draw(
+            st.lists(st.integers(min_value=0, max_value=width - 1),
+                     min_size=nfiles, max_size=nfiles)
+        )
+        files["record_id"] = np.arange(nfiles, dtype=np.uint64)
+        files["domain"] = draw(
+            st.lists(st.integers(min_value=-1, max_value=len(domains) - 1),
+                     min_size=nfiles, max_size=nfiles)
+        )
+        files["ext"] = draw(
+            st.lists(st.integers(min_value=-1, max_value=len(exts) - 1),
+                     min_size=nfiles, max_size=nfiles)
+        )
+        files["bytes_read"] = draw(
+            st.lists(st.integers(min_value=0, max_value=10**9),
+                     min_size=nfiles, max_size=nfiles)
+        )
+    return RecordStore(
+        "summit", files, jobs, domains=domains, extensions=exts, scale=1.0
+    )
+
+
+@st.composite
+def shard_lists(draw):
+    """1–4 shards with pairwise-disjoint job-id ranges (ingest style)."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    return [draw(shard_stores(job_offset=1000 * i)) for i in range(n)]
+
+
+def _names(catalog, codes):
+    return ["" if c < 0 else catalog[c] for c in np.asarray(codes)]
+
+
+class TestMergeProperties:
+    @given(shard_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_catalog_remap_preserves_names_and_sentinel(self, shards):
+        merged = merge_stores(shards, remap_log_ids=True, nlogs_rule="sum")
+        assert len(merged.files) == sum(len(s.files) for s in shards)
+        lo = 0
+        for s in shards:
+            part = merged.files[lo : lo + len(s.files)]
+            assert _names(merged.extensions, part["ext"]) == _names(
+                s.extensions, s.files["ext"]
+            )
+            assert _names(merged.domains, part["domain"]) == _names(
+                s.domains, s.files["domain"]
+            )
+            # the -1 sentinel survives remapping exactly
+            np.testing.assert_array_equal(
+                part["ext"] == -1, s.files["ext"] == -1
+            )
+            lo += len(s.files)
+
+    @given(shard_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_log_id_remap_is_a_disjoint_bijection(self, shards):
+        merged = merge_stores(shards, remap_log_ids=True, nlogs_rule="sum")
+        lo, base = 0, 0
+        for s in shards:
+            part = merged.files[lo : lo + len(s.files)]
+            width = int(s.jobs["nlogs"].sum())
+            if len(s.files):
+                width = max(width, int(s.files["log_id"].max()) + 1)
+                # per-shard map is an offset: injective, order-preserving
+                np.testing.assert_array_equal(
+                    part["log_id"], s.files["log_id"] + base
+                )
+                # and lands inside this shard's reserved range only
+                assert int(part["log_id"].min()) >= base
+                assert int(part["log_id"].max()) < base + width
+            base += width
+            lo += len(s.files)
+
+    @given(shard_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_job_id_remap_is_dense_and_consistent(self, shards):
+        merged = merge_stores(
+            shards, remap_log_ids=True, remap_job_ids=True
+        )
+        total = sum(len(np.unique(s.jobs["job_id"])) for s in shards)
+        ids = merged.jobs["job_id"]
+        assert len(ids) == total
+        assert len(np.unique(ids)) == total  # bijection: no collisions
+        assert int(ids.min()) == 1 and int(ids.max()) == total  # dense
+        # files follow the same per-shard map as the job table
+        flo = jlo = 0
+        for s in shards:
+            fpart = merged.files[flo : flo + len(s.files)]
+            jpart = merged.jobs[jlo : jlo + len(s.jobs)]
+            remap = dict(zip(s.jobs["job_id"].tolist(), jpart["job_id"].tolist()))
+            expect = [remap[j] for j in s.files["job_id"].tolist()]
+            assert fpart["job_id"].tolist() == expect
+            flo += len(s.files)
+            jlo += len(s.jobs)
+
+    @given(shard_lists())
+    @settings(max_examples=50, deadline=None)
+    def test_merge_never_mutates_its_inputs(self, shards):
+        before = [
+            (s.files.copy(), s.jobs.copy(), s.generation) for s in shards
+        ]
+        merge_stores(shards, remap_log_ids=True, remap_job_ids=True)
+        for s, (files, jobs, gen) in zip(shards, before):
+            np.testing.assert_array_equal(s.files, files)
+            np.testing.assert_array_equal(s.jobs, jobs)
+            assert s.generation == gen
+
+    @given(shard_stores())
+    @settings(max_examples=50, deadline=None)
+    def test_duplicate_job_rows_merge_with_or_and_rule(self, shard):
+        """Generator-style merge: every shard carries the full job table."""
+        twin = copy.deepcopy(shard)
+        twin.jobs["used_bb"] = 1 - twin.jobs["used_bb"]  # disagree on BB use
+        merged = merge_stores([shard, twin], nlogs_rule="max")
+        assert len(merged.jobs) == len(shard.jobs)
+        assert (merged.jobs["used_bb"] == 1).all()  # OR of {x, 1-x}
+        np.testing.assert_array_equal(
+            merged.jobs["nlogs"], shard.jobs["nlogs"]  # max(x, x) == x
+        )
+        summed = merge_stores([shard, twin], nlogs_rule="sum")
+        np.testing.assert_array_equal(
+            summed.jobs["nlogs"], 2 * shard.jobs["nlogs"]
+        )
+
+    @given(shard_stores())
+    @settings(max_examples=30, deadline=None)
+    def test_static_field_disagreement_raises(self, shard):
+        twin = copy.deepcopy(shard)
+        twin.jobs["user_id"] += 1
+        with pytest.raises(StoreError, match="user_id"):
+            merge_stores([shard, twin])
+
+
+class TestGenerationContract:
+    """Merge/concat make fresh stores; extend invalidates live contexts."""
+
+    @given(shard_lists())
+    @settings(max_examples=20, deadline=None)
+    def test_merged_store_starts_at_generation_zero(self, shards):
+        merged = merge_stores(shards, remap_log_ids=True, remap_job_ids=True)
+        assert merged.generation == 0
+        assert merged.analysis().generation == 0
+
+    @given(shard_stores())
+    @settings(max_examples=20, deadline=None)
+    def test_concat_is_fresh_and_leaves_sources_alone(self, shard):
+        ctx = shard.analysis()
+        out = RecordStore.concat([shard, copy.deepcopy(shard)])
+        assert out.generation == 0
+        assert len(out.files) == 2 * len(shard.files)
+        assert shard.analysis() is ctx  # source context still live
+
+    @given(shard_stores())
+    @settings(max_examples=20, deadline=None)
+    def test_extend_bumps_generation_and_stales_context(self, shard):
+        ctx = shard.analysis()
+        gen = shard.generation
+        shard.extend(empty_files(1))
+        assert shard.generation == gen + 1
+        assert ctx.stale
+        with pytest.raises(AnalysisError):
+            ctx.transfer_sizes()
+        # the store itself recovers with a fresh context
+        fresh = shard.analysis()
+        assert fresh is not ctx and not fresh.stale
