@@ -3,7 +3,7 @@
 # -p no:randomly is a no-op unless pytest-randomly happens to be installed.
 PYTEST = PYTHONHASHSEED=0 PYTHONPATH=src python -m pytest -p no:randomly
 
-.PHONY: check test parallel stress bench bench-analysis bench-generate
+.PHONY: check test parallel stress bench bench-analysis bench-generate bench-serve serve-tests
 
 # Fast development loop: everything except the multi-million-row stress
 # guards and the (pool-spawning, slow on few cores) differential suite.
@@ -33,3 +33,12 @@ bench-analysis:
 # Just the sharded-generation speedup benchmark; writes BENCH_generate.json.
 bench-generate:
 	$(PYTEST) -q benchmarks/bench_generator.py
+
+# Only the serving-subsystem invariants (coalescing/backpressure/equivalence).
+serve-tests:
+	$(PYTEST) -x -q tests/test_serve.py
+
+# Closed-loop serving load generator; writes BENCH_serve.json
+# (cold / warm / coalesced throughput and latency percentiles).
+bench-serve:
+	$(PYTEST) -q benchmarks/bench_serve.py

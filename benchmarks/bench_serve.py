@@ -1,0 +1,137 @@
+"""Closed-loop load generation against the analysis-serving subsystem.
+
+Three regimes, mirroring how a production query layer degrades:
+
+- **cold** — every request computes from raw rows (fresh engine, fresh
+  analysis context): the price of the first client after a store load;
+- **warm** — the steady state: every request is an LRU cache hit;
+- **coalesced** — a thundering herd of identical requests with the
+  result cache disabled: the coalescer must collapse them onto a few
+  executions instead of queueing N copies.
+
+Each regime reports throughput and p50/p95/p99 latency into
+``BENCH_serve.json`` (the artifact CI uploads). The generator is
+closed-loop: each simulated client issues its next request only after
+the previous one completes, so offered load adapts to service rate
+instead of overrunning it (the shedding path has its own tests).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from conftest import BENCH_SCALE, BENCH_SEED, write_bench_json
+
+from repro.analysis import performance_by_bin
+from repro.analysis.context import AnalysisContext
+from repro.serve import QueryEngine
+from repro.serve.registry import QuerySpec, default_registry
+
+#: The steady-state query mix: one representative per exhibit family.
+MIX = ("table2", "table3", "table5", "fig3", "fig6", "fig11", "users")
+
+
+def _herd_run(store, ctx, params):
+    # A deliberately *uncacheable* heavy analysis: a fresh context per
+    # execution, so every execution pays the full from-raw-rows cost and
+    # only the coalescer stands between the herd and N duplicate scans.
+    return performance_by_bin(store, context=AnalysisContext(store))
+
+
+HERD_QUERY = "fig11_cold"
+HERD_SPEC = QuerySpec(
+    name=HERD_QUERY, title="Figure 11 recomputed from raw rows",
+    kind="table", header_key="fig11", run=_herd_run,
+)
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    rank = -(-q * len(ordered) // 100)
+    return ordered[max(0, min(len(ordered), int(rank)) - 1)]
+
+
+def _closed_loop(engine, queries, *, clients: int, requests: int) -> dict:
+    """Run a closed loop; returns throughput + latency percentiles."""
+    latencies: list[float] = []
+    lock = threading.Lock()
+    next_index = [0]
+
+    def client() -> None:
+        while True:
+            with lock:
+                i = next_index[0]
+                if i >= requests:
+                    return
+                next_index[0] = i + 1
+            name = queries[i % len(queries)]
+            t0 = time.perf_counter()
+            engine.query(name, timeout=120)
+            elapsed = time.perf_counter() - t0
+            with lock:
+                latencies.append(elapsed)
+
+    started = time.perf_counter()
+    with ThreadPoolExecutor(clients) as pool:
+        for f in [pool.submit(client) for _ in range(clients)]:
+            f.result()
+    seconds = time.perf_counter() - started
+    ordered = sorted(latencies)
+    return {
+        "clients": clients,
+        "requests": len(latencies),
+        "seconds": round(seconds, 4),
+        "throughput_rps": round(len(latencies) / seconds, 1),
+        "p50_ms": round(_percentile(ordered, 50) * 1e3, 3),
+        "p95_ms": round(_percentile(ordered, 95) * 1e3, 3),
+        "p99_ms": round(_percentile(ordered, 99) * 1e3, 3),
+    }
+
+
+def test_serve_load(summit_store, results_dir):
+    exhibits = sorted(default_registry())
+
+    # Cold: a fresh engine and a fresh analysis context; every query
+    # name once, two closed-loop clients.
+    summit_store.invalidate()  # drop caches other benches may have warmed
+    with QueryEngine(summit_store, max_workers=4) as engine:
+        cold = _closed_loop(engine, exhibits, clients=2, requests=len(exhibits))
+
+        # Warm: same engine, every key now cache-resident.
+        warm = _closed_loop(engine, list(MIX), clients=8, requests=1500)
+        warm_counters = engine.stats()["counters"]
+
+    # Coalesced: result cache off, 16 clients hammer one heavy query.
+    with QueryEngine(
+        summit_store, max_workers=4, cache_entries=0,
+        extra_queries={HERD_QUERY: HERD_SPEC},
+    ) as engine:
+        herd = _closed_loop(engine, [HERD_QUERY], clients=16, requests=96)
+        herd_stats = engine.stats()
+        herd["executions"] = herd_stats["counters"]["executions"]
+        herd["coalesced"] = herd_stats["counters"].get("coalesced", 0)
+        herd["coalesce_rate"] = herd_stats["rates"]["coalesce"]
+
+    payload = {
+        "platform": "summit",
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "rows": len(summit_store.files),
+        "engine": {"max_workers": 4, "max_queue": 32},
+        "query_mix": list(MIX),
+        "cold": cold,
+        "warm": warm,
+        "coalesced": herd,
+    }
+    write_bench_json(results_dir, "serve", payload)
+
+    # Steady state must be dominated by the result cache ...
+    assert warm_counters["cache_hits"] >= warm["requests"], payload
+    # ... and orders of magnitude faster than computing from rows.
+    assert warm["throughput_rps"] > 10 * cold["throughput_rps"], payload
+    assert warm["p99_ms"] < cold["p50_ms"], payload
+    # The herd collapses: far fewer executions than requests, and the
+    # balance is accounted for by coalescing (no silent queue growth).
+    assert herd["executions"] < herd["requests"] / 2, payload
+    assert herd["executions"] + herd["coalesced"] == herd["requests"], payload

@@ -23,6 +23,7 @@ golden-equivalence suite uses that to pin contexts).
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Callable, Hashable, TypeVar
 
 import numpy as np
@@ -60,6 +61,26 @@ class AnalysisContext:
         self._store = store
         self._generation = store.generation
         self._memo: dict[Hashable, object] = {}
+        # Concurrent readers (repro.serve worker threads) share one
+        # context per store. A single RLock around memoization keeps the
+        # dict consistent and gives each key compute-once semantics; it
+        # must be re-entrant because computes nest (idx() -> mask()).
+        # Computes serialize under the lock — by design: cached values
+        # are deterministic, and the serving layer's result cache and
+        # coalescer provide the cross-request concurrency instead.
+        self._lock = threading.RLock()
+
+    # Locks are neither picklable nor deep-copyable; stores (which may
+    # hold a memoized context) travel through both — shard merging and
+    # the property-based aliasing checks. Rebuild the lock on restore.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -87,21 +108,29 @@ class AnalysisContext:
     def cache_info(self) -> dict[str, int]:
         """Entry counts per cache kind (introspection for tests/benches)."""
         kinds: dict[str, int] = {}
-        for key in self._memo:
+        with self._lock:
+            keys = list(self._memo)
+        for key in keys:
             kind = key[0] if isinstance(key, tuple) else str(key)
             kinds[str(kind)] = kinds.get(str(kind), 0) + 1
         return kinds
 
     # -- generic memo --------------------------------------------------------
     def cached(self, key: Hashable, compute: Callable[[], T]) -> T:
-        """Memoize ``compute()`` under ``key`` for this store generation."""
+        """Memoize ``compute()`` under ``key`` for this store generation.
+
+        Thread-safe: the first caller for a key computes under the
+        context lock, every later caller (from any thread) gets the same
+        object back. Callers must treat returned arrays as read-only.
+        """
         self._check_fresh()
-        try:
-            return self._memo[key]  # type: ignore[return-value]
-        except KeyError:
-            value = compute()
-            self._memo[key] = value
-            return value
+        with self._lock:
+            try:
+                return self._memo[key]  # type: ignore[return-value]
+            except KeyError:
+                value = compute()
+                self._memo[key] = value
+                return value
 
     # -- columns (views, never copies) --------------------------------------
     def column(self, name: str) -> np.ndarray:

@@ -6,6 +6,9 @@
     python -m repro shapes   --platform cori   --scale 1e-3
     python -m repro generate --platform summit --scale 5e-4 --jobs 4 --out year.npz
     python -m repro analyze  year.npz --exhibit table3
+    python -m repro analyze  --list
+    python -m repro serve    year.npz --port 7786 --workers 4
+    python -m repro query    table3 --port 7786
     python -m repro ior      --platform summit --layer pfs --api mpiio \\
                              --tasks 512 --direction write
 """
@@ -13,14 +16,16 @@
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
-from repro.analysis.report import HEADERS, render_results
+from repro.analysis.report import render_results, render_table
 from repro.core import CharacterizationStudy, StudyConfig
 from repro.platforms import get_platform
 from repro.platforms.interfaces import IOInterface
+from repro.serve.registry import default_registry, exhibit_names
 from repro.store.io import load_store, save_store
 from repro.units import format_size, parse_size
 from repro.workloads.generator import (
@@ -28,27 +33,6 @@ from repro.workloads.generator import (
     WorkloadGenerator,
     generate_with_shadows,
 )
-
-_EXHIBITS = {
-    "table2": ("table2", "Table 2 - dataset summary"),
-    "table3": ("table3", "Table 3 - files and volume per layer"),
-    "table4": ("table4", "Table 4 - >1TB files"),
-    "table5": ("table5", "Table 5 - job layer exclusivity"),
-    "table6": ("table6", "Table 6 - interface usage"),
-    "fig3": ("fig3", "Figure 3 - transfer-size CDFs"),
-    "fig4": ("fig4", "Figure 4 - request-size CDFs"),
-    "fig5": ("fig4", "Figure 5 - request-size CDFs (large jobs)"),
-    "fig6": ("fig6", "Figure 6 - file classification"),
-    "fig7": ("fig7", "Figure 7 - in-system domains"),
-    "fig8": ("fig6", "Figure 8 - STDIO classification"),
-    "fig9": ("fig9", "Figure 9 - interface transfer CDFs"),
-    "fig10": ("fig7", "Figure 10 - STDIO domains"),
-    "fig11": ("fig11", "Figures 11/12 - POSIX vs STDIO bandwidth"),
-    "users": ("users", "User concentration (Lim et al. style)"),
-    "temporal": ("temporal", "Temporal structure (Patel et al. style)"),
-    "variability": ("variability", "Bandwidth variability (TOKIO style)"),
-    "tuning": ("tuning", "User tuning trajectories (§5 future work)"),
-}
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -79,9 +63,55 @@ def _build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--out", required=True, help="output .npz path")
 
     p_an = sub.add_parser("analyze", help="run one exhibit over a saved store")
-    p_an.add_argument("store", help=".npz store from 'generate'")
     p_an.add_argument(
-        "--exhibit", choices=sorted(_EXHIBITS), default="table3"
+        "store", nargs="?", default=None, help=".npz store from 'generate'"
+    )
+    p_an.add_argument(
+        "--exhibit", choices=exhibit_names(), default="table3"
+    )
+    p_an.add_argument(
+        "--list", action="store_true",
+        help="list every query name the analyze CLI and 'repro serve' share",
+    )
+
+    p_srv = sub.add_parser(
+        "serve", help="serve analysis queries over a loaded store (NDJSON/TCP)"
+    )
+    p_srv.add_argument("store", help=".npz store from 'generate'")
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7786)
+    p_srv.add_argument(
+        "--workers", type=int, default=4, help="analysis worker threads"
+    )
+    p_srv.add_argument(
+        "--queue-depth", type=int, default=32,
+        help="admission queue bound; beyond it requests are shed "
+             "with ServiceOverloadError",
+    )
+    p_srv.add_argument(
+        "--cache-entries", type=int, default=256,
+        help="LRU result-cache capacity (0 disables caching)",
+    )
+    p_srv.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-request deadline in seconds",
+    )
+
+    p_q = sub.add_parser("query", help="query a running 'repro serve'")
+    p_q.add_argument("name", help="query name (see 'repro analyze --list')")
+    p_q.add_argument("--host", default="127.0.0.1")
+    p_q.add_argument("--port", type=int, default=7786)
+    p_q.add_argument(
+        "--params", default=None,
+        help='query parameters as a JSON object, e.g. \'{"top": 5}\'',
+    )
+    p_q.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-request deadline in seconds",
+    )
+    p_q.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw JSON result instead of a rendered table",
     )
 
     p_adv = sub.add_parser("advise", help="run the optimization advisors")
@@ -141,51 +171,80 @@ def _cmd_generate(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    from repro.analysis import (
-        bandwidth_variability,
-        dataset_summary,
-        file_classification,
-        insystem_domain_usage,
-        interface_transfer_cdfs,
-        interface_usage,
-        large_files,
-        layer_exclusivity,
-        layer_volumes,
-        performance_by_bin,
-        request_cdfs,
-        stdio_domain_usage,
-        temporal_profile,
-        transfer_cdfs,
-        tuning_report,
-        user_activity,
-    )
-
+    registry = default_registry()
+    if args.list:
+        # The same registry `repro serve` dispatches on: the CLI surface
+        # and the service surface cannot drift.
+        width = max(len(n) for n in registry)
+        for name in sorted(registry):
+            spec = registry[name]
+            via = "analyze+serve" if spec.kind == "table" else "serve"
+            print(f"{name:<{width}}  [{via:13s}] {spec.title}")
+        return 0
+    if args.store is None:
+        print("analyze: a store path is required unless --list is given",
+              file=sys.stderr)
+        return 2
     store = load_store(args.store)
     # All report paths share the store's analysis context, so rendering
     # several exhibits against one store scans the common axes once.
-    ctx = store.analysis()
-    runners = {
-        "table2": lambda: dataset_summary(store, context=ctx),
-        "table3": lambda: layer_volumes(store, context=ctx),
-        "table4": lambda: large_files(store, context=ctx),
-        "table5": lambda: layer_exclusivity(store, context=ctx),
-        "table6": lambda: interface_usage(store, context=ctx),
-        "fig3": lambda: transfer_cdfs(store, context=ctx),
-        "fig4": lambda: request_cdfs(store, context=ctx),
-        "fig5": lambda: request_cdfs(store, large_jobs_only=True, context=ctx),
-        "fig6": lambda: file_classification(store, context=ctx),
-        "fig7": lambda: insystem_domain_usage(store, context=ctx),
-        "fig8": lambda: file_classification(store, stdio_only=True, context=ctx),
-        "fig9": lambda: interface_transfer_cdfs(store, context=ctx),
-        "fig10": lambda: stdio_domain_usage(store, context=ctx),
-        "fig11": lambda: performance_by_bin(store, context=ctx),
-        "users": lambda: user_activity(store, context=ctx),
-        "temporal": lambda: temporal_profile(store, context=ctx),
-        "variability": lambda: bandwidth_variability(store, context=ctx),
-        "tuning": lambda: tuning_report(store, context=ctx),
-    }
-    header_key, title = _EXHIBITS[args.exhibit]
-    print(render_results(title, HEADERS[header_key], runners[args.exhibit]()))
+    spec = registry[args.exhibit]
+    result = spec.run(store, store.analysis(), {})
+    print(render_results(spec.title, spec.headers, result))
+    return 0
+
+
+def _cmd_serve(args) -> int:  # pragma: no cover - blocking accept loop
+    from repro.serve.engine import QueryEngine
+    from repro.serve.server import run_server
+
+    store = load_store(args.store)
+    engine = QueryEngine(
+        store,
+        max_workers=args.workers,
+        max_queue=args.queue_depth,
+        cache_entries=args.cache_entries,
+        default_timeout=args.timeout,
+    )
+    run_server(engine, args.host, args.port)
+    return 0
+
+
+def _render_remote(result: dict) -> str:
+    """Human rendering of a wire result (tables as tables, rest JSON)."""
+    kind = result.get("kind")
+    if kind == "table":
+        return render_table(
+            result["headers"], result["rows"], title=result.get("title", "")
+        )
+    if kind == "shapes":
+        lines = []
+        for c in result["checks"]:
+            status = "PASS" if c["passed"] else "FAIL"
+            lines.append(
+                f"[{status}] {c['exhibit']:9s} {c['name']}: "
+                f"expected {c['expected']}, measured {c['measured']}"
+            )
+        lines.append(
+            f"{result['passed']}/{result['passed'] + result['failed']} "
+            "shapes reproduced"
+        )
+        return "\n".join(lines)
+    return json.dumps(result, indent=2, sort_keys=True)
+
+
+def _cmd_query(args) -> int:
+    from repro.serve.client import ServeClient
+
+    params = json.loads(args.params) if args.params else {}
+    with ServeClient(args.host, args.port) as client:
+        result = client.query(args.name, params, timeout=args.timeout)
+    if args.as_json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(_render_remote(result))
+    if result.get("kind") == "shapes" and result.get("failed"):
+        return 1
     return 0
 
 
@@ -267,6 +326,8 @@ def main(argv: list[str] | None = None) -> int:
         "shapes": _cmd_shapes,
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
+        "serve": _cmd_serve,
+        "query": _cmd_query,
         "advise": _cmd_advise,
         "replay": _cmd_replay,
         "ior": _cmd_ior,

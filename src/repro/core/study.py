@@ -49,6 +49,33 @@ class StudyResults:
     fig11_12: list = field(default_factory=list)
 
 
+def compute_results(store: RecordStore, *, context=None) -> StudyResults:
+    """Run every table/figure analysis over one store.
+
+    The single exhibit pipeline behind both :meth:`CharacterizationStudy.run`
+    and the ``shapes`` query of :mod:`repro.serve` — one shared analysis
+    plan, so every exhibit reuses the same masks/index arrays instead of
+    rescanning the file table.
+    """
+    ctx = context if context is not None else store.analysis()
+    results = StudyResults(platform=store.platform)
+    results.table2 = dataset_summary(store, context=ctx)
+    results.table3 = layer_volumes(store, context=ctx)
+    results.table4 = large_files(store, context=ctx)
+    results.table5 = layer_exclusivity(store, context=ctx)
+    results.table6 = interface_usage(store, context=ctx)
+    results.fig3 = transfer_cdfs(store, context=ctx)
+    results.fig4 = request_cdfs(store, context=ctx)
+    results.fig5 = request_cdfs(store, large_jobs_only=True, context=ctx)
+    results.fig6 = file_classification(store, context=ctx)
+    results.fig7 = insystem_domain_usage(store, context=ctx)
+    results.fig8 = file_classification(store, stdio_only=True, context=ctx)
+    results.fig9 = interface_transfer_cdfs(store, context=ctx)
+    results.fig10 = stdio_domain_usage(store, context=ctx)
+    results.fig11_12 = performance_by_bin(store, context=ctx)
+    return results
+
+
 class CharacterizationStudy:
     """Generates each platform's synthetic year and runs every analysis."""
 
@@ -78,24 +105,8 @@ class CharacterizationStudy:
         if key in self._results:
             return self._results[key]
         store = self.store(key)
-        # One shared analysis plan: every exhibit below reuses the same
-        # masks/index arrays instead of rescanning the file table.
-        ctx = store.analysis()
-        results = StudyResults(platform=key)
-        results.table2 = dataset_summary(store, context=ctx)
-        results.table3 = layer_volumes(store, context=ctx)
-        results.table4 = large_files(store, context=ctx)
-        results.table5 = layer_exclusivity(store, context=ctx)
-        results.table6 = interface_usage(store, context=ctx)
-        results.fig3 = transfer_cdfs(store, context=ctx)
-        results.fig4 = request_cdfs(store, context=ctx)
-        results.fig5 = request_cdfs(store, large_jobs_only=True, context=ctx)
-        results.fig6 = file_classification(store, context=ctx)
-        results.fig7 = insystem_domain_usage(store, context=ctx)
-        results.fig8 = file_classification(store, stdio_only=True, context=ctx)
-        results.fig9 = interface_transfer_cdfs(store, context=ctx)
-        results.fig10 = stdio_domain_usage(store, context=ctx)
-        results.fig11_12 = performance_by_bin(store, context=ctx)
+        results = compute_results(store)
+        results.platform = key
         self._results[key] = results
         return results
 

@@ -72,3 +72,34 @@ class AnalysisError(ReproError):
     e.g. requesting a CDF over an empty selection or a performance
     distribution for a bin with no observations when strict mode is on.
     """
+
+
+class ServeError(ReproError):
+    """Base class for :mod:`repro.serve` failures.
+
+    Also raised directly for protocol-level problems (malformed request
+    framing, unknown parameters) that have no more specific subclass.
+    """
+
+
+class UnknownQueryError(ServeError):
+    """A request named a query the engine's registry does not know."""
+
+
+class ServiceOverloadError(ServeError):
+    """The service shed a request instead of queueing it unboundedly.
+
+    Raised when admission would push the worker pool's queue past its
+    configured depth. Clients should back off and retry; the server is
+    healthy, just saturated.
+    """
+
+
+class QueryTimeoutError(ServeError):
+    """A request's deadline elapsed before its result was ready.
+
+    The underlying computation is not cancelled (worker threads cannot
+    be killed); the deadline bounds how long the *caller* waits. A
+    later identical request can still be served from cache once the
+    stray computation lands.
+    """

@@ -1,0 +1,42 @@
+"""Concurrent analysis serving over a loaded RecordStore.
+
+The paper's exhibits (Tables 2-6, Figures 3-12) were one-shot CLI runs;
+this package turns them into a multi-client service:
+
+- :mod:`repro.serve.registry` — the named-query registry (every
+  ``analysis/`` entry point plus ``advise``/``shapes``), shared with
+  ``repro analyze`` so the CLI and the service can never drift;
+- :mod:`repro.serve.engine` — :class:`QueryEngine`: bounded worker
+  pool with admission control, request coalescing, and an LRU result
+  cache keyed on the store generation;
+- :mod:`repro.serve.metrics` — counters and latency histograms
+  (p50/p95/p99) exposed through the ``stats`` query;
+- :mod:`repro.serve.server` / :mod:`repro.serve.client` — a
+  newline-delimited-JSON socket protocol (``repro serve`` /
+  ``repro query``).
+
+Everything is stdlib-only: ``asyncio`` for the socket front end,
+``concurrent.futures`` for the analysis workers.
+"""
+
+from repro.serve.cache import ResultCache
+from repro.serve.client import ServeClient
+from repro.serve.coalesce import InFlightTable
+from repro.serve.engine import QueryEngine
+from repro.serve.metrics import Metrics
+from repro.serve.registry import QuerySpec, default_registry, serialize_result
+from repro.serve.server import AnalysisServer, BackgroundServer, run_server
+
+__all__ = [
+    "AnalysisServer",
+    "BackgroundServer",
+    "InFlightTable",
+    "Metrics",
+    "QueryEngine",
+    "QuerySpec",
+    "ResultCache",
+    "ServeClient",
+    "default_registry",
+    "run_server",
+    "serialize_result",
+]

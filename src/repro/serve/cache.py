@@ -1,0 +1,74 @@
+"""LRU result cache keyed on (query, params, store generation).
+
+Because the store generation is part of the key, a mutation
+(``RecordStore.extend`` / ``invalidate``) implicitly invalidates every
+cached result without the cache ever observing the store: stale entries
+simply stop being addressable and age out of the LRU order. That is the
+same invalidation discipline :class:`repro.analysis.context.AnalysisContext`
+uses, lifted to whole query results.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Hashable
+
+_MISS = object()
+
+
+class ResultCache:
+    """Thread-safe LRU mapping of query keys to analysis results.
+
+    ``max_entries=0`` disables caching entirely (every lookup misses,
+    every insert is dropped) — the coalesced-regime benchmark uses that
+    to keep identical bursts in flight instead of cache-resident.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: Hashable) -> tuple[bool, object]:
+        """(hit, value); a hit refreshes the entry's LRU position."""
+        with self._lock:
+            value = self._entries.get(key, _MISS)
+            if value is _MISS:
+                self._misses += 1
+                return False, None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return True, value
+
+    def put(self, key: Hashable, value: object) -> None:
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def info(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }

@@ -1,0 +1,110 @@
+"""Blocking NDJSON client for an AnalysisServer.
+
+Maps wire errors back onto the typed exceptions from
+:mod:`repro.errors`, so ``except ServiceOverloadError`` works the same
+whether the engine is in-process or across a socket.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Mapping
+
+from repro import errors as _errors
+from repro.errors import ReproError, ServeError
+
+#: Extra seconds of socket patience beyond a request's own deadline, so
+#: the server's QueryTimeoutError response wins the race against our
+#: socket timeout.
+_GRACE = 10.0
+
+
+def _rebuild_error(payload: Mapping) -> ReproError:
+    """The typed exception a wire error corresponds to."""
+    name = str(payload.get("type", "ServeError"))
+    message = str(payload.get("message", "remote error"))
+    cls = getattr(_errors, name, None)
+    if isinstance(cls, type) and issubclass(cls, ReproError):
+        return cls(message)
+    return ServeError(f"{name}: {message}")
+
+
+class ServeClient:
+    """One TCP connection to a ``repro serve`` instance."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7786,
+        *,
+        connect_timeout: float = 10.0,
+    ):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), connect_timeout)
+        self._reader = self._sock.makefile("rb")
+        self._next_id = 0
+
+    # -- request/response ----------------------------------------------------
+    def request(
+        self,
+        query: str,
+        params: Mapping | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> dict:
+        """Send one request and return the raw response envelope."""
+        self._next_id += 1
+        body = {"id": self._next_id, "query": query, "params": dict(params or {})}
+        if timeout is not None:
+            body["timeout"] = timeout
+        self._sock.settimeout(timeout + _GRACE if timeout is not None else None)
+        self._sock.sendall(json.dumps(body).encode() + b"\n")
+        line = self._reader.readline()
+        if not line:
+            raise ServeError("server closed the connection mid-request")
+        response = json.loads(line)
+        if response.get("id") != self._next_id:
+            raise ServeError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {self._next_id} (is the connection shared "
+                "between threads?)"
+            )
+        return response
+
+    def query(
+        self,
+        name: str,
+        params: Mapping | None = None,
+        *,
+        timeout: float | None = None,
+    ) -> dict:
+        """The serialized result of one query; raises typed errors."""
+        response = self.request(name, params, timeout=timeout)
+        if not response.get("ok"):
+            raise _rebuild_error(response.get("error") or {})
+        return response["result"]
+
+    # -- conveniences --------------------------------------------------------
+    def stats(self) -> dict:
+        return self.query("stats")
+
+    def list_queries(self) -> dict:
+        return self.query("queries")["queries"]
+
+    # -- lifecycle -----------------------------------------------------------
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ServeClient({self.host!r}, {self.port})"

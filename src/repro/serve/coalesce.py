@@ -1,0 +1,53 @@
+"""In-flight request coalescing: N identical queries, one computation.
+
+The serving-layer analogue of MPI-IO collective buffering (the paper's
+§4 aggregation finding): when many clients ask the same question at the
+same time, answering it once and fanning the result out beats queueing N
+copies of the same scan. The table maps a query key to the
+:class:`~concurrent.futures.Future` of the computation currently
+answering it; the first arrival becomes the *leader* (and owns running
+the computation), everyone else attaches to the leader's future and
+consumes no pool slot.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Hashable
+
+
+class InFlightTable:
+    """Tracks the single in-flight computation per query key."""
+
+    def __init__(self) -> None:
+        self._futures: dict[Hashable, Future] = {}
+        self._lock = threading.Lock()
+
+    def join(self, key: Hashable) -> tuple[bool, Future]:
+        """(is_leader, shared future) for a key.
+
+        The leader must eventually complete the future *and then* call
+        :meth:`finish`; followers just wait on the future.
+        """
+        with self._lock:
+            future = self._futures.get(key)
+            if future is not None:
+                return False, future
+            future = Future()
+            self._futures[key] = future
+            return True, future
+
+    def finish(self, key: Hashable) -> None:
+        """Drop a key once its future is resolved (leader-only).
+
+        Callers must resolve the future *before* finishing (and, on
+        success, populate the result cache first), so a request arriving
+        in between sees either the in-flight future or the cached
+        result — never a gap that would recompute.
+        """
+        with self._lock:
+            self._futures.pop(key, None)
+
+    def __len__(self) -> int:
+        return len(self._futures)

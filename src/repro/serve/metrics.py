@@ -1,0 +1,130 @@
+"""Service observability: counters and latency histograms.
+
+The paper's performance sections live on distributions, not means
+(Figures 11/12 are box plots precisely because production-load latency
+has heavy tails); the serving layer follows suit and reports
+p50/p95/p99 per query, not averages. Everything here is thread-safe and
+allocation-light: a counter is one int under a lock, a histogram is a
+fixed-size reservoir ring buffer (newest ``window`` samples win), so
+recording stays O(1) on the request path and percentile sorting is paid
+only at snapshot time.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class Counter:
+    """A monotonically increasing, thread-safe event counter."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class LatencyHistogram:
+    """Latency samples with percentile snapshots.
+
+    Keeps the newest ``window`` samples in a ring buffer; count, sum,
+    and max are exact over the histogram's whole life, percentiles are
+    over the window. ``window`` defaults high enough that a bench run
+    or a test never wraps.
+    """
+
+    __slots__ = ("_count", "_lock", "_max", "_samples", "_total", "_window")
+
+    def __init__(self, window: int = 8192) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self._window = window
+        self._samples: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            if len(self._samples) < self._window:
+                self._samples.append(seconds)
+            else:
+                self._samples[self._count % self._window] = seconds
+            self._count += 1
+            self._total += seconds
+            if seconds > self._max:
+                self._max = seconds
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @staticmethod
+    def _percentile(ordered: list[float], q: float) -> float:
+        """Nearest-rank percentile over a sorted sample list."""
+        rank = -(-q * len(ordered) // 100)  # ceil(q * n / 100)
+        return ordered[max(0, min(len(ordered), int(rank)) - 1)]
+
+    def snapshot(self) -> dict[str, float]:
+        """count/mean/p50/p95/p99/max in milliseconds."""
+        with self._lock:
+            samples = sorted(self._samples)
+            count, total, peak = self._count, self._total, self._max
+        if not samples:
+            return {"count": 0}
+        ms = 1e3
+        return {
+            "count": count,
+            "mean_ms": round(total / count * ms, 3),
+            "p50_ms": round(self._percentile(samples, 50) * ms, 3),
+            "p95_ms": round(self._percentile(samples, 95) * ms, 3),
+            "p99_ms": round(self._percentile(samples, 99) * ms, 3),
+            "max_ms": round(peak * ms, 3),
+        }
+
+
+class Metrics:
+    """A named registry of counters and latency histograms.
+
+    Instruments are created on first touch, so call sites never
+    pre-declare; ``snapshot()`` is the one read path (the engine's
+    ``stats`` query).
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._timers: dict[str, LatencyHistogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter()
+            return counter
+
+    def timer(self, name: str) -> LatencyHistogram:
+        with self._lock:
+            timer = self._timers.get(name)
+            if timer is None:
+                timer = self._timers[name] = LatencyHistogram()
+            return timer
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            counters = dict(self._counters)
+            timers = dict(self._timers)
+        return {
+            "counters": {n: c.value for n, c in sorted(counters.items())},
+            "latency": {n: t.snapshot() for n, t in sorted(timers.items())},
+        }

@@ -1,0 +1,260 @@
+"""Newline-delimited-JSON socket front end for a QueryEngine.
+
+Protocol (one JSON object per line, UTF-8):
+
+request::
+
+    {"id": 7, "query": "table3", "params": {}, "timeout": 5.0}
+
+response::
+
+    {"id": 7, "ok": true, "elapsed_ms": 12.3, "result": {...}}
+    {"id": 7, "ok": false, "elapsed_ms": 0.1,
+     "error": {"type": "ServiceOverloadError", "message": "..."}}
+
+Each request becomes its own asyncio task, so one connection can
+pipeline many concurrent queries — that is what makes server-side
+coalescing observable from a single client. The asyncio loop only
+shuttles bytes; all analysis work happens on the engine's worker pool,
+and the engine's admission bound is the only queue in the system.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from repro.errors import QueryTimeoutError, ReproError, ServeError
+from repro.serve.engine import QueryEngine
+
+#: Default TCP port: 0x1e6a, "I/O" spelled just badly enough.
+DEFAULT_PORT = 7786
+
+#: Requests larger than this are protocol abuse, not queries.
+MAX_LINE_BYTES = 1 << 20
+
+
+def _error_payload(exc: BaseException) -> dict:
+    return {"type": type(exc).__name__, "message": str(exc)}
+
+
+class AnalysisServer:
+    """Serves one QueryEngine over TCP with NDJSON framing."""
+
+    def __init__(
+        self, engine: QueryEngine, host: str = "127.0.0.1", port: int = 0
+    ):
+        self.engine = engine
+        self.host = host
+        self._requested_port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.host,
+            self._requested_port,
+            limit=MAX_LINE_BYTES,
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+    # -- connection handling -------------------------------------------------
+    async def _handle_connection(self, reader, writer) -> None:
+        self.engine.metrics.counter("connections").inc()
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(
+                        writer, write_lock,
+                        {"id": None, "ok": False, "error": _error_payload(
+                            ServeError("request line exceeds 1 MiB"))},
+                    )
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_request(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Client vanished mid-close, or the loop is tearing the
+                # task down at server shutdown; either way we're done.
+                pass
+
+    async def _handle_request(self, line: bytes, writer, write_lock) -> None:
+        started = time.perf_counter()
+        request_id = None
+        try:
+            try:
+                request = json.loads(line)
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ServeError(f"malformed request JSON: {exc}") from None
+            if not isinstance(request, dict):
+                raise ServeError("request must be a JSON object")
+            request_id = request.get("id")
+            name = request.get("query")
+            if not isinstance(name, str):
+                raise ServeError('request needs a string "query" field')
+            params = request.get("params") or {}
+            if not isinstance(params, dict):
+                raise ServeError('"params" must be a JSON object')
+            timeout = request.get("timeout", self.engine.default_timeout)
+            future = self.engine.submit(name, params)
+            try:
+                result = await asyncio.wait_for(
+                    asyncio.wrap_future(future), timeout
+                )
+            except asyncio.TimeoutError:
+                self.engine.metrics.counter("timeouts").inc()
+                raise QueryTimeoutError(
+                    f"query {name!r} missed its {timeout:g}s deadline"
+                ) from None
+            payload = {
+                "id": request_id,
+                "ok": True,
+                "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
+                "result": self.engine.serialize(name, result),
+            }
+        except ReproError as exc:
+            payload = {
+                "id": request_id,
+                "ok": False,
+                "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
+                "error": _error_payload(exc),
+            }
+        except Exception as exc:
+            # An analysis bug must become an error *response*, never a
+            # silently-dead task — the client would hang to its socket
+            # timeout waiting for a line that isn't coming.
+            self.engine.metrics.counter("internal_errors").inc()
+            payload = {
+                "id": request_id,
+                "ok": False,
+                "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
+                "error": {
+                    "type": "InternalError",
+                    "message": f"{type(exc).__name__}: {exc}",
+                },
+            }
+        await self._send(writer, write_lock, payload)
+
+    async def _send(self, writer, write_lock, payload: dict) -> None:
+        data = json.dumps(payload, ensure_ascii=True).encode() + b"\n"
+        async with write_lock:  # responses must not interleave
+            try:
+                writer.write(data)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass  # client disconnected before its answer arrived
+
+
+def run_server(
+    engine: QueryEngine, host: str = "127.0.0.1", port: int = DEFAULT_PORT
+) -> None:  # pragma: no cover - exercised via BackgroundServer
+    """Blocking entry point behind ``repro serve``."""
+
+    async def main() -> None:
+        server = AnalysisServer(engine, host, port)
+        await server.start()
+        print(f"repro serve: {engine!r} listening on {host}:{server.port}")
+        await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        pass
+
+
+class BackgroundServer:
+    """An AnalysisServer on a daemon thread (tests and benchmarks).
+
+    ::
+
+        with BackgroundServer(engine) as server:
+            client = ServeClient(port=server.port)
+    """
+
+    def __init__(
+        self, engine: QueryEngine, host: str = "127.0.0.1", port: int = 0
+    ):
+        self._server = AnalysisServer(engine, host, port)
+        self._started = threading.Event()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Future | None = None
+        self._thread = threading.Thread(
+            target=self._thread_main, name="repro-serve-listener", daemon=True
+        )
+        self._startup_error: BaseException | None = None
+
+    @property
+    def host(self) -> str:
+        return self._server.host
+
+    @property
+    def port(self) -> int:
+        return self._server.port
+
+    def _thread_main(self) -> None:
+        asyncio.run(self._amain())
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = self._loop.create_future()
+        try:
+            await self._server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            return
+        self._started.set()
+        try:
+            await self._stop
+        finally:
+            await self._server.aclose()
+
+    def __enter__(self) -> "BackgroundServer":
+        self._thread.start()
+        self._started.wait(timeout=10)
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._loop is not None and self._stop is not None:
+            def finish() -> None:
+                if not self._stop.done():
+                    self._stop.set_result(None)
+
+            self._loop.call_soon_threadsafe(finish)
+        self._thread.join(timeout=10)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import zipfile
 
 import numpy as np
 
@@ -11,11 +12,20 @@ from repro.store.recordstore import RecordStore
 
 _FORMAT = "repro-store-v1"
 
+#: Version of the *meta blob's* schema, recorded alongside ``format``.
+#: Bump when meta gains/changes required keys; readers accept anything
+#: up to their own version (older files load, newer files are refused
+#: with a typed error instead of a KeyError deep in RecordStore).
+SCHEMA_VERSION = 1
+
+_REQUIRED_META = ("platform", "domains", "extensions", "scale")
+
 
 def save_store(store: RecordStore, path: str) -> None:
     """Write a store to a compressed ``.npz`` file."""
     meta = {
         "format": _FORMAT,
+        "schema_version": SCHEMA_VERSION,
         "platform": store.platform,
         "domains": list(store.domains),
         "extensions": list(store.extensions),
@@ -29,17 +39,51 @@ def save_store(store: RecordStore, path: str) -> None:
     )
 
 
-def load_store(path: str) -> RecordStore:
-    """Read a store written by :func:`save_store`."""
-    with np.load(path, allow_pickle=False) as npz:
-        try:
-            meta = json.loads(bytes(npz["meta"].tobytes()).decode("utf-8"))
-            files = npz["files"]
-            jobs = npz["jobs"]
-        except KeyError as exc:
-            raise StoreError(f"{path}: missing array {exc}") from None
+def _parse_meta(path: str, blob: np.ndarray) -> dict:
+    """Decode and validate the JSON meta blob (typed errors only)."""
+    try:
+        meta = json.loads(bytes(blob.tobytes()).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise StoreError(f"{path}: corrupt store meta blob ({exc})") from None
+    if not isinstance(meta, dict):
+        raise StoreError(f"{path}: store meta must be a JSON object")
     if meta.get("format") != _FORMAT:
         raise StoreError(f"{path}: unknown store format {meta.get('format')!r}")
+    version = meta.get("schema_version", 1)  # v1 files predate the field
+    if not isinstance(version, int) or version < 1:
+        raise StoreError(f"{path}: invalid schema_version {version!r}")
+    if version > SCHEMA_VERSION:
+        raise StoreError(
+            f"{path}: store schema_version {version} is newer than this "
+            f"library supports ({SCHEMA_VERSION}); upgrade repro to read it"
+        )
+    missing = [k for k in _REQUIRED_META if k not in meta]
+    if missing:
+        raise StoreError(
+            f"{path}: store meta missing key(s) {', '.join(missing)}"
+        )
+    return meta
+
+
+def load_store(path: str) -> RecordStore:
+    """Read a store written by :func:`save_store`.
+
+    Corrupt or truncated files surface as :class:`StoreError` (never a
+    raw ``json``/``zipfile``/unicode exception); a missing file is still
+    ``FileNotFoundError``.
+    """
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            try:
+                meta = _parse_meta(path, npz["meta"])
+                files = npz["files"]
+                jobs = npz["jobs"]
+            except KeyError as exc:
+                raise StoreError(f"{path}: missing array {exc}") from None
+    except (zipfile.BadZipFile, EOFError) as exc:
+        raise StoreError(f"{path}: not a readable .npz ({exc})") from None
+    except ValueError as exc:
+        raise StoreError(f"{path}: corrupt store file ({exc})") from None
     return RecordStore(
         meta["platform"],
         files,

@@ -1,5 +1,7 @@
 """Tests for the columnar record store."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -170,3 +172,100 @@ class TestPersistence:
         np.savez(path, a=np.zeros(3))
         with pytest.raises(StoreError):
             load_store(path)
+
+    def test_round_trip_preserves_catalogs(self, tmp_path, cori_store_small):
+        """scale, domains, and extensions all survive save/load."""
+        path = str(tmp_path / "cori.npz")
+        save_store(cori_store_small, path)
+        out = load_store(path)
+        assert out.platform == cori_store_small.platform
+        assert out.scale == cori_store_small.scale
+        assert out.domains == cori_store_small.domains
+        assert out.extensions == cori_store_small.extensions
+        np.testing.assert_array_equal(out.jobs, cori_store_small.jobs)
+
+
+class TestPersistenceCorruption:
+    """Typed errors for corrupt stores — never a raw json/zip/unicode one."""
+
+    def _resave_with_meta(self, tmp_path, meta_bytes: bytes) -> str:
+        st = tiny_store()
+        path = str(tmp_path / "bad.npz")
+        np.savez(
+            path,
+            files=st.files,
+            jobs=st.jobs,
+            meta=np.frombuffer(meta_bytes, dtype=np.uint8),
+        )
+        return path
+
+    def test_schema_version_is_recorded(self, tmp_path):
+        import json
+
+        from repro.store.io import SCHEMA_VERSION
+
+        path = str(tmp_path / "v.npz")
+        save_store(tiny_store(), path)
+        with np.load(path) as npz:
+            meta = json.loads(bytes(npz["meta"].tobytes()).decode("utf-8"))
+        assert meta["schema_version"] == SCHEMA_VERSION
+        assert meta["format"] == "repro-store-v1"
+
+    def test_truncated_json_meta(self, tmp_path):
+        path = self._resave_with_meta(
+            tmp_path, b'{"format": "repro-store-v1", "platf'
+        )
+        with pytest.raises(StoreError, match="corrupt store meta"):
+            load_store(path)
+
+    def test_non_utf8_meta(self, tmp_path):
+        path = self._resave_with_meta(tmp_path, b"\xff\xfe\x00{}")
+        with pytest.raises(StoreError, match="corrupt store meta"):
+            load_store(path)
+
+    def test_non_object_meta(self, tmp_path):
+        path = self._resave_with_meta(tmp_path, b'[1, 2, 3]')
+        with pytest.raises(StoreError, match="JSON object"):
+            load_store(path)
+
+    def test_missing_meta_keys(self, tmp_path):
+        path = self._resave_with_meta(
+            tmp_path, b'{"format": "repro-store-v1", "platform": "summit"}'
+        )
+        with pytest.raises(StoreError, match="missing key"):
+            load_store(path)
+
+    def test_future_schema_version_refused(self, tmp_path):
+        path = self._resave_with_meta(
+            tmp_path,
+            b'{"format": "repro-store-v1", "schema_version": 99, '
+            b'"platform": "summit", "domains": [], "extensions": [], '
+            b'"scale": 0.5}',
+        )
+        with pytest.raises(StoreError, match="newer than"):
+            load_store(path)
+
+    def test_legacy_meta_without_schema_version_loads(self, tmp_path):
+        """Files written before the field existed stay readable."""
+        path = self._resave_with_meta(
+            tmp_path,
+            b'{"format": "repro-store-v1", "platform": "summit", '
+            b'"domains": ["physics", "biology"], "extensions": [], '
+            b'"scale": 0.5}',
+        )
+        out = load_store(path)
+        assert out.platform == "summit"
+        assert out.domains == ("physics", "biology")
+
+    def test_truncated_file(self, tmp_path):
+        path = str(tmp_path / "trunc.npz")
+        save_store(tiny_store(), path)
+        size = os.path.getsize(path)
+        with open(path, "r+b") as fh:
+            fh.truncate(size // 3)
+        with pytest.raises(StoreError):
+            load_store(path)
+
+    def test_missing_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_store(str(tmp_path / "nope.npz"))
