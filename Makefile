@@ -3,7 +3,7 @@
 # -p no:randomly is a no-op unless pytest-randomly happens to be installed.
 PYTEST = PYTHONHASHSEED=0 PYTHONPATH=src python -m pytest -p no:randomly
 
-.PHONY: check test parallel stress bench bench-analysis bench-generate bench-serve serve-tests
+.PHONY: check test parallel stress bench bench-analysis bench-generate bench-serve serve-tests obs-tests bench-obs
 
 # Fast development loop: everything except the multi-million-row stress
 # guards and the (pool-spawning, slow on few cores) differential suite.
@@ -42,3 +42,13 @@ serve-tests:
 # (cold / warm / coalesced throughput and latency percentiles).
 bench-serve:
 	$(PYTEST) -q benchmarks/bench_serve.py
+
+# Span-tracing subsystem + public-API surface tests (tracer semantics,
+# export formats, worker round trip, --trace plumbing, API snapshot).
+obs-tests:
+	$(PYTEST) -x -q tests/test_obs.py tests/test_api.py
+
+# Tracing overhead benchmark; writes BENCH_obs.json (disabled-path
+# cost, enabled cost, export throughput).
+bench-obs:
+	$(PYTEST) -q benchmarks/bench_obs.py

@@ -1,20 +1,73 @@
 """repro — reproduction of the HPDC '22 multi-layer supercomputer I/O study.
 
-See README.md for the tour; the main entry points:
+The supported public surface lives in :mod:`repro.api` and is lazily
+re-exported here (PEP 562), so ``import repro`` stays cheap — numpy and
+the analysis stack load only when a symbol is first touched::
+
+    import repro
+
+    store = repro.generate_store("summit", scale=1e-3, seed=7)
+    table = repro.run_query(store, "table3")
+    print(repro.list_queries())
+
+Deep imports keep working unchanged (``from repro.analysis import
+layer_volumes``), but only the names below are the stable contract —
+see :mod:`repro.api` for the documented guarantees. The main areas:
 
 * :class:`repro.core.CharacterizationStudy` — generate a synthetic year
   and run every table/figure analysis of the paper.
-* :class:`repro.workloads.generator.WorkloadGenerator` — the calibrated
-  population generator.
+* :mod:`repro.workloads` — the calibrated population generator.
 * :mod:`repro.darshan` — the Darshan-style log model and binary format.
 * :mod:`repro.iosim` — GPFS/Lustre/DataWarp/NVMe substrates and the
   performance model.
 * :mod:`repro.analysis` — the paper's analyses.
+* :mod:`repro.serve` — the concurrent analysis-serving subsystem.
+* :mod:`repro.obs` — cross-layer span tracing (``--trace``).
 * :mod:`repro.optimize` — the paper's recommendations as advisors.
 
 Command line: ``python -m repro --help``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+#: Lazy top-level exports: name -> (module, attribute). Everything here
+#: must also be exported (and documented) by :mod:`repro.api`; the API
+#: snapshot test pins both sides.
+_LAZY_EXPORTS = {
+    "CharacterizationStudy": ("repro.api", "CharacterizationStudy"),
+    "RecordStore": ("repro.api", "RecordStore"),
+    "ReproError": ("repro.api", "ReproError"),
+    "StudyConfig": ("repro.api", "StudyConfig"),
+    "Tracer": ("repro.api", "Tracer"),
+    "generate_store": ("repro.api", "generate_store"),
+    "get_tracer": ("repro.api", "get_tracer"),
+    "list_queries": ("repro.api", "list_queries"),
+    "load_store": ("repro.api", "load_store"),
+    "run_query": ("repro.api", "run_query"),
+    "save_store": ("repro.api", "save_store"),
+    "set_tracer": ("repro.api", "set_tracer"),
+    "write_trace": ("repro.api", "write_trace"),
+}
+
+__all__ = ["__version__", *sorted(_LAZY_EXPORTS)]
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy attribute loading for the public surface."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    # Cache on the module so the import machinery runs at most once per
+    # name; later accesses are plain attribute reads.
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

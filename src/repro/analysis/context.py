@@ -61,6 +61,13 @@ class AnalysisContext:
         self._store = store
         self._generation = store.generation
         self._memo: dict[Hashable, object] = {}
+        # Memo hit/miss tallies, read by the tracing layer
+        # (repro.obs.integrate.analysis_span) to annotate per-entry-point
+        # spans with how much of the work was served from cache. Plain
+        # int increments under the existing lock: no allocation pressure
+        # on the hot path, live whether or not tracing is enabled.
+        self._hits = 0
+        self._misses = 0
         # Concurrent readers (repro.serve worker threads) share one
         # context per store. A single RLock around memoization keeps the
         # dict consistent and gives each key compute-once semantics; it
@@ -105,6 +112,15 @@ class AnalysisContext:
                 "store.analysis() for a fresh context"
             )
 
+    def cache_counts(self) -> tuple[int, int]:
+        """(memo hits, memo misses) since construction.
+
+        Monotonic tallies; span instrumentation differences two
+        snapshots to attribute cache behaviour to one entry point.
+        """
+        with self._lock:
+            return self._hits, self._misses
+
     def cache_info(self) -> dict[str, int]:
         """Entry counts per cache kind (introspection for tests/benches)."""
         kinds: dict[str, int] = {}
@@ -126,11 +142,14 @@ class AnalysisContext:
         self._check_fresh()
         with self._lock:
             try:
-                return self._memo[key]  # type: ignore[return-value]
+                value = self._memo[key]  # type: ignore[return-value]
             except KeyError:
+                self._misses += 1
                 value = compute()
                 self._memo[key] = value
-                return value
+            else:
+                self._hits += 1
+            return value
 
     # -- columns (views, never copies) --------------------------------------
     def column(self, name: str) -> np.ndarray:

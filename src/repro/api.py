@@ -1,0 +1,135 @@
+"""The supported public API surface.
+
+This module is the **stable contract** external callers should import
+against — everything exported here (and lazily re-exported at the top
+level, so ``from repro import run_query`` works) is covered by the API
+snapshot test and will not change signature without a deliberate,
+documented break. Deep module paths (``repro.analysis...``,
+``repro.serve.engine...``) keep working, but only this surface is
+promised.
+
+The surface, by lifecycle stage:
+
+* **Make data** — :func:`generate_store` (synthesize a platform's
+  year), :func:`load_store` / :func:`save_store` (``.npz``
+  persistence), :class:`CharacterizationStudy` + :class:`StudyConfig`
+  (the full multi-platform study pipeline).
+* **Ask questions** — :func:`run_query` / :func:`list_queries`: every
+  user-facing query — CLI exhibit, server query, advisor, shape check —
+  resolves through the one :mod:`repro.serve.registry` table, so the
+  in-process API, ``repro analyze``/``advise``/``shapes``, and ``repro
+  serve`` can never drift apart.
+* **Watch it run** — :class:`Tracer` with :func:`set_tracer` /
+  :func:`get_tracer` and :func:`write_trace` (Chrome-trace/NDJSON
+  export): cross-layer span tracing per DESIGN.md §10.
+
+Example::
+
+    import repro
+
+    store = repro.generate_store("summit", scale=1e-3, seed=7)
+    rows = repro.run_query(store, "table3")
+    print(repro.list_queries())
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core import CharacterizationStudy, StudyConfig
+from repro.errors import ReproError, UnknownQueryError
+from repro.obs import Tracer, get_tracer, set_tracer, write_trace
+from repro.obs.integrate import analysis_span
+from repro.store.io import load_store, save_store
+from repro.store.recordstore import RecordStore
+
+__all__ = [
+    "CharacterizationStudy",
+    "RecordStore",
+    "ReproError",
+    "StudyConfig",
+    "Tracer",
+    "generate_store",
+    "get_tracer",
+    "list_queries",
+    "load_store",
+    "run_query",
+    "save_store",
+    "set_tracer",
+    "write_trace",
+]
+
+
+def generate_store(
+    platform: str,
+    *,
+    scale: float = 1e-3,
+    seed: int = 20220627,
+    jobs: int = 1,
+    shadows: bool = True,
+) -> RecordStore:
+    """Synthesize one platform's year as a :class:`RecordStore`.
+
+    Deterministic in ``seed`` and independent of ``jobs`` (the sharded
+    pipeline is byte-identical for every worker count; ``0`` uses all
+    cores). ``shadows`` appends the POSIX shadow rows for MPI-IO files
+    (§3.1 accounting) — the representation every analysis and the study
+    pipeline expect; pass ``False`` only to study the raw interface
+    rows.
+    """
+    from repro.workloads.generator import (
+        GeneratorConfig,
+        WorkloadGenerator,
+        generate_with_shadows,
+    )
+
+    generator = WorkloadGenerator(platform, GeneratorConfig(scale=scale))
+    if shadows:
+        return generate_with_shadows(generator, seed, jobs=jobs)
+    return generator.generate(seed, jobs=jobs)
+
+
+def run_query(
+    store: RecordStore,
+    name: str,
+    params: Mapping | None = None,
+) -> object:
+    """Run one named query over a store, through the shared registry.
+
+    The in-process twin of ``repro analyze``/``repro query``: the name
+    resolves through the same :class:`~repro.serve.registry.QuerySpec`
+    table the server and CLI dispatch on, parameters are validated
+    against the spec, and the analysis runs against the store's shared
+    :class:`~repro.analysis.context.AnalysisContext` — so the result is
+    object-identical to what a :class:`~repro.serve.engine.QueryEngine`
+    would compute for the same request.
+
+    Returns the query's native result object (rows via ``to_rows()``
+    for tables, advisor dataclasses, ShapeCheck lists); raises
+    :class:`~repro.errors.UnknownQueryError` for unknown names and
+    :class:`~repro.errors.ServeError` for bad parameters.
+    """
+    from repro.serve.registry import default_registry, validate_params
+
+    registry = default_registry()
+    spec = registry.get(name)
+    if spec is None:
+        raise UnknownQueryError(
+            f"unknown query {name!r}; available: {', '.join(sorted(registry))}"
+        )
+    params = validate_params(spec, params)
+    context = store.analysis()
+    with analysis_span(name, context):
+        return spec.run(store, context, params)
+
+
+def list_queries() -> list[str]:
+    """Every name :func:`run_query` accepts, sorted.
+
+    The same names ``repro analyze --list`` prints and ``repro serve``
+    answers (the server adds its two engine-level meta queries,
+    ``stats`` and ``queries``, on top).
+    """
+    from repro.serve.registry import default_registry
+
+    return sorted(default_registry())

@@ -16,12 +16,14 @@
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 
 import numpy as np
 
 from repro.analysis.report import render_results, render_table
+from repro.api import run_query
 from repro.core import CharacterizationStudy, StudyConfig
 from repro.platforms import get_platform
 from repro.platforms.interfaces import IOInterface
@@ -52,14 +54,24 @@ def _build_parser() -> argparse.ArgumentParser:
                  "(1 = serial, 0 = all cores; output is identical)",
         )
 
+    def traceable(p):
+        p.add_argument(
+            "--trace", default=None, metavar="PATH", dest="trace",
+            help="write a span trace of this run (Chrome-trace JSON; "
+                 "a .ndjson/.jsonl suffix selects NDJSON)",
+        )
+
     p_study = sub.add_parser("study", help="run every analysis, print the report")
     common(p_study)
+    traceable(p_study)
 
     p_shapes = sub.add_parser("shapes", help="run the paper-shape checks")
     common(p_shapes)
+    traceable(p_shapes)
 
     p_gen = sub.add_parser("generate", help="generate a store to .npz")
     common(p_gen)
+    traceable(p_gen)
     p_gen.add_argument("--out", required=True, help="output .npz path")
 
     p_an = sub.add_parser("analyze", help="run one exhibit over a saved store")
@@ -73,6 +85,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true",
         help="list every query name the analyze CLI and 'repro serve' share",
     )
+    traceable(p_an)
 
     p_srv = sub.add_parser(
         "serve", help="serve analysis queries over a loaded store (NDJSON/TCP)"
@@ -96,6 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=None,
         help="default per-request deadline in seconds",
     )
+    traceable(p_srv)
 
     p_q = sub.add_parser("query", help="query a running 'repro serve'")
     p_q.add_argument("name", help="query name (see 'repro analyze --list')")
@@ -154,7 +168,9 @@ def _cmd_shapes(args) -> int:
         StudyConfig(seed=args.seed, scale=args.scale,
                     platforms=(args.platform,), jobs=args.jobs)
     )
-    checks = study.shape_checks(args.platform)
+    # Through the shared registry: the CLI's shape run is the same query
+    # `repro serve` answers as "shapes".
+    checks = run_query(study.store(args.platform), "shapes")
     for c in checks:
         print(c)
     failed = sum(not c.passed for c in checks)
@@ -186,10 +202,8 @@ def _cmd_analyze(args) -> int:
               file=sys.stderr)
         return 2
     store = load_store(args.store)
-    # All report paths share the store's analysis context, so rendering
-    # several exhibits against one store scans the common axes once.
     spec = registry[args.exhibit]
-    result = spec.run(store, store.analysis(), {})
+    result = run_query(store, args.exhibit)
     print(render_results(spec.title, spec.headers, result))
     return 0
 
@@ -249,12 +263,12 @@ def _cmd_query(args) -> int:
 
 
 def _cmd_advise(args) -> int:
-    from repro.optimize import assess_staging, find_aggregation_opportunities
-
+    # Both advisors resolve through the shared QuerySpec registry — the
+    # CLI runs the identical query a `repro serve` client would name
+    # "advise_staging" / "advise_aggregation".
     store = load_store(args.store)
-    machine = get_platform(store.platform)
     if args.advisor == "staging":
-        a = assess_staging(store, machine)
+        a = run_query(store, "advise_staging")
         print(
             f"stageable PFS files: {100 * a.stageable_file_fraction:.1f}% "
             f"({format_size(a.stageable_bytes)})"
@@ -265,7 +279,7 @@ def _cmd_advise(args) -> int:
             f"movement {a.movement_seconds:,.0f}s; worthwhile: {a.worthwhile}"
         )
     else:
-        for o in find_aggregation_opportunities(store, machine)[:10]:
+        for o in run_query(store, "advise_aggregation", {"top": 10}):
             print(
                 f"{o.layer:9s} {o.interface:6s} {o.direction:5s}: "
                 f"{o.nfiles:8d} files, mean request "
@@ -319,6 +333,37 @@ def _cmd_ior(args) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _maybe_trace(path: str | None, command: str):
+    """Install a Tracer for one CLI run and write it out at exit.
+
+    Yields a span context wrapping the whole handler (``cli.<command>``)
+    so every layer's spans — generation shards, ingest, analysis entry
+    points, serve requests — nest under one root. The trace is written
+    even when the handler raises: a trace of the failing run is exactly
+    what you want on the floor.
+    """
+    if path is None:
+        yield
+        return
+    from repro.obs import Tracer, set_tracer, trace_span, write_trace
+
+    tracer = Tracer()
+    previous = set_tracer(tracer)
+    try:
+        with trace_span(f"cli.{command}", "cli"):
+            yield
+    finally:
+        set_tracer(previous)
+        write_trace(path, tracer)
+        store = tracer.store
+        print(
+            f"trace: {len(store)} spans -> {path}"
+            + (f" ({store.dropped} dropped)" if store.dropped else ""),
+            file=sys.stderr,
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -332,7 +377,8 @@ def main(argv: list[str] | None = None) -> int:
         "replay": _cmd_replay,
         "ior": _cmd_ior,
     }
-    return handlers[args.command](args)
+    with _maybe_trace(getattr(args, "trace", None), args.command):
+        return handlers[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

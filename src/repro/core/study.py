@@ -20,6 +20,7 @@ from repro.analysis import (
 )
 from repro.analysis.report import HEADERS, render_results
 from repro.core.config import StudyConfig
+from repro.obs.integrate import analysis_span
 from repro.store.recordstore import RecordStore
 from repro.workloads.generator import (
     GeneratorConfig,
@@ -59,20 +60,28 @@ def compute_results(store: RecordStore, *, context=None) -> StudyResults:
     """
     ctx = context if context is not None else store.analysis()
     results = StudyResults(platform=store.platform)
-    results.table2 = dataset_summary(store, context=ctx)
-    results.table3 = layer_volumes(store, context=ctx)
-    results.table4 = large_files(store, context=ctx)
-    results.table5 = layer_exclusivity(store, context=ctx)
-    results.table6 = interface_usage(store, context=ctx)
-    results.fig3 = transfer_cdfs(store, context=ctx)
-    results.fig4 = request_cdfs(store, context=ctx)
-    results.fig5 = request_cdfs(store, large_jobs_only=True, context=ctx)
-    results.fig6 = file_classification(store, context=ctx)
-    results.fig7 = insystem_domain_usage(store, context=ctx)
-    results.fig8 = file_classification(store, stdio_only=True, context=ctx)
-    results.fig9 = interface_transfer_cdfs(store, context=ctx)
-    results.fig10 = stdio_domain_usage(store, context=ctx)
-    results.fig11_12 = performance_by_bin(store, context=ctx)
+    # Each entry point runs inside an analysis span annotated with the
+    # shared context's memo hit/miss deltas, so a trace of a study shows
+    # which exhibit paid for which masks and which rode the cache.
+    plan = (
+        ("table2", dataset_summary, {}),
+        ("table3", layer_volumes, {}),
+        ("table4", large_files, {}),
+        ("table5", layer_exclusivity, {}),
+        ("table6", interface_usage, {}),
+        ("fig3", transfer_cdfs, {}),
+        ("fig4", request_cdfs, {}),
+        ("fig5", request_cdfs, {"large_jobs_only": True}),
+        ("fig6", file_classification, {}),
+        ("fig7", insystem_domain_usage, {}),
+        ("fig8", file_classification, {"stdio_only": True}),
+        ("fig9", interface_transfer_cdfs, {}),
+        ("fig10", stdio_domain_usage, {}),
+        ("fig11_12", performance_by_bin, {}),
+    )
+    for name, entry_point, kwargs in plan:
+        with analysis_span(name, ctx):
+            setattr(results, name, entry_point(store, context=ctx, **kwargs))
     return results
 
 

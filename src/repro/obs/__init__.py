@@ -1,0 +1,56 @@
+"""Cross-layer span tracing for the whole pipeline (DESIGN.md §10).
+
+The paper's contribution is observability of a multi-layer I/O stack;
+this package gives the reproduction's own stack (generate → ingest →
+analyze → serve → replay) the same property: every layer carries
+permanent instrumentation points that are free when tracing is off and
+feed one bounded span store when it is on.
+
+Quickstart::
+
+    from repro.obs import Tracer, set_tracer, write_trace
+
+    tracer = Tracer()
+    set_tracer(tracer)
+    ...  # run any pipeline: generate, analyses, a QueryEngine, ...
+    set_tracer(None)
+    write_trace("trace.json", tracer)   # open in ui.perfetto.dev
+
+or, from the CLI, ``repro study --trace trace.json``.
+
+Modules: :mod:`~repro.obs.clock` (the one clock source),
+:mod:`~repro.obs.tracer` (thread-local span stacks, context-manager /
+decorator API), :mod:`~repro.obs.spans` (bounded ring-buffer store),
+:mod:`~repro.obs.export` (Chrome-trace / NDJSON), and
+:mod:`~repro.obs.integrate` (layer glue + naming conventions).
+"""
+
+from repro.obs.clock import perf_ns
+from repro.obs.export import to_chrome, write_chrome, write_ndjson, write_trace
+from repro.obs.integrate import analysis_span
+from repro.obs.spans import SpanRecord, SpanStore
+from repro.obs.tracer import (
+    Tracer,
+    get_tracer,
+    set_tracer,
+    trace_event,
+    trace_span,
+    traced,
+)
+
+__all__ = [
+    "SpanRecord",
+    "SpanStore",
+    "Tracer",
+    "analysis_span",
+    "get_tracer",
+    "perf_ns",
+    "set_tracer",
+    "to_chrome",
+    "trace_event",
+    "trace_span",
+    "traced",
+    "write_chrome",
+    "write_ndjson",
+    "write_trace",
+]

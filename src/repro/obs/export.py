@@ -1,0 +1,139 @@
+"""Trace export: Chrome-trace (Perfetto-loadable) JSON and NDJSON.
+
+Two forms, per the "emit standard formats so existing viewers work"
+lesson of the parallel-I/O tooling literature:
+
+* **Chrome trace** (``to_chrome`` / ``write_chrome``) — the JSON object
+  form (``{"traceEvents": [...]}``) that ``chrome://tracing`` and
+  https://ui.perfetto.dev open directly. Spans become complete events
+  (``"ph": "X"``, microsecond ``ts``/``dur``), instant events become
+  ``"ph": "i"``; process/thread metadata events name the tracks.
+* **NDJSON** (``write_ndjson``) — one span per line in the tracer's own
+  flat schema, for ``grep``/``jq``-style post-processing and for
+  streaming appends where a single JSON document is awkward.
+
+:func:`write_trace` picks by file suffix (``.ndjson``/``.jsonl`` →
+NDJSON, anything else → Chrome trace): the one entry point the CLI's
+``--trace`` flag needs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+
+from repro.obs.spans import PHASE_SPAN, SpanRecord
+from repro.obs.tracer import Tracer
+
+
+def _jsonable(value):
+    """JSON-safe attribute values (numpy scalars, non-finite floats)."""
+    if isinstance(value, np.generic):
+        value = value.item()
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    if isinstance(value, (str, int, float, bool, type(None))):
+        return value
+    return str(value)
+
+
+def _args_dict(record: SpanRecord) -> dict:
+    if not record.args:
+        return {}
+    return {str(k): _jsonable(v) for k, v in record.args.items()}
+
+
+def _sorted_records(records) -> list[SpanRecord]:
+    # Finish order (ring insertion) puts children before parents; sort
+    # into document order so viewers and diffs see a stable timeline.
+    return sorted(records, key=lambda r: (r.tid, r.start_ns, -r.dur_ns))
+
+
+def chrome_events(tracer: Tracer, *, pid: int = 0) -> list[dict]:
+    """The tracer's spans as Chrome-trace event dicts."""
+    events: list[dict] = [
+        {
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": tracer.process},
+        }
+    ]
+    for tid, name in sorted(tracer.thread_names.items()):
+        events.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    for rec in _sorted_records(tracer.records()):
+        event = {
+            "name": rec.name,
+            "cat": rec.cat or "repro",
+            "ph": rec.phase,
+            "ts": rec.start_ns / 1e3,  # Chrome trace wants microseconds
+            "pid": pid,
+            "tid": rec.tid,
+            "args": _args_dict(rec),
+        }
+        if rec.phase == PHASE_SPAN:
+            event["dur"] = rec.dur_ns / 1e3
+        else:
+            event["s"] = "t"  # instant event scoped to its thread
+        events.append(event)
+    return events
+
+
+def to_chrome(tracer: Tracer, *, pid: int = 0) -> dict:
+    """The full Chrome-trace JSON object (``traceEvents`` form)."""
+    return {
+        "traceEvents": chrome_events(tracer, pid=pid),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "producer": "repro.obs",
+            "spans": len(tracer.store),
+            "dropped": tracer.store.dropped,
+        },
+    }
+
+
+def write_chrome(path: str, tracer: Tracer) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome(tracer), fh, ensure_ascii=True)
+        fh.write("\n")
+
+
+def ndjson_lines(tracer: Tracer):
+    """One compact JSON object per span, document order."""
+    names = tracer.thread_names
+    for rec in _sorted_records(tracer.records()):
+        yield json.dumps(
+            {
+                "name": rec.name,
+                "cat": rec.cat,
+                "phase": rec.phase,
+                "thread": names.get(rec.tid, str(rec.tid)),
+                "tid": rec.tid,
+                "depth": rec.depth,
+                "start_ns": rec.start_ns,
+                "dur_ns": rec.dur_ns,
+                "args": _args_dict(rec),
+            },
+            ensure_ascii=True,
+            sort_keys=True,
+        )
+
+
+def write_ndjson(path: str, tracer: Tracer) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in ndjson_lines(tracer):
+            fh.write(line + "\n")
+
+
+def write_trace(path: str, tracer: Tracer) -> None:
+    """Write a trace, format chosen by suffix (the CLI ``--trace`` sink)."""
+    lowered = str(path).lower()
+    if lowered.endswith((".ndjson", ".jsonl")):
+        write_ndjson(path, tracer)
+    else:
+        write_chrome(path, tracer)

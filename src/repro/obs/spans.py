@@ -1,0 +1,136 @@
+"""Span records and the bounded ring-buffer span store.
+
+A :class:`SpanRecord` is deliberately dumb data — plain slots, picklable
+— because records cross process boundaries: sharded pipeline workers
+trace into their own store and ship the records back to the parent
+inside the shard result payload (:mod:`repro.parallel`).
+
+The :class:`SpanStore` bounds tracing memory the same way the serving
+layer's latency reservoirs bound theirs: a fixed-capacity ring where the
+newest spans win. A runaway instrumentation point can therefore never
+grow a trace without bound — it evicts the oldest spans and counts the
+loss in :attr:`SpanStore.dropped` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Complete span (has a duration) — Chrome trace phase "X".
+PHASE_SPAN = "X"
+#: Instant event (a point in time) — Chrome trace phase "i".
+PHASE_EVENT = "i"
+
+#: Default ring capacity: ~66k spans at ~100 bytes apiece keeps even an
+#: aggressively traced facility-scale run under ~10 MB of span state.
+DEFAULT_CAPACITY = 65_536
+
+
+class SpanRecord:
+    """One finished span or instant event.
+
+    ``start_ns`` is wall-anchored monotonic time (see
+    :mod:`repro.obs.clock`), ``dur_ns`` a pure monotonic delta (0 for
+    events). ``tid`` is a tracer-local small integer; ``depth`` the
+    span-stack depth at open time, which makes parent/child nesting
+    checkable without re-deriving containment from timestamps.
+    """
+
+    __slots__ = ("name", "cat", "tid", "start_ns", "dur_ns", "depth",
+                 "phase", "args")
+
+    def __init__(self, name, cat, tid, start_ns, dur_ns, depth,
+                 phase=PHASE_SPAN, args=None):
+        self.name = name
+        self.cat = cat
+        self.tid = tid
+        self.start_ns = start_ns
+        self.dur_ns = dur_ns
+        self.depth = depth
+        self.phase = phase
+        self.args = args
+
+    # __slots__ classes pickle their state through these two hooks; the
+    # tuple form doubles as the compact wire form workers ship back.
+    def __getstate__(self):
+        return (self.name, self.cat, self.tid, self.start_ns, self.dur_ns,
+                self.depth, self.phase, self.args)
+
+    def __setstate__(self, state):
+        (self.name, self.cat, self.tid, self.start_ns, self.dur_ns,
+         self.depth, self.phase, self.args) = state
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.dur_ns
+
+    def __repr__(self) -> str:
+        kind = "span" if self.phase == PHASE_SPAN else "event"
+        return (
+            f"SpanRecord({self.name!r}, {kind}, tid={self.tid}, "
+            f"depth={self.depth}, dur={self.dur_ns / 1e6:.3f}ms)"
+        )
+
+
+class SpanStore:
+    """Fixed-capacity, thread-safe ring buffer of finished spans.
+
+    ``records()`` returns spans in insertion order (oldest surviving
+    first). Insertion order is *finish* order, so children precede their
+    parents — exporters and tests sort by ``(tid, start_ns)`` when they
+    need document order.
+    """
+
+    __slots__ = ("_buf", "_capacity", "_lock", "_total")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._buf: list[SpanRecord] = []
+        self._total = 0
+        self._lock = threading.Lock()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def total(self) -> int:
+        """Spans ever added (including any the ring has evicted)."""
+        return self._total
+
+    @property
+    def dropped(self) -> int:
+        """Spans evicted by the capacity bound."""
+        return max(0, self._total - self._capacity)
+
+    def __len__(self) -> int:
+        return min(self._total, self._capacity)
+
+    def add(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._buf) < self._capacity:
+                self._buf.append(record)
+            else:
+                self._buf[self._total % self._capacity] = record
+            self._total += 1
+
+    def records(self) -> list[SpanRecord]:
+        """Snapshot of surviving spans, oldest first."""
+        with self._lock:
+            if self._total <= self._capacity:
+                return list(self._buf)
+            pos = self._total % self._capacity
+            return self._buf[pos:] + self._buf[:pos]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buf.clear()
+            self._total = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanStore({len(self)}/{self._capacity} spans, "
+            f"{self.dropped} dropped)"
+        )

@@ -15,6 +15,13 @@ invariants this module helps enforce:
 Worker failures are wrapped in :class:`repro.errors.ShardError` carrying
 the failing shard's id; one bad shard fails the whole run loudly rather
 than silently dropping a slice of the year.
+
+When tracing is active (:mod:`repro.obs`), each pool worker runs its
+shard under a fresh tracer and ships the finished span records back
+inside the result tuple; the parent splices them into its own tracer
+(one export track per shard), so a sharded run still yields one
+coherent trace. The inline (``jobs <= 1``) path needs none of that —
+the parent's tracer is already active where the work runs.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ import traceback
 from typing import Callable, Sequence, TypeVar
 
 from repro.errors import ConfigurationError, ShardError
+from repro.obs.integrate import adopt_worker_records, capture_worker
+from repro.obs.tracer import get_tracer, trace_span
 
 T = TypeVar("T")
 
@@ -86,10 +95,19 @@ def contiguous_shards(costs: Sequence[float], nshards: int) -> list[slice]:
 
 
 def _invoke(args: tuple) -> tuple:
-    """Pool entry point: run one shard, never raise across the pipe."""
-    fn, shard_id, payload = args
+    """Pool entry point: run one shard, never raise across the pipe.
+
+    ``capture`` asks the worker to trace the shard under a fresh tracer
+    and return the span records alongside the value (``None`` when
+    tracing is off or the shard ran inline under the parent's tracer).
+    """
+    fn, shard_id, payload, capture = args
     try:
-        return ("ok", shard_id, fn(payload))
+        if capture:
+            value, records = capture_worker(fn, payload)
+        else:
+            value, records = fn(payload), None
+        return ("ok", shard_id, value, records)
     except Exception as exc:  # noqa: BLE001 - reported via ShardError
         return (
             "err",
@@ -113,13 +131,20 @@ def run_sharded(
     and parallel code paths are literally the same function applications.
     """
     njobs = resolve_jobs(jobs)
-    tasks = [(fn, i, p) for i, p in enumerate(payloads)]
-    if njobs <= 1 or len(tasks) <= 1:
+    inline = njobs <= 1 or len(payloads) <= 1
+    # Workers trace into their own stores and ship records back; inline
+    # shards run under the parent's already-active tracer directly.
+    capture = not inline and get_tracer() is not None
+    tasks = [(fn, i, p, capture) for i, p in enumerate(payloads)]
+    if inline:
         results = [_invoke(t) for t in tasks]
     else:
-        ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=min(njobs, len(tasks))) as pool:
-            results = pool.map(_invoke, tasks)
+        with trace_span("parallel.run", "parallel") as sp:
+            if sp is not None:
+                sp.add(jobs=njobs, shards=len(tasks))
+            ctx = multiprocessing.get_context()
+            with ctx.Pool(processes=min(njobs, len(tasks))) as pool:
+                results = pool.map(_invoke, tasks)
     out: list[T] = [None] * len(tasks)  # type: ignore[list-item]
     for res in results:
         if res[0] == "err":
@@ -127,6 +152,8 @@ def run_sharded(
             err = ShardError(shard_id, message)
             err.worker_traceback = tb
             raise err
-        _, shard_id, value = res
+        _, shard_id, value, records = res
+        if records:
+            adopt_worker_records(records, shard_id)
         out[shard_id] = value
     return out

@@ -26,13 +26,15 @@ the cache for the retry.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from threading import BoundedSemaphore, Lock
 from typing import Mapping
 
 from repro.errors import QueryTimeoutError, ServiceOverloadError, UnknownQueryError
+from repro.obs.clock import perf_ns
+from repro.obs.integrate import analysis_span
+from repro.obs.tracer import trace_event, trace_span
 from repro.serve.cache import ResultCache
 from repro.serve.coalesce import InFlightTable
 from repro.serve.metrics import Metrics
@@ -140,6 +142,7 @@ class QueryEngine:
         hit, value = self.cache.get(key)
         if hit:
             metrics.counter("cache_hits").inc()
+            trace_event("serve.cache_hit", "serve", query=name)
             future = Future()
             future.set_result(value)
             return future
@@ -148,6 +151,7 @@ class QueryEngine:
         leader, future = self._inflight.join(key)
         if not leader:
             metrics.counter("coalesced").inc()
+            trace_event("serve.coalesced", "serve", query=name)
             return future
         return self._admit(spec, params, key=key, future=future)
 
@@ -166,6 +170,7 @@ class QueryEngine:
             if key is not None:
                 self._inflight.finish(key)
             self.metrics.counter("rejected").inc()
+            trace_event("serve.shed", "serve", query=spec.name)
             future.set_exception(
                 ServiceOverloadError(
                     f"query {spec.name!r} shed: {self.max_workers} workers "
@@ -179,19 +184,29 @@ class QueryEngine:
     def _run(self, spec: QuerySpec, params: dict, key, future: Future) -> None:
         """Worker-thread body: execute, record, cache, resolve."""
         metrics = self.metrics
-        started = time.perf_counter()
+        started = perf_ns()
         try:
-            result = spec.run(self.store, self._context(), params)
+            with trace_span("serve.execute", "serve") as sp:
+                if sp is not None:
+                    sp.add(query=spec.name)
+                context = self._context()
+                # The same per-entry-point span (with cache hit/miss
+                # attributes) a study trace gets, so server-driven and
+                # CLI-driven runs of one analysis look alike in a trace.
+                with analysis_span(spec.name, context):
+                    result = spec.run(self.store, context, params)
         except BaseException as exc:
             metrics.counter("errors").inc()
             if key is not None:
                 self._inflight.finish(key)
             future.set_exception(exc)
         else:
-            elapsed = time.perf_counter() - started
+            # One clock for both observability sinks: the histogram
+            # sample is the same perf_ns delta a span would carry.
+            elapsed_ns = perf_ns() - started
             metrics.counter("executions").inc()
-            metrics.timer("query").record(elapsed)
-            metrics.timer(f"query.{spec.name}").record(elapsed)
+            metrics.timer("query").record_ns(elapsed_ns)
+            metrics.timer(f"query.{spec.name}").record_ns(elapsed_ns)
             if key is not None:
                 # Cache before un-tracking: a request arriving in the
                 # gap must see one of the two (see InFlightTable.finish).
@@ -216,6 +231,7 @@ class QueryEngine:
             return future.result(timeout)
         except FutureTimeoutError:
             self.metrics.counter("timeouts").inc()
+            trace_event("serve.timeout", "serve", query=name)
             raise QueryTimeoutError(
                 f"query {name!r} missed its {timeout:g}s deadline "
                 "(the computation continues and will populate the cache)"

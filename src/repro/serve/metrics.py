@@ -8,11 +8,20 @@ allocation-light: a counter is one int under a lock, a histogram is a
 fixed-size reservoir ring buffer (newest ``window`` samples win), so
 recording stays O(1) on the request path and percentile sorting is paid
 only at snapshot time.
+
+Timing comes from the one shared clock (:mod:`repro.obs.clock`, i.e.
+``time.perf_counter_ns``): the request path measures integer-nanosecond
+deltas and feeds them to :meth:`LatencyHistogram.record_ns`, so latency
+reservoirs and the span ring buffer are directly comparable — a span's
+``dur_ns`` and the histogram sample for the same request are the same
+number.
 """
 
 from __future__ import annotations
 
 import threading
+
+from repro.obs.clock import ns_to_s
 
 
 class Counter:
@@ -53,6 +62,10 @@ class LatencyHistogram:
         self._total = 0.0
         self._max = 0.0
         self._lock = threading.Lock()
+
+    def record_ns(self, ns: int) -> None:
+        """Record one sample measured as a ``perf_ns`` delta."""
+        self.record(ns_to_s(ns))
 
     def record(self, seconds: float) -> None:
         with self._lock:

@@ -24,9 +24,10 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-import time
 
 from repro.errors import QueryTimeoutError, ReproError, ServeError
+from repro.obs.clock import perf_ns
+from repro.obs.tracer import get_tracer
 from repro.serve.engine import QueryEngine
 
 #: Default TCP port: 0x1e6a, "I/O" spelled just badly enough.
@@ -38,6 +39,11 @@ MAX_LINE_BYTES = 1 << 20
 
 def _error_payload(exc: BaseException) -> dict:
     return {"type": type(exc).__name__, "message": str(exc)}
+
+
+def _elapsed_ms(started_ns: int) -> float:
+    """Milliseconds since a ``perf_ns`` reading (the shared clock)."""
+    return round((perf_ns() - started_ns) / 1e6, 3)
 
 
 class AnalysisServer:
@@ -113,8 +119,9 @@ class AnalysisServer:
                 pass
 
     async def _handle_request(self, line: bytes, writer, write_lock) -> None:
-        started = time.perf_counter()
+        started_ns = perf_ns()
         request_id = None
+        query_name = None
         try:
             try:
                 request = json.loads(line)
@@ -126,6 +133,7 @@ class AnalysisServer:
             name = request.get("query")
             if not isinstance(name, str):
                 raise ServeError('request needs a string "query" field')
+            query_name = name
             params = request.get("params") or {}
             if not isinstance(params, dict):
                 raise ServeError('"params" must be a JSON object')
@@ -143,14 +151,14 @@ class AnalysisServer:
             payload = {
                 "id": request_id,
                 "ok": True,
-                "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
+                "elapsed_ms": _elapsed_ms(started_ns),
                 "result": self.engine.serialize(name, result),
             }
         except ReproError as exc:
             payload = {
                 "id": request_id,
                 "ok": False,
-                "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
+                "elapsed_ms": _elapsed_ms(started_ns),
                 "error": _error_payload(exc),
             }
         except Exception as exc:
@@ -161,12 +169,21 @@ class AnalysisServer:
             payload = {
                 "id": request_id,
                 "ok": False,
-                "elapsed_ms": round((time.perf_counter() - started) * 1e3, 3),
+                "elapsed_ms": _elapsed_ms(started_ns),
                 "error": {
                     "type": "InternalError",
                     "message": f"{type(exc).__name__}: {exc}",
                 },
             }
+        tracer = get_tracer()
+        if tracer is not None:
+            # Recorded after the fact (not a stack span): the coroutine
+            # interleaves with other requests on the loop thread, so
+            # stack-discipline nesting would lie about parentage.
+            tracer.record(
+                "serve.request", "serve", started_ns, perf_ns() - started_ns,
+                query=query_name, ok=payload["ok"],
+            )
         await self._send(writer, write_lock, payload)
 
     async def _send(self, writer, write_lock, payload: dict) -> None:

@@ -32,6 +32,7 @@ import numpy as np
 from repro.darshan.constants import ModuleId
 from repro.darshan.log import DarshanLog
 from repro.errors import LogFormatError
+from repro.obs.tracer import trace_span
 from repro.platforms.machine import MountTable
 from repro.store.recordstore import RecordStore
 from repro.store.schema import LAYER_CODES, LAYER_OTHER, empty_files, empty_jobs
@@ -66,6 +67,21 @@ def ingest_logs(
     a domain outside the catalog get code −1 (like Cori's jobs without
     NEWT project info, §3.3.2).
     """
+    with trace_span("ingest.logs", "ingest") as sp:
+        store = _ingest_logs(logs, platform, mounts, domains=domains, scale=scale)
+        if sp is not None:
+            sp.add(platform=platform, rows=len(store.files), jobs=len(store.jobs))
+        return store
+
+
+def _ingest_logs(
+    logs: Iterable[DarshanLog],
+    platform: str,
+    mounts: MountTable,
+    *,
+    domains: Sequence[str] = (),
+    scale: float = 1.0,
+) -> RecordStore:
     domains = tuple(domains)
     domain_code = {d: i for i, d in enumerate(domains)}
 
@@ -163,10 +179,13 @@ def _read_one(path: str) -> DarshanLog:
 def _ingest_shard(payload) -> RecordStore:
     """Pool worker: ingest one contiguous shard of log paths."""
     paths, platform, mounts, domains, scale = payload
-    return ingest_logs(
-        (_read_one(p) for p in paths), platform, mounts,
-        domains=domains, scale=scale,
-    )
+    with trace_span("ingest.shard", "ingest") as sp:
+        if sp is not None:
+            sp.add(paths=len(paths))
+        return ingest_logs(
+            (_read_one(p) for p in paths), platform, mounts,
+            domains=domains, scale=scale,
+        )
 
 
 def ingest_log_paths(
@@ -198,18 +217,23 @@ def ingest_log_paths(
 
     paths = [os.fspath(p) for p in paths]
     njobs = resolve_jobs(jobs)
-    if njobs <= 1 or len(paths) <= 1:
-        return ingest_logs(
-            (_read_one(p) for p in paths), platform, mounts,
-            domains=domains, scale=scale,
-        )
-    costs = [max(os.path.getsize(p), 1) if os.path.exists(p) else 1 for p in paths]
-    slices = contiguous_shards(costs, njobs * SHARDS_PER_WORKER)
-    payloads = [
-        (paths[sl], platform, mounts, tuple(domains), scale) for sl in slices
-    ]
-    shards = run_sharded(_ingest_shard, payloads, jobs=njobs)
-    return merge_stores(shards, remap_log_ids=True, nlogs_rule="sum")
+    with trace_span("ingest.paths", "ingest") as sp:
+        if sp is not None:
+            sp.add(paths=len(paths), jobs=njobs)
+        if njobs <= 1 or len(paths) <= 1:
+            return ingest_logs(
+                (_read_one(p) for p in paths), platform, mounts,
+                domains=domains, scale=scale,
+            )
+        costs = [
+            max(os.path.getsize(p), 1) if os.path.exists(p) else 1 for p in paths
+        ]
+        slices = contiguous_shards(costs, njobs * SHARDS_PER_WORKER)
+        payloads = [
+            (paths[sl], platform, mounts, tuple(domains), scale) for sl in slices
+        ]
+        shards = run_sharded(_ingest_shard, payloads, jobs=njobs)
+        return merge_stores(shards, remap_log_ids=True, nlogs_rule="sum")
 
 
 def _op_count(rec, direction: str) -> int:

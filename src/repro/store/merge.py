@@ -35,6 +35,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import StoreError
+from repro.obs.tracer import trace_span
 from repro.store.recordstore import RecordStore
 
 #: Job columns that must be identical across duplicate job rows.
@@ -123,6 +124,24 @@ def merge_stores(
     stores = list(stores)
     if not stores:
         raise StoreError("cannot merge zero stores")
+    with trace_span("store.merge", "store") as sp:
+        if sp is not None:
+            sp.add(shards=len(stores), rows=sum(len(s.files) for s in stores))
+        return _merge_stores(
+            stores,
+            remap_log_ids=remap_log_ids,
+            remap_job_ids=remap_job_ids,
+            nlogs_rule=nlogs_rule,
+        )
+
+
+def _merge_stores(
+    stores: list[RecordStore],
+    *,
+    remap_log_ids: bool,
+    remap_job_ids: bool,
+    nlogs_rule: str,
+) -> RecordStore:
     if nlogs_rule not in ("max", "sum"):
         raise StoreError(f"nlogs_rule must be 'max' or 'sum', got {nlogs_rule!r}")
     first = stores[0]

@@ -22,6 +22,7 @@ import numpy as np
 from repro.darshan.bins import ACCESS_SIZE_BINS
 from repro.errors import ConfigurationError
 from repro.iosim.perfmodel import PerfModel, TransferSpec
+from repro.obs.tracer import trace_span
 from repro.platforms import get_platform
 from repro.platforms.interfaces import IOInterface
 from repro.platforms.machine import Machine
@@ -208,17 +209,20 @@ class WorkloadGenerator:
         hub = seed_or_hub if isinstance(seed_or_hub, RngHub) else RngHub(seed_or_hub)
         hub = hub.child(f"workload.{self.platform}")
 
-        batches = self._sample_jobs(hub)
-        units = self._plan_units(batches)
-        njobs = resolve_jobs(jobs)
-        if njobs <= 1 or len(units) <= 1:
-            return self._generate_shard_store(hub, batches, units)
-        slices = contiguous_shards(
-            [u.cost for u in units], njobs * SHARDS_PER_WORKER
-        )
-        payloads = [(self, hub, units[sl]) for sl in slices]
-        shards = run_sharded(_generate_shard, payloads, jobs=njobs)
-        return merge_stores(shards, nlogs_rule="max")
+        with trace_span("workloads.generate", "workloads") as sp:
+            batches = self._sample_jobs(hub)
+            units = self._plan_units(batches)
+            njobs = resolve_jobs(jobs)
+            if sp is not None:
+                sp.add(platform=self.platform, jobs=njobs, units=len(units))
+            if njobs <= 1 or len(units) <= 1:
+                return self._generate_shard_store(hub, batches, units)
+            slices = contiguous_shards(
+                [u.cost for u in units], njobs * SHARDS_PER_WORKER
+            )
+            payloads = [(self, hub, units[sl]) for sl in slices]
+            shards = run_sharded(_generate_shard, payloads, jobs=njobs)
+            return merge_stores(shards, nlogs_rule="max")
 
     def _plan_units(self, batches: list[_JobBatch | None]) -> list[_FileUnit]:
         """The deterministic unit list: every (archetype, group, block)."""
@@ -266,12 +270,15 @@ class WorkloadGenerator:
         rows and ORs the shard-local ``used_bb`` flags. With the full unit
         list this *is* the serial generate path.
         """
-        file_tables = []
-        for unit in units:
-            table = self._generate_unit(unit, batches, hub)
-            if table is not None and len(table):
-                file_tables.append(table)
-        files = np.concatenate(file_tables) if file_tables else empty_files(0)
+        with trace_span("workloads.assemble", "workloads") as sp:
+            file_tables = []
+            for unit in units:
+                table = self._generate_unit(unit, batches, hub)
+                if table is not None and len(table):
+                    file_tables.append(table)
+            files = np.concatenate(file_tables) if file_tables else empty_files(0)
+            if sp is not None:
+                sp.add(units=len(units), rows=len(files))
         insystem = files["job_id"][files["layer"] == LAYER_CODES["insystem"]]
         used_bb = {int(j): True for j in np.unique(insystem)}
         jobs = self._job_table(batches, used_bb)
@@ -288,6 +295,10 @@ class WorkloadGenerator:
     # ------------------------------------------------------------------
     def _sample_jobs(self, hub: RngHub) -> list[_JobBatch | None]:
         """Sample job-level attributes, grouped by archetype."""
+        with trace_span("workloads.sample_jobs", "workloads"):
+            return self._sample_jobs_inner(hub)
+
+    def _sample_jobs_inner(self, hub: RngHub) -> list[_JobBatch | None]:
         rng = hub.generator("jobs")
         target = self.config.target_jobs or TARGET_JOBS[self.platform]
         njobs = max(1, round(target * self.config.scale))
@@ -634,8 +645,14 @@ def _generate_shard(payload) -> RecordStore:
     """Pool worker: regenerate the (cheap, global) job plan, then the
     shard's file units. Module-level so it pickles under any start method."""
     generator, hub, units = payload
-    batches = generator._sample_jobs(hub)
-    return generator._generate_shard_store(hub, batches, list(units))
+    with trace_span("workloads.shard", "workloads") as sp:
+        if sp is not None:
+            sp.add(platform=generator.platform, units=len(units))
+        batches = generator._sample_jobs(hub)
+        store = generator._generate_shard_store(hub, batches, list(units))
+        if sp is not None:
+            sp.add(rows=len(store.files))
+        return store
 
 
 def generate_with_shadows(
@@ -651,12 +668,15 @@ def generate_with_shadows(
     this function.
     """
     store = generator.generate(seed_or_hub, jobs=jobs)
-    mpiio = store.files[store.files["interface"] == int(IOInterface.MPIIO)]
-    if not len(mpiio):
-        return store
-    shadows = mpiio.copy()
-    shadows["interface"] = int(IOInterface.POSIX)
-    files = np.concatenate([store.files, shadows])
+    with trace_span("workloads.shadows", "workloads") as sp:
+        mpiio = store.files[store.files["interface"] == int(IOInterface.MPIIO)]
+        if sp is not None:
+            sp.add(shadow_rows=len(mpiio))
+        if not len(mpiio):
+            return store
+        shadows = mpiio.copy()
+        shadows["interface"] = int(IOInterface.POSIX)
+        files = np.concatenate([store.files, shadows])
     return RecordStore(
         store.platform,
         files,
