@@ -3,7 +3,7 @@
 # -p no:randomly is a no-op unless pytest-randomly happens to be installed.
 PYTEST = PYTHONHASHSEED=0 PYTHONPATH=src python -m pytest -p no:randomly
 
-.PHONY: check test parallel stress bench bench-analysis bench-generate bench-serve serve-tests obs-tests bench-obs
+.PHONY: check test parallel stress bench bench-analysis bench-generate bench-serve serve-tests obs-tests bench-obs stream-tests bench-stream
 
 # Fast development loop: everything except the multi-million-row stress
 # guards and the (pool-spawning, slow on few cores) differential suite.
@@ -42,6 +42,17 @@ serve-tests:
 # (cold / warm / coalesced throughput and latency percentiles).
 bench-serve:
 	$(PYTEST) -q benchmarks/bench_serve.py
+
+# Append-log ingest + delta invalidation: format/reader/ingestor units,
+# the differential + property harness (incremental == cold recompute),
+# serve-refresh behavior, and the hostile-tail fuzz corpus.
+stream-tests:
+	$(PYTEST) -x -q -m "stream and not stress"
+
+# Streaming throughput + delta-vs-cold refresh benchmark; writes
+# BENCH_stream.json and gates delta >= 5x cold on a >=100k-row store.
+bench-stream:
+	$(PYTEST) -q benchmarks/bench_stream.py
 
 # Span-tracing subsystem + public-API surface tests (tracer semantics,
 # export formats, worker round trip, --trace plumbing, API snapshot).

@@ -19,6 +19,17 @@ refuses to serve anything rather than return stale index arrays.
 Analyses obtain the context via :meth:`RecordStore.analysis`; passing an
 explicit ``context=`` to an analysis entry point overrides it (the
 golden-equivalence suite uses that to pin contexts).
+
+**Append-only growth** (the ``repro.stream`` ingest path) gets a cheaper
+discipline than full invalidation: :meth:`AnalysisContext.apply_append`
+extends every cached mask, index array, gather, and derived column in
+place over just the new rows (every predicate is row-local, so the tail
+rows' values are computable from the tail alone), and folds memoized
+*results* whose aggregates reduce associatively — exact ``int64`` sums,
+category counts, histogram bin tallies — through folds registered with
+:func:`register_result_fold`. Results without a registered fold are
+dropped (per-entry fallback to the old full-invalidation behaviour) and
+recompute cold on next use. See DESIGN.md §11 for the contract.
 """
 
 from __future__ import annotations
@@ -29,6 +40,7 @@ from typing import TYPE_CHECKING, Callable, Hashable, TypeVar
 import numpy as np
 
 from repro.errors import AnalysisError
+from repro.obs.tracer import trace_event
 from repro.platforms.interfaces import IOInterface
 from repro.store.schema import (
     LAYER_CODES,
@@ -47,6 +59,79 @@ T = TypeVar("T")
 #: forms. "unique" follows the paper's §3.1 accounting: a file accessed
 #: via MPI-IO is counted once, through its POSIX record.
 _BASE_MASKS = ("unique", "shared", "large_jobs")
+
+#: Registered incremental folds for memoized results, keyed by the
+#: result name (the second element of a ``("result", name, *params)``
+#: memo key). See :func:`register_result_fold`.
+_RESULT_FOLDS: dict[str, Callable] = {}
+
+
+def register_result_fold(name: str, fold: Callable) -> Callable:
+    """Register an incremental fold for the memoized result ``name``.
+
+    ``fold(key, old, delta)`` receives the full memo key, the result
+    computed at the previous generation, and an :class:`AppendDelta`
+    over the appended rows; it must return the value a cold
+    ``_compute`` over the grown table would produce, **bit-identically**
+    — the differential harness enforces exactly that. Only results that
+    are pure functions of the *file* table may register a fold: the
+    append path merges duplicate job rows in place, and folded results
+    are kept across appends without consulting the job table.
+    """
+    _RESULT_FOLDS[name] = fold
+    return fold
+
+
+def result_fold_names() -> tuple[str, ...]:
+    """Names of results with a registered fold (introspection/tests)."""
+    return tuple(sorted(_RESULT_FOLDS))
+
+
+class AppendDelta:
+    """One append's tail rows, exposed through context-shaped helpers.
+
+    Fold functions read two things: aggregates over *just the appended
+    rows* (the ``tail_*`` methods, backed by a private context over a
+    tail-only store so they share the mask/idx plumbing and its key
+    normalization), and — where a skip rule needs it — the full
+    post-append context via :attr:`context`.
+    """
+
+    def __init__(
+        self,
+        context: "AnalysisContext",
+        tail_context: "AnalysisContext",
+        old_rows: int,
+        new_rows: int,
+    ):
+        self.context = context
+        self._tail = tail_context
+        self.old_rows = old_rows
+        self.new_rows = new_rows
+
+    def tail_mask(self, key) -> np.ndarray:
+        return self._tail.mask(key)
+
+    def tail_idx(self, *keys) -> np.ndarray:
+        """Indices into the tail rows (add ``old_rows`` for global)."""
+        return self._tail.idx(*keys)
+
+    def tail_gather(self, column: str, *keys) -> np.ndarray:
+        return self._tail.gather(column, *keys)
+
+    def tail_positive(self, column: str, *keys) -> np.ndarray:
+        return self._tail.positive(column, *keys)
+
+    def tail_opclass(self) -> np.ndarray:
+        return self._tail.opclass()
+
+    def tail_column(self, name: str) -> np.ndarray:
+        return self._tail.column(name)
+
+    def tail_hist_sum(self, column: str, *keys) -> np.ndarray:
+        """Per-bin ``int64`` totals of a histogram column over tail rows."""
+        idx = self._tail.idx(*keys)
+        return self._tail.column(column)[idx].sum(axis=0)
 
 
 class AnalysisContext:
@@ -68,6 +153,11 @@ class AnalysisContext:
         # on the hot path, live whether or not tracing is enabled.
         self._hits = 0
         self._misses = 0
+        # Capacity-backed growth buffers for the append path: memo
+        # values are views of these over-allocated arrays, so extending
+        # a mask/idx/gather over appended rows writes just the tail
+        # instead of reallocating O(n) per append. Keyed like _memo.
+        self._grow: dict[Hashable, np.ndarray] = {}
         # Concurrent readers (repro.serve worker threads) share one
         # context per store. A single RLock around memoization keeps the
         # dict consistent and gives each key compute-once semantics; it
@@ -83,11 +173,16 @@ class AnalysisContext:
     def __getstate__(self) -> dict:
         state = self.__dict__.copy()
         del state["_lock"]
+        state["_grow"] = {}  # capacity buffers are rebuilt on demand
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._lock = threading.RLock()
+        # Pickling copies arrays, so restored memo values are no longer
+        # views of the growth buffers; drop the buffers and let the next
+        # append re-anchor each entry (correctness is unaffected).
+        self._grow = {}
 
     # -- lifecycle -----------------------------------------------------------
     @property
@@ -130,6 +225,140 @@ class AnalysisContext:
             kind = key[0] if isinstance(key, tuple) else str(key)
             kinds[str(kind)] = kinds.get(str(kind), 0) + 1
         return kinds
+
+    # -- append-only growth --------------------------------------------------
+    def apply_append(
+        self,
+        files_full: np.ndarray,
+        files_tail: np.ndarray,
+        new_jobs: np.ndarray,
+    ) -> None:
+        """Grow the owning store in place, delta-updating this context.
+
+        Called by :meth:`RecordStore.append` when this context is live
+        and fresh. ``files_full`` is the already-grown file table (old
+        rows then ``files_tail``), ``new_jobs`` the merged job table.
+        The table swap, generation bump, and every cache update happen
+        under the context lock, so concurrent readers (serve workers)
+        observe either the fully-old or the fully-new state.
+
+        Every cached mask/idx/gather/derived column is extended over
+        just the tail rows; memoized results fold through
+        :data:`_RESULT_FOLDS` or are dropped. Any failure inside the
+        delta update falls back to clearing the memo outright — the
+        context stays correct, merely cold.
+        """
+        from repro.store.recordstore import RecordStore
+        from repro.store.schema import empty_jobs
+
+        store = self._store
+        with self._lock:
+            self._check_fresh()
+            old_rows = len(store.files)
+            store.files = files_full
+            store.jobs = new_jobs
+            store._generation += 1
+            self._generation = store._generation
+            try:
+                tail_store = RecordStore(
+                    store.platform,
+                    files_tail,
+                    empty_jobs(0),
+                    domains=store.domains,
+                    extensions=store.extensions,
+                    scale=store.scale,
+                )
+                delta = AppendDelta(
+                    self, AnalysisContext(tail_store), old_rows, len(files_tail)
+                )
+                self._extend_primitives(delta)
+                self._fold_results(delta)
+            except Exception as exc:
+                # Correctness over warmth: a failed delta update must
+                # never leave a half-extended cache behind. The append
+                # itself already succeeded — the store tables and
+                # generation are consistent — so degrade to a cold
+                # cache instead of failing the caller's append.
+                self._memo.clear()
+                self._grow.clear()
+                trace_event(
+                    "analysis.delta_fallback",
+                    "analysis",
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+
+    def _extend_primitives(self, delta: "AppendDelta") -> None:
+        """Extend every cached array entry over the appended rows.
+
+        All primitives are row-local (each row's mask/derived value is a
+        function of that row alone) and row-order-preserving (``idx`` is
+        ascending, gathers follow it), so the grown entry is exactly the
+        old entry followed by the tail entry computed on the tail rows.
+        """
+        n_old = delta.old_rows
+        for key in list(self._memo):
+            if isinstance(key, tuple):
+                kind = key[0]
+                if kind == "result":
+                    continue  # handled by _fold_results
+                if kind == "mask":
+                    tail = delta.tail_mask(key[1])
+                elif kind == "idx":
+                    tail = delta.tail_idx(*key[1]) + n_old
+                elif kind == "gather":
+                    tail = delta.tail_gather(key[1], *key[2])
+                elif kind == "positive":
+                    tail = delta.tail_positive(key[1], *key[2])
+                elif kind == "bandwidth":
+                    tail = delta._tail.bandwidth(key[1])
+                else:  # unknown kind: drop rather than guess
+                    del self._memo[key]
+                    continue
+            elif key == "transfer_sizes":
+                tail = delta._tail.transfer_sizes()
+            elif key == "opclass":
+                tail = delta.tail_opclass()
+            else:
+                del self._memo[key]
+                continue
+            self._memo[key] = self._append_values(key, self._memo[key], tail)
+
+    def _append_values(
+        self, key: Hashable, old: np.ndarray, tail: np.ndarray
+    ) -> np.ndarray:
+        """``concat(old, tail)`` through a capacity-backed buffer.
+
+        The returned array is a view ``buf[:n+k]`` of an over-allocated
+        buffer; old views (``buf[:n]``) keep their contents because only
+        rows past ``n`` are written. When the memo value is already
+        anchored in the buffer, appending costs O(tail) — amortized
+        O(tail) across appends including the occasional realloc copy.
+        """
+        old = np.asarray(old)
+        tail = np.asarray(tail)
+        n, k = len(old), len(tail)
+        buf = self._grow.get(key)
+        if buf is None or old.base is not buf or len(buf) < n + k:
+            cap = max(64, int((n + k) * 1.5))
+            buf = np.empty((cap,) + old.shape[1:], dtype=old.dtype)
+            buf[:n] = old
+            self._grow[key] = buf
+        buf[n : n + k] = tail
+        return buf[: n + k]
+
+    def _fold_results(self, delta: "AppendDelta") -> None:
+        """Fold registered memoized results; drop the rest."""
+        result_keys = [
+            k
+            for k in self._memo
+            if isinstance(k, tuple) and len(k) >= 2 and k[0] == "result"
+        ]
+        for key in result_keys:
+            fold = _RESULT_FOLDS.get(key[1])
+            if fold is None:
+                del self._memo[key]
+            else:
+                self._memo[key] = fold(key, self._memo[key], delta)
 
     # -- generic memo --------------------------------------------------------
     def cached(self, key: Hashable, compute: Callable[[], T]) -> T:

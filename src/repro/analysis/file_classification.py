@@ -14,7 +14,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.context import AnalysisContext, resolve
+from repro.analysis.context import (
+    AnalysisContext,
+    AppendDelta,
+    register_result_fold,
+    resolve,
+)
 from repro.platforms.interfaces import IOInterface
 from repro.store.recordstore import RecordStore
 from repro.store.schema import (
@@ -102,3 +107,26 @@ def _compute(ctx: AnalysisContext, stdio_only: bool) -> FileClassification:
         interfaces="stdio" if stdio_only else "posix+stdio",
         counts=counts,
     )
+
+
+def _fold(key, old: FileClassification, delta: AppendDelta) -> FileClassification:
+    """Fold appended rows into Figure 6/8: per-(layer, class) counts add."""
+    stdio_only = key[2]
+    base = "unique" if not stdio_only else ("interface", int(IOInterface.STDIO))
+    opclass = delta.tail_opclass()
+    counts: dict[str, dict[str, int]] = {}
+    for layer, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS)):
+        per_layer = opclass[delta.tail_idx(base, ("layer", code))]
+        counts[layer] = {
+            name: old.counts[layer][name] + int(np.sum(per_layer == cls_code))
+            for cls_code, name in OPCLASS_NAMES.items()
+        }
+    return FileClassification(
+        platform=old.platform,
+        scale=old.scale,
+        interfaces=old.interfaces,
+        counts=counts,
+    )
+
+
+register_result_fold("file_classification", _fold)

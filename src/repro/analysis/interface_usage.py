@@ -11,7 +11,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.context import AnalysisContext, resolve
+from repro.analysis.context import (
+    AnalysisContext,
+    AppendDelta,
+    register_result_fold,
+    resolve,
+)
 from repro.platforms.interfaces import IOInterface
 from repro.store.recordstore import RecordStore
 from repro.store.schema import LAYER_INSYSTEM, LAYER_PFS
@@ -70,3 +75,19 @@ def _compute(ctx: AnalysisContext) -> InterfaceUsage:
             for iface in IOInterface
         }
     return InterfaceUsage(platform=store.platform, scale=store.scale, counts=counts)
+
+
+def _fold(key, old: InterfaceUsage, delta: AppendDelta) -> InterfaceUsage:
+    """Fold appended rows into Table 6: per-cell counts add."""
+    counts = {
+        layer: {
+            iface.label: old.counts[layer][iface.label]
+            + len(delta.tail_idx(("layer", code), ("interface", int(iface))))
+            for iface in IOInterface
+        }
+        for layer, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS))
+    }
+    return InterfaceUsage(platform=old.platform, scale=old.scale, counts=counts)
+
+
+register_result_fold("interface_usage", _fold)

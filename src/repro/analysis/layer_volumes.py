@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.context import AnalysisContext, resolve
+from repro.analysis.context import (
+    AnalysisContext,
+    AppendDelta,
+    register_result_fold,
+    resolve,
+)
 from repro.store.recordstore import RecordStore
 from repro.store.schema import LAYER_INSYSTEM, LAYER_PFS
 from repro.units import format_count, format_size
@@ -79,3 +84,28 @@ def _compute(ctx: AnalysisContext) -> LayerVolumes:
         insystem=rows["insystem"],
         pfs=rows["pfs"],
     )
+
+
+def _fold(key, old: LayerVolumes, delta: AppendDelta) -> LayerVolumes:
+    """Fold appended rows into Table 3: counts and int64 sums add."""
+    rows = {}
+    for name, code in (("insystem", LAYER_INSYSTEM), ("pfs", LAYER_PFS)):
+        keys = ("unique", ("layer", code))
+        prev: LayerRow = getattr(old, name)
+        rows[name] = LayerRow(
+            layer=name,
+            files=prev.files + len(delta.tail_idx(*keys)),
+            bytes_read=prev.bytes_read
+            + int(delta.tail_gather("bytes_read", *keys).sum()),
+            bytes_written=prev.bytes_written
+            + int(delta.tail_gather("bytes_written", *keys).sum()),
+        )
+    return LayerVolumes(
+        platform=old.platform,
+        scale=old.scale,
+        insystem=rows["insystem"],
+        pfs=rows["pfs"],
+    )
+
+
+register_result_fold("layer_volumes", _fold)

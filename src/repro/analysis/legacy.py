@@ -242,6 +242,7 @@ def request_cdfs(
                     total_calls=int(totals.sum()),
                     bin_labels=ACCESS_SIZE_BINS.labels,
                     cumulative_percent=tuple(weighted_cdf(totals)),
+                    bin_totals=tuple(int(t) for t in totals),
                 )
             )
     return out

@@ -13,7 +13,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis.cdf import weighted_cdf
-from repro.analysis.context import AnalysisContext, resolve
+from repro.analysis.context import (
+    AnalysisContext,
+    AppendDelta,
+    register_result_fold,
+    resolve,
+)
 from repro.darshan.bins import ACCESS_SIZE_BINS
 from repro.platforms.interfaces import IOInterface
 from repro.store.recordstore import RecordStore
@@ -30,6 +35,11 @@ class RequestCdf:
     total_calls: int
     bin_labels: tuple[str, ...]
     cumulative_percent: tuple[float, ...]
+    #: Exact per-bin call counts behind the curve. Carried so appended
+    #: rows fold exactly: integer tallies add associatively, and the
+    #: cumulative percentages are recomputed from the folded tallies —
+    #: bit-identical to a cold pass over the grown table.
+    bin_totals: tuple[int, ...]
 
     def percent_in_bin(self, label: str) -> float:
         """Non-cumulative share of calls in one bin."""
@@ -93,6 +103,54 @@ def _compute(ctx: AnalysisContext, large_jobs_only: bool) -> list[RequestCdf]:
                     total_calls=int(totals.sum()),
                     bin_labels=ACCESS_SIZE_BINS.labels,
                     cumulative_percent=tuple(weighted_cdf(totals)),
+                    bin_totals=tuple(int(t) for t in totals),
                 )
             )
     return out
+
+
+def _fold(key, old: list[RequestCdf], delta: AppendDelta) -> list[RequestCdf]:
+    """Fold appended rows into Figure 4/5: bin tallies add exactly.
+
+    Rebuilds the curve list in ``_compute``'s canonical layer-by-
+    direction order with identical skip rules — a layer is skipped when
+    its *full* (post-append) index is empty, a direction when its folded
+    tallies are all zero — so a curve that only now crosses either
+    threshold appears exactly as a cold recompute would emit it.
+    """
+    ctx = delta.context
+    large_jobs_only = key[2]
+    prev: dict[tuple[str, str], np.ndarray] = {
+        (c.layer, c.direction): np.asarray(c.bin_totals, dtype=np.int64)
+        for c in old
+    }
+    out = []
+    for layer, code in ctx.layer_items():
+        keys = [("interface", int(IOInterface.POSIX)), ("layer", code)]
+        if large_jobs_only:
+            keys.append("large_jobs")
+        if not len(ctx.idx(*keys)):
+            continue
+        for direction, col in (("read", "read_hist"), ("write", "write_hist")):
+            totals = delta.tail_hist_sum(col, *keys)
+            seen = prev.get((layer, direction))
+            if seen is not None:
+                totals = seen + totals
+            if totals.sum() == 0:
+                continue
+            out.append(
+                RequestCdf(
+                    platform=ctx.store.platform,
+                    layer=layer,
+                    direction=direction,
+                    large_jobs_only=large_jobs_only,
+                    total_calls=int(totals.sum()),
+                    bin_labels=ACCESS_SIZE_BINS.labels,
+                    cumulative_percent=tuple(weighted_cdf(totals)),
+                    bin_totals=tuple(int(t) for t in totals),
+                )
+            )
+    return out
+
+
+register_result_fold("request_cdfs", _fold)

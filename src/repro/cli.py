@@ -7,6 +7,8 @@
     python -m repro generate --platform summit --scale 5e-4 --jobs 4 --out year.npz
     python -m repro analyze  year.npz --exhibit table3
     python -m repro analyze  --list
+    python -m repro ingest   stream.ndjson --store year.npz [--follow] \\
+                             [--checkpoint year.ckpt]
     python -m repro serve    year.npz --port 7786 --workers 4
     python -m repro query    table3 --port 7786
     python -m repro ior      --platform summit --layer pfs --api mpiio \\
@@ -86,6 +88,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list every query name the analyze CLI and 'repro serve' share",
     )
     traceable(p_an)
+
+    p_ing = sub.add_parser(
+        "ingest", help="ingest an NDJSON log stream into a store"
+    )
+    p_ing.add_argument(
+        "stream", help="NDJSON stream file (one DarshanLog per line)"
+    )
+    p_ing.add_argument(
+        "--store", required=True,
+        help=".npz store to extend (created empty if missing)",
+    )
+    p_ing.add_argument(
+        "--platform", choices=("summit", "cori"), default="summit",
+        help="platform for a newly created store (existing stores keep theirs)",
+    )
+    p_ing.add_argument(
+        "--scale", type=float, default=1e-3,
+        help="paper-scale factor for a newly created store",
+    )
+    p_ing.add_argument(
+        "--follow", action="store_true",
+        help="keep tailing the stream for appended records",
+    )
+    p_ing.add_argument(
+        "--batch-logs", type=int, default=256,
+        help="logs applied (and checkpointed) per batch",
+    )
+    p_ing.add_argument(
+        "--poll-interval", type=float, default=0.5,
+        help="seconds between polls when the stream is idle (--follow)",
+    )
+    p_ing.add_argument(
+        "--max-batches", type=int, default=None,
+        help="stop after this many applied batches",
+    )
+    p_ing.add_argument(
+        "--idle-exit", type=int, default=None, metavar="N",
+        help="stop after N consecutive empty polls (--follow; default: never)",
+    )
+    p_ing.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="resume-offset file, written after every applied batch",
+    )
+    p_ing.add_argument(
+        "--on-error", choices=("raise", "skip"), default="raise",
+        help="policy for garbled stream lines (skip counts and continues)",
+    )
+    traceable(p_ing)
 
     p_srv = sub.add_parser(
         "serve", help="serve analysis queries over a loaded store (NDJSON/TCP)"
@@ -205,6 +255,49 @@ def _cmd_analyze(args) -> int:
     spec = registry[args.exhibit]
     result = run_query(store, args.exhibit)
     print(render_results(spec.title, spec.headers, result))
+    return 0
+
+
+def _cmd_ingest(args) -> int:
+    import os
+
+    from repro.store.recordstore import RecordStore
+    from repro.store.schema import empty_files, empty_jobs
+    from repro.stream import ingest_stream
+    from repro.workloads.domains import domain_catalog
+
+    if os.path.exists(args.store):
+        store = load_store(args.store)
+    else:
+        # An empty store pre-seeded with the platform's domain catalog,
+        # so streamed and generated stores share domain codes.
+        store = RecordStore(
+            args.platform, empty_files(0), empty_jobs(0),
+            domains=domain_catalog(args.platform), scale=args.scale,
+        )
+    mounts = get_platform(store.platform).mount_table()
+    try:
+        stats = ingest_stream(
+            args.stream, store, mounts,
+            checkpoint_path=args.checkpoint,
+            on_error=args.on_error,
+            batch_logs=args.batch_logs,
+            follow_stream=args.follow,
+            poll_interval=args.poll_interval,
+            max_batches=args.max_batches,
+            idle_polls=args.idle_exit,
+        )
+    except KeyboardInterrupt:  # tail mode: persist what was applied
+        save_store(store, args.store)
+        print(f"interrupted; saved {store!r} to {args.store}", file=sys.stderr)
+        return 130
+    save_store(store, args.store)
+    skipped = f", {stats.skipped} lines skipped" if stats.skipped else ""
+    print(
+        f"ingested {stats.logs} logs ({stats.rows} rows in "
+        f"{stats.batches} batches{skipped}) into {args.store}; "
+        f"stream offset {stats.offset}"
+    )
     return 0
 
 
@@ -371,6 +464,7 @@ def main(argv: list[str] | None = None) -> int:
         "shapes": _cmd_shapes,
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
+        "ingest": _cmd_ingest,
         "serve": _cmd_serve,
         "query": _cmd_query,
         "advise": _cmd_advise,

@@ -74,6 +74,25 @@ class AnalysisError(ReproError):
     """
 
 
+class StreamError(ReproError):
+    """The NDJSON append-log ingest path was used inconsistently.
+
+    e.g. a stream file that shrank below a reader's resume offset, or a
+    malformed line under the ``raise`` error policy (malformed *content*
+    inside a line is a :class:`LogFormatError`; this class covers the
+    stream/offset discipline around the lines).
+    """
+
+
+class CheckpointError(StreamError):
+    """A stream checkpoint is malformed or inconsistent with its store.
+
+    Raised on unreadable checkpoint files and on duplicate-offset
+    replay: resuming a stream against a store whose ingested-log count
+    disagrees with the checkpoint would apply the same lines twice.
+    """
+
+
 class ServeError(ReproError):
     """Base class for :mod:`repro.serve` failures.
 

@@ -60,6 +60,15 @@ class ResultCache:
         with self._lock:
             self._entries.clear()
 
+    def keys(self) -> list[Hashable]:
+        """Snapshot of cached keys, LRU order (next-to-evict first).
+
+        Counts as neither hit nor miss — introspection for
+        :meth:`QueryEngine.refresh`, which must not skew the hit rate.
+        """
+        with self._lock:
+            return list(self._entries)
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -83,7 +83,8 @@ class QueryEngine:
         # Pre-register the standard counters so the `stats` wire surface
         # always carries the same keys, even on an idle engine.
         for name in ("requests", "cache_hits", "cache_misses", "coalesced",
-                     "rejected", "timeouts", "executions", "errors"):
+                     "rejected", "timeouts", "executions", "errors",
+                     "refreshed"):
             self.metrics.counter(name)
         self.cache = ResultCache(cache_entries)
         self._inflight = InFlightTable()
@@ -216,6 +217,54 @@ class QueryEngine:
         finally:
             self._slots.release()
 
+    def refresh(self) -> int:
+        """Re-warm cached foldable results after an append-only mutation.
+
+        The generation is part of every cache key, so an append orphans
+        all cached entries. For **foldable** queries the delta path
+        (:meth:`RecordStore.append` on a warm context) already folded
+        the new rows into the memoized analysis result — rerunning the
+        query is a memo hit, not a recompute. This method reruns each
+        foldable query that was cached at an earlier generation and
+        caches the result under the current one, so followers of a
+        tailed stream keep hitting the cache across appends. Returns
+        the number of entries re-warmed; never raises (a failed rerun
+        is counted under ``errors`` and skipped).
+
+        Wired as the ``on_append`` callback of
+        :func:`repro.stream.ingest.follow`.
+        """
+        generation = self.store.generation
+        cached = self.cache.keys()
+        current = {key for key in cached if key[2] == generation}
+        warm: dict[str, tuple] = {}
+        for key in cached:
+            name, params_items, gen = key
+            spec = self.registry.get(name)
+            if spec is None or not spec.foldable or gen == generation:
+                continue
+            warm[name] = params_items  # latest generation wins (LRU order)
+        refreshed = 0
+        for name, params_items in warm.items():
+            key = (name, params_items, generation)
+            if key in current:
+                continue
+            spec = self.registry[name]
+            try:
+                with trace_span("serve.refresh", "serve") as sp:
+                    if sp is not None:
+                        sp.add(query=name, generation=generation)
+                    result = spec.run(
+                        self.store, self._context(), dict(params_items)
+                    )
+            except Exception:
+                self.metrics.counter("errors").inc()
+                continue
+            self.cache.put(key, result)
+            self.metrics.counter("refreshed").inc()
+            refreshed += 1
+        return refreshed
+
     def query(
         self,
         name: str,
@@ -252,13 +301,14 @@ class QueryEngine:
                 "kind": spec.kind,
                 "params": list(spec.param_names),
                 "cacheable": spec.cacheable,
+                "foldable": spec.foldable,
             }
             for name, spec in self.registry.items()
         }
         for name in _META_QUERIES:
             entries[name] = {
                 "title": f"service {name}", "kind": "meta", "params": [],
-                "cacheable": False,
+                "cacheable": False, "foldable": False,
             }
         return {"queries": entries}
 

@@ -64,6 +64,12 @@ class QuerySpec:
     #: Uncacheable queries (``stats``) recompute on every request and
     #: never coalesce.
     cacheable: bool = True
+    #: Foldable queries have a registered result fold
+    #: (:func:`repro.analysis.context.register_result_fold`): on an
+    #: append-only store mutation their memoized result is updated in
+    #: place, so :meth:`QueryEngine.refresh` can re-warm the result
+    #: cache at the new generation with a cheap memo-hit rerun.
+    foldable: bool = False
 
     @property
     def headers(self) -> list[str] | None:
@@ -129,26 +135,28 @@ def default_registry() -> dict[str, QuerySpec]:
         QuerySpec("table2", "Table 2 - dataset summary", "table", "table2",
                   _exhibit(dataset_summary)),
         QuerySpec("table3", "Table 3 - files and volume per layer", "table",
-                  "table3", _exhibit(layer_volumes)),
+                  "table3", _exhibit(layer_volumes), foldable=True),
         QuerySpec("table4", "Table 4 - >1TB files", "table", "table4",
                   _exhibit(large_files)),
         QuerySpec("table5", "Table 5 - job layer exclusivity", "table",
                   "table5", _exhibit(layer_exclusivity)),
         QuerySpec("table6", "Table 6 - interface usage", "table", "table6",
-                  _exhibit(interface_usage)),
+                  _exhibit(interface_usage), foldable=True),
         QuerySpec("fig3", "Figure 3 - transfer-size CDFs", "table", "fig3",
                   _exhibit(transfer_cdfs)),
         QuerySpec("fig4", "Figure 4 - request-size CDFs", "table", "fig4",
-                  _exhibit(request_cdfs)),
+                  _exhibit(request_cdfs), foldable=True),
         QuerySpec("fig5", "Figure 5 - request-size CDFs (large jobs)",
                   "table", "fig4",
-                  _exhibit(request_cdfs, large_jobs_only=True)),
+                  _exhibit(request_cdfs, large_jobs_only=True),
+                  foldable=True),
         QuerySpec("fig6", "Figure 6 - file classification", "table", "fig6",
-                  _exhibit(file_classification)),
+                  _exhibit(file_classification), foldable=True),
         QuerySpec("fig7", "Figure 7 - in-system domains", "table", "fig7",
                   _exhibit(insystem_domain_usage)),
         QuerySpec("fig8", "Figure 8 - STDIO classification", "table", "fig6",
-                  _exhibit(file_classification, stdio_only=True)),
+                  _exhibit(file_classification, stdio_only=True),
+                  foldable=True),
         QuerySpec("fig9", "Figure 9 - interface transfer CDFs", "table",
                   "fig9", _exhibit(interface_transfer_cdfs)),
         QuerySpec("fig10", "Figure 10 - STDIO domains", "table", "fig7",

@@ -51,10 +51,26 @@ class RecordStore:
         self.scale = scale
         self._generation = 0
         self._analysis = None
+        # Capacity-backed buffer behind the append path: append() keeps
+        # ``files`` as a view of an over-allocated array so repeated
+        # small appends write just the tail instead of copying O(n).
+        self._files_buf = None
         if len(files) and files["domain"].max() >= len(self.domains):
             raise StoreError("file domain code out of catalog range")
         if len(jobs) and jobs["domain"].max() >= len(self.domains):
             raise StoreError("job domain code out of catalog range")
+
+    # The capacity buffer is a transient optimization; pickling it would
+    # ship up to 1.5x the live rows (and the copy breaks the view
+    # anchoring anyway), so it is dropped and rebuilt on demand.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_files_buf"] = None  # numpy pickles the view's rows only
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_files_buf", None)
 
     # -- analysis cache ------------------------------------------------------
     @property
@@ -108,6 +124,102 @@ class RecordStore:
             self.jobs = np.concatenate([self.jobs, jobs])
         self.files = np.concatenate([self.files, files])
         self.invalidate()
+
+    # -- append-only growth (delta-aware) ------------------------------------
+    def append(
+        self,
+        files: np.ndarray,
+        jobs: np.ndarray | None = None,
+        *,
+        new_extensions: Sequence[str] = (),
+    ) -> None:
+        """Append rows with delta-aware cache invalidation.
+
+        The streaming counterpart of :meth:`extend`: when a fresh
+        :class:`~repro.analysis.context.AnalysisContext` is live, its
+        cached masks, index arrays, and foldable memoized results are
+        *extended* over the new rows instead of discarded (see
+        :meth:`AnalysisContext.apply_append`); otherwise this degrades
+        to exactly the :meth:`extend` behaviour. Either way the
+        generation advances, so generation-keyed consumers (the serve
+        result cache) observe the mutation.
+
+        ``jobs`` rows whose ``job_id`` already exists are *merged*, not
+        duplicated, mirroring batch ingest's last-log-wins accounting:
+        ``nlogs`` adds, ``used_bb`` ORs, and the remaining fields take
+        the new row's values. ``new_extensions`` appends names to the
+        extension catalog (append-only: existing codes keep meaning).
+        """
+        if files.dtype != FILE_DTYPE:
+            raise StoreError(f"files table has dtype {files.dtype}, want FILE_DTYPE")
+        new_extensions = tuple(new_extensions)
+        if new_extensions:
+            dupes = set(new_extensions) & set(self.extensions)
+            if dupes or len(set(new_extensions)) != len(new_extensions):
+                raise StoreError(
+                    f"append: extension names already cataloged or repeated: "
+                    f"{sorted(dupes) or sorted(new_extensions)}"
+                )
+            self.extensions = self.extensions + new_extensions
+        if len(files):
+            if files["domain"].max() >= len(self.domains):
+                raise StoreError("file domain code out of catalog range")
+            if files["ext"].max() >= len(self.extensions):
+                raise StoreError("file extension code out of catalog range")
+        merged_jobs = self._merged_jobs_for_append(jobs)
+        grown = self._grown_files(files)
+        ctx = self._analysis
+        if ctx is not None and not ctx.stale:
+            ctx.apply_append(grown, files, merged_jobs)
+        else:
+            self.files = grown
+            self.jobs = merged_jobs
+            self.invalidate()
+
+    def _grown_files(self, tail: np.ndarray) -> np.ndarray:
+        """The grown file table as a view of the capacity buffer."""
+        n, k = len(self.files), len(tail)
+        buf = self._files_buf
+        if buf is None or self.files.base is not buf or len(buf) < n + k:
+            cap = max(1024, int((n + k) * 3 // 2))
+            buf = np.empty(cap, dtype=FILE_DTYPE)
+            buf[:n] = self.files
+            self._files_buf = buf
+        buf[n : n + k] = tail
+        return buf[: n + k]
+
+    def _merged_jobs_for_append(self, jobs: np.ndarray | None) -> np.ndarray:
+        """The post-append job table (duplicate job ids merged)."""
+        if jobs is None or not len(jobs):
+            return self.jobs
+        if jobs.dtype != JOB_DTYPE:
+            raise StoreError(f"jobs table has dtype {jobs.dtype}, want JOB_DTYPE")
+        if jobs["domain"].max() >= len(self.domains):
+            raise StoreError("job domain code out of catalog range")
+        index = {int(j): i for i, j in enumerate(self.jobs["job_id"])}
+        fresh = np.ones(len(jobs), dtype=bool)
+        merged = None
+        for i, job_id in enumerate(jobs["job_id"]):
+            at = index.get(int(job_id))
+            if at is None:
+                continue
+            if merged is None:
+                merged = self.jobs.copy()
+            row = jobs[i]
+            # Batch ingest rebuilds a job's row from each of its logs in
+            # turn (last log wins) while counting nlogs and OR-ing
+            # used_bb; replaying that here keeps a streamed store
+            # byte-identical to a batch ingest of the same logs.
+            for field in ("user_id", "nnodes", "nprocs", "domain",
+                          "runtime", "start_time"):
+                merged[field][at] = row[field]
+            merged["nlogs"][at] += row["nlogs"]
+            merged["used_bb"][at] = max(merged["used_bb"][at], row["used_bb"])
+            fresh[i] = False
+        new_rows = jobs[fresh]
+        if len(np.unique(new_rows["job_id"])) != len(new_rows):
+            raise StoreError("append: duplicate job ids within one batch")
+        return np.concatenate([self.jobs if merged is None else merged, new_rows])
 
     # -- basic shape ---------------------------------------------------------
     def __len__(self) -> int:

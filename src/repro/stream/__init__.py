@@ -1,0 +1,37 @@
+"""NDJSON append-log ingest: tail a growing log stream into a RecordStore.
+
+The paper's facility setting — millions of Darshan logs per year arriving
+continuously — needs an ingest path that *appends*. This package provides
+it, end to end:
+
+* :mod:`repro.stream.format` — one JSON object per line encodes one
+  :class:`~repro.darshan.log.DarshanLog` (job record, name records,
+  per-module counters); malformed lines raise typed
+  :class:`~repro.errors.LogFormatError`.
+* :mod:`repro.stream.reader` — :class:`LogTailReader` consumes complete
+  lines from a byte offset (a partially-written tail line is left for the
+  next poll), with a persistent :class:`StreamCheckpoint` for
+  crash-safe resume and a ``skip`` policy for garbled lines.
+* :mod:`repro.stream.ingest` — :class:`StreamIngestor` batches parsed
+  logs through the columnar :func:`repro.store.ingest.ingest_logs`
+  machinery and applies them with :meth:`RecordStore.append`, which
+  delta-updates any live analysis context instead of invalidating it;
+  :func:`follow` is the ``repro ingest --follow`` loop.
+"""
+
+from repro.stream.format import dump_line, log_from_json, log_to_json, parse_line
+from repro.stream.ingest import FollowStats, StreamIngestor, follow, ingest_stream
+from repro.stream.reader import LogTailReader, StreamCheckpoint
+
+__all__ = [
+    "FollowStats",
+    "LogTailReader",
+    "StreamCheckpoint",
+    "StreamIngestor",
+    "dump_line",
+    "follow",
+    "ingest_stream",
+    "log_from_json",
+    "log_to_json",
+    "parse_line",
+]

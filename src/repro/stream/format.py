@@ -1,0 +1,193 @@
+"""NDJSON codec: one :class:`DarshanLog` per line.
+
+The binary container (:mod:`repro.darshan.format`) is the archival
+format; collectors that *append* — one log per completed application
+instance, à la an ``invocations.jsonl`` sink — want a line-oriented form
+instead, because a line boundary is a durable record boundary: a reader
+can always distinguish "complete record" from "still being written".
+
+Schema (one JSON object per line)::
+
+    {"job": {"job_id": .., "user_id": .., "nprocs": .., "start_time": ..,
+             "end_time": .., "platform": "..", "domain": "..",
+             "metadata": {..}},
+     "names": [{"id": .., "path": "..", "mount": "..", "layer": ".."}, ..],
+     "records": [{"module": "POSIX", "id": .., "rank": ..,
+                  "counters": [..], "fcounters": [..]}, ..]}
+
+Every malformed input — wrong JSON type, missing key, unknown module,
+counter arrays of the wrong length, a record referencing an unregistered
+name — raises :class:`~repro.errors.LogFormatError`; no bare
+``KeyError``/``TypeError``/``ValueError`` escapes. DXT traces are not
+carried (they are disabled on the target systems, §2.2).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.darshan.constants import ModuleId
+from repro.darshan.log import DarshanLog
+from repro.darshan.records import FileRecord, JobRecord, NameRecord
+from repro.errors import LogFormatError
+
+
+def log_to_json(log: DarshanLog) -> dict:
+    """The wire dict for one log (stable key order for diffability)."""
+    job = log.job
+    return {
+        "job": {
+            "job_id": job.job_id,
+            "user_id": job.user_id,
+            "nprocs": job.nprocs,
+            "start_time": job.start_time,
+            "end_time": job.end_time,
+            "platform": job.platform,
+            "domain": job.domain,
+            "metadata": dict(job.metadata),
+        },
+        "names": [
+            {
+                "id": name.record_id,
+                "path": name.path,
+                "mount": name.mount_point,
+                "layer": name.layer,
+            }
+            for _, name in sorted(log.name_records().items())
+        ],
+        "records": [
+            {
+                "module": rec.module.name,
+                "id": rec.record_id,
+                "rank": rec.rank,
+                "counters": [int(c) for c in rec.counters],
+                "fcounters": [float(c) for c in rec.fcounters],
+            }
+            for rec in log.iter_records()
+        ],
+    }
+
+
+def dump_line(log: DarshanLog) -> str:
+    """One newline-terminated NDJSON line for a log.
+
+    ``ensure_ascii`` keeps every byte printable ASCII, so the only
+    newline in the output is the terminator — the framing invariant the
+    tail reader relies on.
+    """
+    return json.dumps(log_to_json(log), separators=(",", ":")) + "\n"
+
+
+def _get(obj: dict, key: str, types, where: str):
+    try:
+        value = obj[key]
+    except (KeyError, TypeError):
+        raise LogFormatError(f"stream {where}: missing key {key!r}") from None
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise LogFormatError(
+            f"stream {where}: key {key!r} has type {type(value).__name__}"
+        )
+    return value
+
+
+def _ranged(obj: dict, key: str, lo: int, hi: int, where: str) -> int:
+    """An integer field that must fit its destination store column.
+
+    JSON integers are unbounded; the columnar store's are not. Rejecting
+    out-of-range values here keeps the overflow a typed format error
+    instead of a bare numpy exception deep inside ingest.
+    """
+    value = _get(obj, key, int, where)
+    if not lo <= value <= hi:
+        raise LogFormatError(
+            f"stream {where}: {key}={value} outside [{lo}, {hi}]"
+        )
+    return value
+
+
+_I64 = 2**63 - 1
+_U64 = 2**64 - 1
+_I32 = 2**31 - 1
+
+
+def log_from_json(obj: dict) -> DarshanLog:
+    """Decode one wire dict back into a :class:`DarshanLog`."""
+    if not isinstance(obj, dict):
+        raise LogFormatError(
+            f"stream record: expected a JSON object, got {type(obj).__name__}"
+        )
+    jd = _get(obj, "job", dict, "record")
+    metadata = jd.get("metadata", {})
+    if not isinstance(metadata, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in metadata.items()
+    ):
+        raise LogFormatError("stream job: metadata must map strings to strings")
+    try:
+        job = JobRecord(
+            job_id=_ranged(jd, "job_id", 0, _I64, "job"),
+            user_id=_ranged(jd, "user_id", 0, _I64, "job"),
+            nprocs=_ranged(jd, "nprocs", 0, _I32, "job"),
+            start_time=float(_get(jd, "start_time", (int, float), "job")),
+            end_time=float(_get(jd, "end_time", (int, float), "job")),
+            platform=_get(jd, "platform", str, "job"),
+            domain=_get(jd, "domain", str, "job"),
+            metadata=dict(metadata),
+        )
+    except ValueError as exc:  # JobRecord invariants (nprocs, time order)
+        raise LogFormatError(f"stream job: {exc}") from None
+    log = DarshanLog(job)
+    for entry in _get(obj, "names", list, "record"):
+        if not isinstance(entry, dict):
+            raise LogFormatError("stream names: entries must be objects")
+        try:
+            log.register_name(
+                NameRecord(
+                    record_id=_ranged(entry, "id", 0, _U64, "name"),
+                    path=_get(entry, "path", str, "name"),
+                    mount_point=_get(entry, "mount", str, "name"),
+                    layer=_get(entry, "layer", str, "name"),
+                )
+            )
+        except ValueError as exc:  # conflicting rebind
+            raise LogFormatError(f"stream names: {exc}") from None
+    for entry in _get(obj, "records", list, "record"):
+        if not isinstance(entry, dict):
+            raise LogFormatError("stream records: entries must be objects")
+        module_name = _get(entry, "module", str, "file record")
+        try:
+            module = ModuleId[module_name]
+        except KeyError:
+            raise LogFormatError(
+                f"stream file record: unknown module {module_name!r}"
+            ) from None
+        counters = _get(entry, "counters", list, "file record")
+        fcounters = _get(entry, "fcounters", list, "file record")
+        try:
+            record = FileRecord(
+                module,
+                _ranged(entry, "id", 0, _U64, "file record"),
+                rank=_ranged(entry, "rank", -1, _I32, "file record"),
+                counters=counters,
+                fcounters=fcounters,
+            )
+        except (ValueError, TypeError, OverflowError) as exc:  # shape/dtype
+            raise LogFormatError(f"stream file record: {exc}") from None
+        try:
+            log.add_record(record)
+        except KeyError as exc:
+            raise LogFormatError(f"stream file record: {exc}") from None
+    return log
+
+
+def parse_line(line: bytes | str) -> DarshanLog:
+    """Parse one complete NDJSON line into a log (typed errors only)."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise LogFormatError(f"stream line: invalid UTF-8 ({exc})") from None
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise LogFormatError(f"stream line: invalid JSON ({exc.msg})") from None
+    return log_from_json(obj)

@@ -1,0 +1,248 @@
+"""Applying streamed logs to a RecordStore, batch by batch.
+
+:class:`StreamIngestor` turns parsed :class:`DarshanLog` batches into
+columnar rows via the same :func:`repro.store.ingest.ingest_logs`
+machinery the batch path uses, then remaps the batch-local id spaces
+onto the target store — log ids shift by the store's current log-space
+width (the serial enumeration, empty logs included), extension codes
+remap through a first-seen catalog union — and applies them with
+:meth:`RecordStore.append`, the delta-aware mutation. A store grown one
+batch at a time is therefore **byte-identical** to a store batch-built
+from the same logs in the same order; the differential harness holds
+the two side by side.
+
+:func:`follow` is the tail loop behind ``repro ingest --follow``:
+poll, batch, apply, checkpoint, repeat.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.darshan.log import DarshanLog
+from repro.errors import CheckpointError
+from repro.obs.tracer import trace_event, trace_span
+from repro.platforms.machine import MountTable
+from repro.store.ingest import ingest_logs
+from repro.store.recordstore import RecordStore
+from repro.stream.reader import LogTailReader, StreamCheckpoint
+
+
+def _log_space_width(store: RecordStore) -> int:
+    """Width of the store's occupied log-id space (next free log id).
+
+    Mirrors :func:`repro.store.merge._remap_log_ids`: the job table's
+    ``nlogs`` total counts logs that contributed no file rows, the file
+    table's max id covers stores whose job table is incomplete.
+    """
+    width = int(store.jobs["nlogs"].sum()) if len(store.jobs) else 0
+    if len(store.files):
+        width = max(width, int(store.files["log_id"].max()) + 1)
+    return width
+
+
+class StreamIngestor:
+    """Appends batches of parsed logs onto one target store."""
+
+    def __init__(self, store: RecordStore, mounts: MountTable):
+        self.store = store
+        self._mounts = mounts
+        self._next_log_id = _log_space_width(store)
+
+    @property
+    def logs_applied(self) -> int:
+        """Total log-id space the store occupies (checkpoint identity)."""
+        return self._next_log_id
+
+    def checkpoint(self, reader: LogTailReader) -> StreamCheckpoint:
+        """The resume state to persist after an applied batch."""
+        return StreamCheckpoint(
+            stream=reader.path, offset=reader.offset, logs=self._next_log_id
+        )
+
+    def verify_checkpoint(self, ckpt: StreamCheckpoint) -> None:
+        """Reject resume states inconsistent with the target store.
+
+        A checkpoint older than the store (fewer logs) would replay
+        lines the store already absorbed — duplicate rows, silently;
+        a newer one means lines were applied elsewhere and this store
+        would skip them. Both are :class:`CheckpointError`.
+        """
+        if ckpt.logs != self._next_log_id:
+            raise CheckpointError(
+                f"checkpoint for {ckpt.stream!r} says {ckpt.logs} logs "
+                f"applied but the store's log space holds "
+                f"{self._next_log_id}; refusing to replay or skip records"
+            )
+
+    def apply(self, logs: Sequence[DarshanLog]) -> int:
+        """Append one batch; returns the number of file rows added."""
+        logs = list(logs)
+        if not logs:
+            return 0
+        store = self.store
+        with trace_span("stream.apply", "stream") as sp:
+            batch = ingest_logs(
+                logs, store.platform, self._mounts,
+                domains=store.domains, scale=store.scale,
+            )
+            files = batch.files
+            files["log_id"] += self._next_log_id
+            new_names, lut = self._union_extensions(batch.extensions)
+            if lut is not None:
+                files["ext"] = lut[files["ext"].astype(np.int32) + 1]
+            store.append(files, batch.jobs, new_extensions=new_names)
+            # Every log consumes one id — ingest enumerates them all,
+            # including logs that contributed no file rows.
+            self._next_log_id += len(logs)
+            if sp is not None:
+                sp.add(
+                    logs=len(logs), rows=len(files),
+                    generation=store.generation,
+                )
+        return len(files)
+
+    def _union_extensions(
+        self, batch_catalog: Sequence[str]
+    ) -> tuple[tuple[str, ...], np.ndarray | None]:
+        """New catalog names, and a code LUT when remapping is needed.
+
+        First-seen union (like :func:`repro.store.merge._union_catalog`)
+        so batch-at-a-time growth reproduces the serial catalog order.
+        The LUT is indexed by ``old_code + 1``: the −1 "no extension"
+        sentinel maps to itself.
+        """
+        index = {name: i for i, name in enumerate(self.store.extensions)}
+        new_names: list[str] = []
+        lut = np.empty(len(batch_catalog) + 1, dtype=np.int16)
+        lut[0] = -1
+        identity = True
+        for i, name in enumerate(batch_catalog):
+            code = index.get(name)
+            if code is None:
+                code = len(index)
+                index[name] = code
+                new_names.append(name)
+            lut[i + 1] = code
+            identity = identity and code == i
+        return tuple(new_names), None if identity else lut
+
+
+@dataclass
+class FollowStats:
+    """What one :func:`follow` run did."""
+
+    batches: int = 0
+    logs: int = 0
+    rows: int = 0
+    skipped: int = 0
+    offset: int = 0
+
+
+def follow(
+    reader: LogTailReader,
+    ingestor: StreamIngestor,
+    *,
+    batch_logs: int = 256,
+    poll_interval: float = 0.05,
+    max_batches: int | None = None,
+    idle_polls: int | None = None,
+    final: bool = False,
+    checkpoint_path: str | None = None,
+    on_append: Callable[[RecordStore], None] | None = None,
+) -> FollowStats:
+    """Tail the stream, applying batches until a stop condition.
+
+    Stop conditions: ``max_batches`` applied; ``idle_polls`` consecutive
+    empty polls (None = poll forever); or, with ``final=True``, the
+    first poll that drains the stream (one-shot ingest of a complete
+    file). After each applied batch the checkpoint is persisted (when a
+    path is given) and ``on_append`` runs — the serve engine's
+    ``refresh`` hook goes there.
+    """
+    stats = FollowStats()
+    idle = 0
+    with trace_span("stream.follow", "stream") as sp:
+        while True:
+            if max_batches is not None and stats.batches >= max_batches:
+                break
+            logs = reader.poll(max_logs=batch_logs, final=final)
+            if logs:
+                idle = 0
+                stats.rows += ingestor.apply(logs)
+                stats.batches += 1
+                stats.logs += len(logs)
+                if checkpoint_path is not None:
+                    ingestor.checkpoint(reader).save(checkpoint_path)
+                    trace_event(
+                        "stream.checkpoint", "stream",
+                        offset=reader.offset, logs=ingestor.logs_applied,
+                    )
+                if on_append is not None:
+                    on_append(ingestor.store)
+                continue
+            if final:
+                break
+            idle += 1
+            if idle_polls is not None and idle >= idle_polls:
+                break
+            time.sleep(poll_interval)
+        stats.skipped = reader.skipped
+        stats.offset = reader.offset
+        if sp is not None:
+            sp.add(batches=stats.batches, logs=stats.logs, rows=stats.rows,
+                   skipped=stats.skipped)
+    return stats
+
+
+def ingest_stream(
+    path: str,
+    store: RecordStore,
+    mounts: MountTable,
+    *,
+    checkpoint_path: str | None = None,
+    on_error: str = "raise",
+    batch_logs: int = 256,
+    follow_stream: bool = False,
+    poll_interval: float = 0.05,
+    max_batches: int | None = None,
+    idle_polls: int | None = None,
+    on_append: Callable[[RecordStore], None] | None = None,
+) -> FollowStats:
+    """Ingest an NDJSON stream into ``store``, resuming from a checkpoint.
+
+    With a ``checkpoint_path`` that exists, reading resumes at its
+    offset after verifying it matches both the stream path and the
+    store's ingested-log count (:meth:`StreamIngestor.verify_checkpoint`
+    — the duplicate-offset replay guard). ``follow_stream=False`` is a
+    one-shot pass over the complete file; ``True`` keeps tailing until
+    ``max_batches``/``idle_polls`` says stop.
+    """
+    ingestor = StreamIngestor(store, mounts)
+    offset = 0
+    if checkpoint_path is not None and os.path.exists(checkpoint_path):
+        ckpt = StreamCheckpoint.load(checkpoint_path)
+        if os.path.abspath(ckpt.stream) != os.path.abspath(path):
+            raise CheckpointError(
+                f"checkpoint {checkpoint_path} tracks stream "
+                f"{ckpt.stream!r}, not {path!r}"
+            )
+        ingestor.verify_checkpoint(ckpt)
+        offset = ckpt.offset
+    reader = LogTailReader(path, offset=offset, on_error=on_error)
+    return follow(
+        reader,
+        ingestor,
+        batch_logs=batch_logs,
+        poll_interval=poll_interval,
+        max_batches=max_batches,
+        idle_polls=idle_polls,
+        final=not follow_stream,
+        checkpoint_path=checkpoint_path,
+        on_append=on_append,
+    )

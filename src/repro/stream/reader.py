@@ -1,0 +1,200 @@
+"""Tail-style NDJSON reading with resumable byte offsets.
+
+:class:`LogTailReader` polls a growing stream file from a byte offset and
+yields only *complete* lines — a trailing partial line (no terminating
+newline yet: a record mid-write, or a mid-record truncation) is left
+unconsumed, so the offset only ever advances past durable records. That
+is the whole crash-safety story: persist the offset
+(:class:`StreamCheckpoint`) after applying a batch, and a restarted
+reader resumes exactly after the last applied record.
+
+Garbled lines follow the reader's error policy: ``"raise"`` surfaces the
+typed :class:`~repro.errors.LogFormatError` (offset attached),
+``"skip"`` counts the line, records the error, and keeps going — either
+way the line is consumed and can never corrupt the store, because
+nothing reaches ingest unless it parsed cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+
+from repro.darshan.log import DarshanLog
+from repro.errors import CheckpointError, LogFormatError, StreamError
+from repro.obs.tracer import trace_event, trace_span
+from repro.stream.format import parse_line
+
+_ERROR_POLICIES = ("raise", "skip")
+
+
+@dataclass
+class StreamCheckpoint:
+    """Resume state for one stream: where to read next, and how many
+    logs the target store has already absorbed (the replay guard)."""
+
+    stream: str
+    offset: int
+    logs: int
+
+    def save(self, path: str) -> None:
+        payload = json.dumps(
+            {"stream": self.stream, "offset": self.offset, "logs": self.logs}
+        )
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        os.replace(tmp, path)  # atomic: a crash never leaves a torn file
+
+    @classmethod
+    def load(cls, path: str) -> "StreamCheckpoint":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                obj = json.load(fh)
+            stream = obj["stream"]
+            offset = obj["offset"]
+            logs = obj["logs"]
+        except FileNotFoundError:
+            raise CheckpointError(f"no checkpoint at {path}") from None
+        except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError) as exc:
+            raise CheckpointError(f"malformed checkpoint {path}: {exc!r}") from None
+        if (
+            not isinstance(stream, str)
+            or not isinstance(offset, int)
+            or not isinstance(logs, int)
+            or isinstance(offset, bool)
+            or isinstance(logs, bool)
+            or offset < 0
+            or logs < 0
+        ):
+            raise CheckpointError(f"malformed checkpoint {path}: bad field types")
+        return cls(stream=stream, offset=offset, logs=logs)
+
+
+class LogTailReader:
+    """Incremental reader over one NDJSON stream file.
+
+    ``offset`` is the byte position reading starts from (resume point);
+    ``on_error`` is ``"raise"`` or ``"skip"`` for lines that do not
+    parse. :attr:`offset` always points just past the last *consumed*
+    line, so it is safe to checkpoint at any time.
+    """
+
+    def __init__(self, path: str, *, offset: int = 0, on_error: str = "raise"):
+        if on_error not in _ERROR_POLICIES:
+            raise StreamError(
+                f"on_error must be one of {_ERROR_POLICIES}, got {on_error!r}"
+            )
+        if offset < 0:
+            raise StreamError(f"offset must be >= 0, got {offset}")
+        self.path = os.fspath(path)
+        self.offset = offset
+        self.on_error = on_error
+        #: Garbled lines consumed under the ``skip`` policy.
+        self.skipped = 0
+        #: Message of the most recent skipped line's error.
+        self.last_error: str | None = None
+
+    def poll(
+        self, *, max_logs: int | None = None, final: bool = False
+    ) -> list[DarshanLog]:
+        """Parse complete lines appended since the last poll.
+
+        ``max_logs`` bounds how many parsed logs are returned (the
+        offset advances only past the lines actually consumed, so a
+        capped poll is checkpoint-exact). ``final=True`` declares that
+        no more bytes are coming: a dangling partial line is then an
+        error (or a skip) instead of patient waiting.
+
+        Under the ``raise`` policy a bad line only raises when it heads
+        the poll window; lines parsed before it are delivered first and
+        the offset parks on the bad line, so the error surfaces on the
+        *next* poll and no parsed record is ever lost.
+        """
+        with trace_span("stream.poll", "stream") as sp:
+            logs, nbytes = self._poll(max_logs=max_logs, final=final)
+            if sp is not None:
+                sp.add(
+                    path=self.path, logs=len(logs), bytes=nbytes,
+                    offset=self.offset,
+                )
+            return logs
+
+    def _poll(
+        self, *, max_logs: int | None, final: bool
+    ) -> tuple[list[DarshanLog], int]:
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(0, os.SEEK_END)
+                size = fh.tell()
+                if size < self.offset:
+                    raise StreamError(
+                        f"stream {self.path} shrank to {size} bytes below "
+                        f"resume offset {self.offset}; refusing to re-read"
+                    )
+                fh.seek(self.offset)
+                data = fh.read()
+        except OSError as exc:
+            raise StreamError(f"cannot read stream {self.path}: {exc}") from None
+
+        logs: list[DarshanLog] = []
+        start = self.offset
+        pos = 0
+        while pos < len(data):
+            if max_logs is not None and len(logs) >= max_logs:
+                break
+            nl = data.find(b"\n", pos)
+            if nl < 0:
+                # Partial tail: a record still being written (or cut off
+                # mid-write). Leave it unconsumed unless the stream is
+                # declared complete. Under the raise policy _bad_line
+                # raises before the offset advances, so a retry sees the
+                # same bytes.
+                if final:
+                    if self.on_error == "raise" and logs:
+                        break  # deliver parsed logs; next poll raises
+                    self._bad_line(
+                        data[pos:],
+                        LogFormatError(
+                            f"stream {self.path}: truncated record at end "
+                            f"of stream (offset {self.offset})"
+                        ),
+                    )
+                    self.offset += len(data) - pos
+                    pos = len(data)
+                break
+            line = data[pos:nl]
+            advance = nl + 1 - pos
+            pos = nl + 1
+            if line.strip():  # blank separator lines are legal and empty
+                try:
+                    logs.append(parse_line(line))
+                except LogFormatError as exc:
+                    if self.on_error == "raise" and logs:
+                        # Deliver what already parsed without consuming
+                        # the bad line; the next poll starts exactly on
+                        # it and raises cleanly. No record is ever
+                        # consumed but undelivered.
+                        break
+                    self._bad_line(line, exc)
+            self.offset += advance
+        return logs, self.offset - start
+
+    def _bad_line(self, line: bytes, exc: LogFormatError) -> None:
+        if self.on_error == "raise":
+            raise LogFormatError(
+                f"{exc} (stream {self.path}, offset {self.offset})"
+            ) from None
+        self.skipped += 1
+        self.last_error = str(exc)
+        trace_event(
+            "stream.skip", "stream",
+            path=self.path, offset=self.offset, error=str(exc),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LogTailReader({self.path!r}, offset={self.offset}, "
+            f"on_error={self.on_error!r}, skipped={self.skipped})"
+        )

@@ -316,3 +316,179 @@ class TestCorruptShardIngest:
             log_dir, "summit", summit_machine.mount_table(), jobs=2
         )
         assert store.njobs == 8
+
+
+class TestStreamTailFuzz:
+    """NDJSON append-log tail corpus: truncation, garbage, replay.
+
+    The stream contract (DESIGN.md §11): a malformed or half-written
+    tail yields a typed error (``raise`` policy) or a counted skip
+    (``skip`` policy) — and *never* a corrupt store, because only lines
+    that parsed cleanly reach ingest, and the reader's offset never
+    advances past an unconsumed partial record.
+    """
+
+    @staticmethod
+    def _lines(n=3):
+        from repro.stream import dump_line
+
+        return [dump_line(_make_log(job_id=200 + i)) for i in range(n)]
+
+    @staticmethod
+    def _fresh_store():
+        from repro.store.recordstore import RecordStore
+        from repro.store.schema import empty_files, empty_jobs
+        from repro.workloads.domains import domain_catalog
+
+        return RecordStore(
+            "summit", empty_files(0), empty_jobs(0),
+            domains=domain_catalog("summit"),
+        )
+
+    def test_mid_record_truncation_at_every_byte(self, tmp_path):
+        """However many bytes of the tail record exist, the reader waits.
+
+        The complete head record is always yielded; the offset always
+        stops exactly at the truncation's line start, so a resumed
+        reader re-reads only the unfinished record.
+        """
+        from repro.stream import LogTailReader
+
+        head, tail = self._lines(2)
+        path = str(tmp_path / "s.ndjson")
+        step = max(1, len(tail) // 97)  # every byte on a small-prime grid
+        for cut in range(0, len(tail) - 1, step):
+            with open(path, "wb") as fh:
+                fh.write(head.encode() + tail[:cut].encode())
+            reader = LogTailReader(path)
+            logs = reader.poll()
+            assert [lg.job.job_id for lg in logs] == [200], f"cut={cut}"
+            assert reader.offset == len(head), f"cut={cut}"
+            # Completing the record makes the next poll yield it.
+            with open(path, "ab") as fh:
+                fh.write(tail[cut:].encode())
+            assert [lg.job.job_id for lg in reader.poll()] == [201]
+
+    def test_final_truncation_is_typed_at_every_byte(self, tmp_path):
+        from repro.stream import LogTailReader
+
+        (line,) = self._lines(1)
+        path = str(tmp_path / "s.ndjson")
+        step = max(1, len(line) // 53)
+        for cut in range(1, len(line) - 1, step):
+            with open(path, "wb") as fh:
+                fh.write(line[:cut].encode())
+            with pytest.raises(LogFormatError):
+                LogTailReader(path).poll(final=True)
+
+    GARBAGE = [
+        b"\x00\xfe\xfd not even text",
+        b"{truncated json",
+        b"[1, 2, 3]",
+        b'{"job": "wrong shape"}',
+        b'{"job": {"job_id": 99999999999999999999}}',
+    ]
+
+    def test_interleaved_garbage_skip_policy_preserves_ingest(self, tmp_path):
+        """Garbage between records: skipped+logged, store as if clean."""
+        import numpy as np
+
+        from repro.stream import LogTailReader, StreamIngestor
+
+        lines = self._lines(3)
+        path = str(tmp_path / "s.ndjson")
+        with open(path, "wb") as fh:
+            for line, junk in zip(lines, self.GARBAGE):
+                fh.write(line.encode() + junk + b"\n")
+        reader = LogTailReader(path, on_error="skip")
+        logs = reader.poll(final=True)
+        assert [lg.job.job_id for lg in logs] == [200, 201, 202]
+        assert reader.skipped == 3 and reader.last_error is not None
+
+        dirty, clean = self._fresh_store(), self._fresh_store()
+        from repro.platforms import summit
+
+        StreamIngestor(dirty, summit().mount_table()).apply(logs)
+        with open(path, "wb") as fh:
+            fh.writelines(line.encode() for line in lines)
+        clean_logs = LogTailReader(path).poll(final=True)
+        StreamIngestor(clean, summit().mount_table()).apply(clean_logs)
+        np.testing.assert_array_equal(dirty.files, clean.files)
+        np.testing.assert_array_equal(dirty.jobs, clean.jobs)
+
+    def test_interleaved_garbage_raise_policy_is_resumable(self, tmp_path):
+        """Raise policy: typed error, offset parked at the bad line."""
+        from repro.stream import LogTailReader
+
+        lines = self._lines(2)
+        path = str(tmp_path / "s.ndjson")
+        with open(path, "wb") as fh:
+            fh.write(lines[0].encode() + b"{junk}\n" + lines[1].encode())
+        reader = LogTailReader(path)
+        # The record ahead of the junk is delivered, not lost; the error
+        # surfaces on the next poll with the offset parked on the junk.
+        assert [lg.job.job_id for lg in reader.poll()] == [200]
+        with pytest.raises(LogFormatError, match="offset"):
+            reader.poll()
+        assert reader.offset == len(lines[0])
+        # Switching policy (as an operator would) resumes in place.
+        reader.on_error = "skip"
+        assert [lg.job.job_id for lg in reader.poll()] == [201]
+        assert reader.skipped == 1
+
+    def test_duplicate_offset_replay_never_reaches_the_store(self, tmp_path):
+        """A stale checkpoint is a typed refusal; the store is untouched."""
+        import numpy as np
+
+        from repro.errors import CheckpointError
+        from repro.platforms import summit
+        from repro.stream import StreamCheckpoint, ingest_stream
+
+        path = str(tmp_path / "s.ndjson")
+        ckpt = str(tmp_path / "c.json")
+        with open(path, "w") as fh:
+            fh.writelines(self._lines(3))
+        store = self._fresh_store()
+        mounts = summit().mount_table()
+        ingest_stream(path, store, mounts, checkpoint_path=ckpt)
+        before_files, before_jobs = store.files.copy(), store.jobs.copy()
+        StreamCheckpoint(path, 0, 0).save(ckpt)  # rewound: would replay
+        with pytest.raises(CheckpointError):
+            ingest_stream(path, store, mounts, checkpoint_path=ckpt)
+        np.testing.assert_array_equal(store.files, before_files)
+        np.testing.assert_array_equal(store.jobs, before_jobs)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_seeded_stream_mutations_only_typed_errors(self, tmp_path, seed):
+        """Whole-stream corruption sweep, both error policies.
+
+        However the bytes are mangled, only typed ``repro.errors``
+        exceptions escape, and whatever *was* ingested forms a store the
+        analysis layer accepts.
+        """
+        from repro.analysis import layer_volumes
+        from repro.platforms import summit
+        from repro.stream import LogTailReader, StreamIngestor
+
+        base = "".join(self._lines(3)).encode()
+        rng = np.random.default_rng(20220627 + seed)
+        path = str(tmp_path / "s.ndjson")
+        mounts = summit().mount_table()
+        for _ in range(40):
+            data = TestSeededCorruptionHarness._mutate(rng, base)
+            for policy in ("skip", "raise"):
+                with open(path, "wb") as fh:
+                    fh.write(data)
+                store = self._fresh_store()
+                reader = LogTailReader(path, on_error=policy)
+                try:
+                    logs = reader.poll(final=True)
+                    StreamIngestor(store, mounts).apply(logs)
+                except ReproError:
+                    continue  # typed rejection: the contract
+                except Exception as exc:  # pragma: no cover - the bug we hunt
+                    pytest.fail(
+                        f"bare {type(exc).__name__} escaped the stream "
+                        f"path: {exc}"
+                    )
+                layer_volumes(store)  # whatever landed is analyzable
