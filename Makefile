@@ -3,7 +3,7 @@
 # -p no:randomly is a no-op unless pytest-randomly happens to be installed.
 PYTEST = PYTHONHASHSEED=0 PYTHONPATH=src python -m pytest -p no:randomly
 
-.PHONY: check test parallel stress bench bench-analysis bench-generate bench-serve serve-tests obs-tests bench-obs stream-tests bench-stream
+.PHONY: check test parallel stress bench bench-analysis bench-analysis-parallel bench-generate bench-serve serve-tests obs-tests bench-obs stream-tests bench-stream fabric-tests
 
 # Fast development loop: everything except the multi-million-row stress
 # guards and the (pool-spawning, slow on few cores) differential suite.
@@ -33,6 +33,15 @@ bench-analysis:
 # Just the sharded-generation speedup benchmark; writes BENCH_generate.json.
 bench-generate:
 	$(PYTEST) -q benchmarks/bench_generator.py
+
+# Serial vs sharded analysis over a cold context; writes
+# BENCH_analysis_parallel.json (gated >= 2x only on >= 4-core runners).
+bench-analysis-parallel:
+	$(PYTEST) -q benchmarks/bench_analysis_parallel.py
+
+# Shard-fabric unit tests: shm hand-off, pipe budget, leak-proof cleanup.
+fabric-tests:
+	$(PYTEST) -x -q tests/test_fabric.py
 
 # Only the serving-subsystem invariants (coalescing/backpressure/equivalence).
 serve-tests:

@@ -1,0 +1,94 @@
+"""Sharded analysis throughput: serial vs fan-out cold context.
+
+Not a paper exhibit — the engineering benchmark for the shard fabric's
+read side (DESIGN.md §12). Runs the heavy analysis entry points twice
+over the same bench-scale store, each time through a *cold* context:
+once serial, once sharded at jobs=4 with a pre-warmed worker pool (pool
+startup is amortized across a session, so steady-state is the honest
+comparison; the JSON artifact records the pool warm-up cost
+separately). The speedup gate only binds on runners with ≥ 4 cores —
+on smaller machines the artifact still documents the fan-out overhead.
+"""
+
+import os
+import time
+
+from conftest import write_bench_json
+
+from repro import analysis
+from repro.parallel import shutdown_pools, warm_pool
+from repro.store.recordstore import RecordStore
+
+JOBS = 4
+
+#: The entry points that dominate a full-study analysis pass: every
+#: primitive kind (masks, gathers, histogram-bin sums, bandwidth) is
+#: exercised by at least one of them.
+ENTRY_POINTS = (
+    ("transfer_cdfs", analysis.transfer_cdfs),
+    ("interface_transfer_cdfs", analysis.interface_transfer_cdfs),
+    ("request_cdfs", analysis.request_cdfs),
+    ("file_classification", analysis.file_classification),
+    ("insystem_domain_usage", analysis.insystem_domain_usage),
+    ("performance_by_bin", analysis.performance_by_bin),
+    ("bandwidth_variability", analysis.bandwidth_variability),
+)
+
+
+def _fresh_copy(store, jobs=None):
+    """A cold-context store sharing the fixture's (read-only) tables."""
+    copy = RecordStore(
+        store.platform,
+        store.files,
+        store.jobs,
+        domains=store.domains,
+        extensions=store.extensions,
+        scale=store.scale,
+    )
+    if jobs is not None:
+        copy.set_analysis_jobs(jobs)
+    return copy
+
+
+def _run_all(store) -> float:
+    t0 = time.perf_counter()
+    for _, fn in ENTRY_POINTS:
+        fn(store)
+    return time.perf_counter() - t0
+
+
+def test_sharded_analysis_speedup(summit_store, results_dir):
+    serial_s = _run_all(_fresh_copy(summit_store))
+
+    t0 = time.perf_counter()
+    warm_pool(JOBS)
+    warm_s = time.perf_counter() - t0
+
+    sharded = _fresh_copy(summit_store, jobs=JOBS)
+    try:
+        parallel_s = _run_all(sharded)
+    finally:
+        sharded.analysis().close()
+        shutdown_pools()
+
+    speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+    write_bench_json(
+        results_dir,
+        "analysis_parallel",
+        {
+            "platform": "summit",
+            "rows": len(summit_store.files),
+            "entry_points": [name for name, _ in ENTRY_POINTS],
+            "serial_seconds": round(serial_s, 3),
+            "parallel_seconds": round(parallel_s, 3),
+            "pool_warm_seconds": round(warm_s, 3),
+            "jobs": JOBS,
+            "speedup": round(speedup, 3),
+            "cpu_count": cores,
+        },
+    )
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"{JOBS}-way sharded analysis only {speedup:.2f}x faster"
+        )

@@ -44,22 +44,26 @@ def test_sharded_generation_speedup(results_dir):
     Times one run each (the population is ~3M rows; pytest-benchmark's
     repeated rounds would dominate the suite) and records the honest
     numbers — including the core count, since the speedup is only
-    meaningful on a multi-core runner. The ≥2.5x floor is asserted where
-    4 cores exist; on smaller runners the artifact still documents the
-    overhead of the sharded path.
+    meaningful on a multi-core runner. The floor scales with the
+    machine — ≥ 0.7 · min(jobs, cores), i.e. 70% parallel efficiency —
+    and is asserted where 4 cores exist; on smaller runners the
+    artifact still documents the overhead of the sharded path.
     """
     gen = WorkloadGenerator("summit", GeneratorConfig())
+    jobs = 4
 
     t0 = time.perf_counter()
     serial = generate_with_shadows(gen, BENCH_SEED, jobs=1)
     serial_s = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    sharded = generate_with_shadows(gen, BENCH_SEED, jobs=4)
+    sharded = generate_with_shadows(gen, BENCH_SEED, jobs=jobs)
     parallel_s = time.perf_counter() - t0
 
     assert len(sharded.files) == len(serial.files)
     speedup = serial_s / parallel_s
+    cores = os.cpu_count() or 1
+    floor = 0.7 * min(jobs, cores)
     write_bench_json(
         results_dir,
         "generate",
@@ -69,15 +73,19 @@ def test_sharded_generation_speedup(results_dir):
             "rows": len(serial.files),
             "serial_seconds": round(serial_s, 3),
             "parallel_seconds": round(parallel_s, 3),
-            "jobs": 4,
+            "jobs": jobs,
             "speedup": round(speedup, 3),
-            "cpu_count": os.cpu_count(),
+            "speedup_floor": round(floor, 3),
+            "cpu_count": cores,
             "rows_per_second_serial": round(len(serial.files) / serial_s),
             "rows_per_second_parallel": round(len(sharded.files) / parallel_s),
         },
     )
-    if (os.cpu_count() or 1) >= 4:
-        assert speedup >= 2.5, f"4-way sharding only {speedup:.2f}x faster"
+    if cores >= 4:
+        assert speedup >= floor, (
+            f"{jobs}-way sharding only {speedup:.2f}x faster "
+            f"(floor {floor:.2f}x on {cores} cores)"
+        )
 
 
 def test_object_path_throughput(benchmark, results_dir):

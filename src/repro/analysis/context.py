@@ -130,8 +130,7 @@ class AppendDelta:
 
     def tail_hist_sum(self, column: str, *keys) -> np.ndarray:
         """Per-bin ``int64`` totals of a histogram column over tail rows."""
-        idx = self._tail.idx(*keys)
-        return self._tail.column(column)[idx].sum(axis=0)
+        return self._tail.hist_sum(column, *keys)
 
 
 class AnalysisContext:
@@ -301,6 +300,15 @@ class AnalysisContext:
                 kind = key[0]
                 if kind == "result":
                     continue  # handled by _fold_results
+                if kind == "hist_sum":
+                    # Not a row-aligned array: an exact int64 reduction.
+                    # Bin totals add associatively, so the grown entry is
+                    # the old totals plus the tail totals — elementwise
+                    # add, no growth buffer involved.
+                    self._memo[key] = self._memo[key] + delta.tail_hist_sum(
+                        key[1], *key[2]
+                    )
+                    continue
                 if kind == "mask":
                     tail = delta.tail_mask(key[1])
                 elif kind == "idx":
@@ -488,6 +496,21 @@ class AnalysisContext:
         keys = tuple(sorted(keys, key=repr))
         return self.cached(
             ("gather", column, keys), lambda: self.column(column)[self.idx(*keys)]
+        )
+
+    def hist_sum(self, column: str, *keys) -> np.ndarray:
+        """Per-bin ``int64`` totals of a histogram column at ``idx(*keys)``.
+
+        The aggregate behind the request-size CDFs. Cached as its own
+        primitive (rather than inside the analysis result) because bin
+        totals reduce associatively and exactly in ``int64`` — both the
+        append delta path and the sharded context exploit that to fold
+        partial sums instead of re-reading rows.
+        """
+        keys = tuple(sorted(keys, key=repr))
+        return self.cached(
+            ("hist_sum", column, keys),
+            lambda: self.column(column)[self.idx(*keys)].sum(axis=0),
         )
 
     def positive(self, column: str, *keys) -> np.ndarray:

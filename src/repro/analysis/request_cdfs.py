@@ -79,7 +79,6 @@ def request_cdfs(
 
 def _compute(ctx: AnalysisContext, large_jobs_only: bool) -> list[RequestCdf]:
     store = ctx.store
-    f = store.files
     out = []
     for layer, code in ctx.layer_items():
         keys = [("interface", int(IOInterface.POSIX)), ("layer", code)]
@@ -89,9 +88,10 @@ def _compute(ctx: AnalysisContext, large_jobs_only: bool) -> list[RequestCdf]:
         if not len(idx):
             continue
         for direction, col in (("read", "read_hist"), ("write", "write_hist")):
-            # Histogram rows are 80 bytes each; gather them once per
-            # group and reduce immediately rather than caching the copy.
-            totals = f[col][idx].sum(axis=0)
+            # Histogram rows are 80 bytes each; the hist_sum primitive
+            # reduces them without caching the gathered copy (and lets
+            # the sharded context sum per row range in workers).
+            totals = ctx.hist_sum(col, *keys)
             if totals.sum() == 0:
                 continue
             out.append(

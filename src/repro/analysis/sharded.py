@@ -1,0 +1,423 @@
+"""Sharded analysis: primitive fan-out over contiguous row ranges.
+
+:class:`ShardedAnalysisContext` is a drop-in
+:class:`~repro.analysis.context.AnalysisContext` whose *primitives* —
+boolean masks, index arrays, gathers, derived columns, histogram-bin
+sums — are computed by pool workers over contiguous row ranges instead
+of a single serial pass. The fifteen analysis entry points themselves
+are untouched: they keep running in the parent against the assembled
+primitive arrays, so sharding is invisible above this layer.
+
+Bit-identity (the same contract DESIGN.md §8 states for the write-side
+shards) rests on two properties every primitive has:
+
+* **row-local** — a row's mask/opclass/transfer/bandwidth value is a
+  function of that row alone, so a worker computing rows ``[lo, hi)``
+  produces exactly the slice ``serial_result[lo:hi]``;
+* **order-preserving** — index arrays are ascending and gathers follow
+  them, so per-range results concatenated in range order equal the
+  serial arrays; histogram-bin sums are exact ``int64`` reductions that
+  add associatively across ranges.
+
+Workers therefore run the *serial* ``AnalysisContext`` code over a
+range-sliced view (:class:`_RangeStore`) — there is no second
+implementation of any predicate to drift out of sync.
+
+Zero-copy data paths (DESIGN.md §12):
+
+* **rows to workers** — when the store was loaded from the raw layout
+  (``RecordStore.files_path``), workers ``mmap`` the same ``files.npy``
+  and share the page cache; otherwise the parent copies the file table
+  once into a shared-memory backing segment that workers attach (and
+  cache) by name. Either way no rows cross the pool pipe.
+* **fixed-size results to parent** — the parent preallocates a
+  :class:`repro.fabric.Arena` sized for the whole output; each worker
+  writes only its ``[lo:hi)`` slice and the parent's arena view *is*
+  the assembled array.
+* **variable-size results** — per-range index/gather arrays travel as
+  :class:`repro.fabric.TablesRef` headers (segment name + dtype +
+  shape), concatenated by the parent while mapped, then unlinked.
+
+Every fan-out goes through :func:`repro.parallel.run_sharded`, so pool
+reuse, worker tracing, ShardError wrapping, and leak-proof cleanup on a
+failing shard are shared with the generate/ingest pipelines.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+
+import numpy as np
+
+from repro import fabric
+from repro.analysis.context import AnalysisContext
+from repro.errors import AnalysisError
+from repro.parallel import contiguous_row_ranges, resolve_jobs, run_sharded
+
+#: Below this many file rows the fan-out overhead outweighs the split;
+#: the context silently degrades to the inherited serial computes.
+MIN_ROWS = 2048
+
+#: Variable-size worker results smaller than this are pickled directly —
+#: a shm segment per 80-byte histogram sum would be pure overhead.
+_INLINE_BYTES = 4096
+
+#: Worker-side cache caps. Pool workers are persistent, so range
+#: contexts (with their memoized masks) and backing handles are reused
+#: across fan-outs; bounded so a long-lived worker serving many stores
+#: cannot hoard memory.
+_CTX_CACHE_CAP = 32
+_BACKING_CACHE_CAP = 4
+
+
+class _RangeStore:
+    """The minimal store shape a worker-side AnalysisContext needs.
+
+    Holds one contiguous slice of the file table. Never mutated, so the
+    generation is forever 0 and the worker context can never go stale.
+    """
+
+    generation = 0
+
+    def __init__(self, files: np.ndarray):
+        self.files = files
+
+
+# -- worker side -------------------------------------------------------------
+# A backing entry owns its mapping AND every range context built over
+# it; they are evicted together. Closing a shared-memory mapping does
+# NOT fail while numpy views into it are alive — it silently unmaps and
+# later reads crash — so the only safe close point is after the views'
+# owners (the cached contexts) are dropped in the same step.
+_backings: dict[tuple, tuple] = {}  # key -> (SharedMemory | None, rows)
+_range_ctxs: dict[tuple, AnalysisContext] = {}
+
+
+def _backing_key(backing) -> tuple:
+    kind, src = backing
+    if kind == "mmap":
+        st = os.stat(src)
+        return (kind, src, st.st_mtime_ns, st.st_size)
+    return (kind, src.name)
+
+
+def _open_rows(backing) -> tuple[tuple, np.ndarray]:
+    key = _backing_key(backing)
+    entry = _backings.get(key)
+    if entry is None:
+        while len(_backings) >= _BACKING_CACHE_CAP:
+            old = next(iter(_backings))
+            old_shm, _ = _backings.pop(old)
+            for k in [k for k in _range_ctxs if k[0] == old]:
+                del _range_ctxs[k]
+            if old_shm is not None:
+                old_shm.close()  # contexts (and their views) are gone
+        kind, src = backing
+        if kind == "mmap":
+            # np.memmap owns its mapping; refcounting reclaims it.
+            entry = (None, np.load(src, mmap_mode="r", allow_pickle=False))
+        else:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(name=src.name)
+            rows = np.ndarray(
+                src.shape, dtype=np.dtype(src.descr), buffer=shm.buf
+            )
+            entry = (shm, rows)
+        _backings[key] = entry
+    return key, entry[1]
+
+
+def _range_context(backing, lo: int, hi: int) -> AnalysisContext:
+    bkey, rows = _open_rows(backing)
+    key = (bkey, lo, hi)
+    ctx = _range_ctxs.get(key)
+    if ctx is None:
+        while len(_range_ctxs) >= _CTX_CACHE_CAP:
+            del _range_ctxs[next(iter(_range_ctxs))]
+        ctx = AnalysisContext(_RangeStore(rows[lo:hi]))
+        _range_ctxs[key] = ctx
+    return ctx
+
+
+def _analysis_shard(task):
+    """Pool worker: one primitive over one contiguous row range.
+
+    Runs the inherited serial code on a range-local context (cached per
+    range, so one fan-out's masks feed the next fan-out's index
+    arrays). Fixed-size results are written straight into the parent's
+    arena slice; variable-size results ship as shm refs or, when tiny,
+    as themselves.
+    """
+    backing, lo, hi, op, out = task
+    ctx = _range_context(backing, lo, hi)
+    kind = op[0]
+    if kind == "mask":
+        val = ctx.mask(op[1])
+    elif kind == "idx":
+        val = ctx.idx(*op[1]) + lo  # local ascending + range base = global
+    elif kind == "gather":
+        val = ctx.gather(op[1], *op[2])
+    elif kind == "positive":
+        val = ctx.positive(op[1], *op[2])
+    elif kind == "hist_sum":
+        val = ctx.hist_sum(op[1], *op[2])
+    elif kind == "transfer_sizes":
+        val = ctx.transfer_sizes()
+    elif kind == "opclass":
+        val = ctx.opclass()
+    elif kind == "bandwidth":
+        val = ctx.bandwidth(op[1])
+    else:
+        raise AnalysisError(f"unknown sharded analysis op {op!r}")
+    if out is not None:
+        dest = out.open()
+        if dest.dtype != val.dtype:
+            raise AnalysisError(
+                f"sharded {kind}: worker produced {val.dtype}, arena "
+                f"expects {dest.dtype}"
+            )
+        dest[lo:hi] = val
+        return None
+    if val.nbytes > _INLINE_BYTES:
+        return fabric.export_tables([np.ascontiguousarray(val)])
+    # Small arrays may be views into the cached context; copy so the
+    # pickle does not drag a base array across the pipe.
+    return np.ascontiguousarray(val)
+
+
+def _close_arenas(arenas: list) -> None:
+    while arenas:
+        arenas.pop().close()
+
+
+# -- parent side -------------------------------------------------------------
+class ShardedAnalysisContext(AnalysisContext):
+    """An AnalysisContext whose primitives fan out over row ranges.
+
+    Construct via :meth:`RecordStore.set_analysis_jobs` +
+    :meth:`RecordStore.analysis`. Results are bit-identical to the
+    serial context; only the wall-clock differs. Falls back to the
+    inherited serial computes when the store is too small to split
+    (fewer than ``min_rows`` rows, or fewer rows than workers).
+
+    Cache keys are exactly the serial context's, so the append-delta
+    machinery (:meth:`AnalysisContext.apply_append`) extends sharded-
+    computed entries the same way it extends serial ones — after an
+    append the backing segment is stale and is rebuilt on the next
+    fan-out.
+    """
+
+    def __init__(self, store, *, jobs: int, min_rows: int | None = None):
+        super().__init__(store)
+        self._jobs = resolve_jobs(jobs)
+        self._min_rows = MIN_ROWS if min_rows is None else int(min_rows)
+        self._backing = None
+        self._backing_src = None
+        self._backing_arena = None
+        self._ranges: tuple = ()
+        # Arenas (backing + outputs) this context owns; the finalizer
+        # unlinks them when the context is garbage collected, close()
+        # does it eagerly. Shared by reference with the finalizer so
+        # arenas added later are still covered.
+        self._arenas: list = []
+        self._finalizer = weakref.finalize(self, _close_arenas, self._arenas)
+
+    # Arenas and shm handles cannot travel across pickling (the parent
+    # owns the unlink); a restored context simply re-exports on demand.
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state["_backing"] = None
+        state["_backing_src"] = None
+        state["_backing_arena"] = None
+        state["_ranges"] = ()
+        state["_arenas"] = []
+        state.pop("_finalizer", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._finalizer = weakref.finalize(self, _close_arenas, self._arenas)
+
+    def close(self) -> None:
+        """Release every owned shm segment and drop the memo.
+
+        Arrays previously returned by primitives may alias the segments
+        released here; closing a mapping unmaps it even under live
+        numpy views (they do not pin it), so those arrays become
+        invalid. Copy anything you need before closing. The memo is
+        cleared so the context itself never resurrects a dangling
+        entry — primitives recompute on next use.
+        """
+        with self._lock:
+            self._memo.clear()
+            self._grow.clear()
+            self._backing = None
+            self._backing_src = None
+            self._backing_arena = None
+            self._ranges = ()
+            _close_arenas(self._arenas)
+
+    # -- fan-out plumbing ----------------------------------------------------
+    def _active(self) -> bool:
+        n = len(self._store.files)
+        return self._jobs > 1 and n >= max(self._min_rows, self._jobs, 2)
+
+    def _ensure_backing(self):
+        """(backing descriptor, row ranges) for the current file table."""
+        files = self._store.files
+        if self._backing is not None and self._backing_src is files:
+            return self._backing, self._ranges
+        if self._backing_arena is not None:
+            # Stale backing (the table was swapped by an append): the
+            # copy is dead weight, workers re-attach the fresh one.
+            try:
+                self._arenas.remove(self._backing_arena)
+            except ValueError:
+                pass
+            self._backing_arena.close()
+            self._backing_arena = None
+        path = getattr(self._store, "files_path", None)
+        if path is not None and isinstance(files, np.memmap):
+            # Raw-layout store, table untouched since load: workers mmap
+            # the same files.npy and share the page cache.
+            backing = ("mmap", path)
+        else:
+            arena = fabric.Arena(files.dtype, files.shape)
+            arena.view()[...] = files
+            self._arenas.append(arena)
+            self._backing_arena = arena
+            backing = ("arena", arena.spec)
+        nrows = len(files)
+        # Enough planning blocks that every worker gets a range (the
+        # ranges-per-jobs equality also keeps run_sharded on the same
+        # pool size warm_pool created, which matters under serve's
+        # threads).
+        block = max(1, min(65536, -(-nrows // (self._jobs * 8))))
+        self._backing = backing
+        self._backing_src = files
+        self._ranges = tuple(
+            contiguous_row_ranges(nrows, self._jobs, block=block)
+        )
+        return self._backing, self._ranges
+
+    def _fan_fixed(self, op, dtype) -> np.ndarray:
+        """Fan out a row-aligned primitive into a parent-owned arena."""
+        backing, ranges = self._ensure_backing()
+        arena = fabric.Arena(np.dtype(dtype), self._store.files.shape)
+        try:
+            tasks = [(backing, lo, hi, op, arena.spec) for lo, hi in ranges]
+            run_sharded(_analysis_shard, tasks, jobs=self._jobs)
+        except BaseException:
+            arena.close()
+            raise
+        self._arenas.append(arena)
+        return arena.view()
+
+    def _fan_reduce(self, op, reduce) -> np.ndarray:
+        """Fan out a variable-size primitive; reduce in range order."""
+        backing, ranges = self._ensure_backing()
+        tasks = [(backing, lo, hi, op, None) for lo, hi in ranges]
+        return run_sharded(
+            _analysis_shard, tasks, jobs=self._jobs, reduce=reduce
+        )
+
+    # -- primitive overrides (cache keys identical to the serial ones) ------
+    def mask(self, key) -> np.ndarray:
+        if not self._active():
+            return super().mask(key)
+        return self.cached(
+            ("mask", key), lambda: self._fan_fixed(("mask", key), np.bool_)
+        )
+
+    def transfer_sizes(self) -> np.ndarray:
+        if not self._active():
+            return super().transfer_sizes()
+        dtype = np.result_type(
+            self._store.files.dtype["bytes_read"],
+            self._store.files.dtype["bytes_written"],
+        )
+        return self.cached(
+            "transfer_sizes",
+            lambda: self._fan_fixed(("transfer_sizes",), dtype),
+        )
+
+    def opclass(self) -> np.ndarray:
+        if not self._active():
+            return super().opclass()
+        return self.cached(
+            "opclass", lambda: self._fan_fixed(("opclass",), np.uint8)
+        )
+
+    def bandwidth(self, direction: str) -> np.ndarray:
+        if direction not in ("read", "write"):
+            raise AnalysisError(f"direction must be read/write, got {direction!r}")
+        if not self._active():
+            return super().bandwidth(direction)
+        return self.cached(
+            ("bandwidth", direction),
+            lambda: self._fan_fixed(("bandwidth", direction), np.float64),
+        )
+
+    def idx(self, *keys) -> np.ndarray:
+        if not keys:
+            raise AnalysisError("idx() needs at least one mask key")
+        keys = tuple(sorted(keys, key=repr))
+        if not self._active():
+            return super().idx(*keys)
+        return self.cached(
+            ("idx", keys),
+            lambda: self._fan_reduce(("idx", keys), np.concatenate),
+        )
+
+    def gather(self, column: str, *keys) -> np.ndarray:
+        keys = tuple(sorted(keys, key=repr))
+        if not self._active():
+            return super().gather(column, *keys)
+        return self.cached(
+            ("gather", column, keys),
+            lambda: self._fan_reduce(("gather", column, keys), np.concatenate),
+        )
+
+    def positive(self, column: str, *keys) -> np.ndarray:
+        keys = tuple(sorted(keys, key=repr))
+        if not self._active():
+            return super().positive(column, *keys)
+        return self.cached(
+            ("positive", column, keys),
+            lambda: self._fan_reduce(
+                ("positive", column, keys), np.concatenate
+            ),
+        )
+
+    def hist_sum(self, column: str, *keys) -> np.ndarray:
+        keys = tuple(sorted(keys, key=repr))
+        if not self._active():
+            return super().hist_sum(column, *keys)
+        return self.cached(
+            ("hist_sum", column, keys),
+            lambda: self._fan_reduce(
+                ("hist_sum", column, keys),
+                # Exact int64 partial sums add associatively across
+                # ranges — the same identity the append fold relies on.
+                lambda parts: np.sum(np.stack(parts), axis=0),
+            ),
+        )
+
+    def apply_append(self, files_full, files_tail, new_jobs) -> None:
+        super().apply_append(files_full, files_tail, new_jobs)
+        # The delta update copied every extended entry into growth
+        # buffers (and hist_sum into fresh arrays), so no memo value
+        # aliases the old arenas any more; the backing is stale either
+        # way. Release it all — the next fan-out re-exports.
+        with self._lock:
+            self._backing = None
+            self._backing_src = None
+            self._backing_arena = None
+            self._ranges = ()
+            _close_arenas(self._arenas)
+
+    def __repr__(self) -> str:
+        base = super().__repr__()
+        return "Sharded" + f"{base[:-1]}, jobs={self._jobs})"

@@ -71,17 +71,28 @@ def _build_parser() -> argparse.ArgumentParser:
     common(p_shapes)
     traceable(p_shapes)
 
-    p_gen = sub.add_parser("generate", help="generate a store to .npz")
+    p_gen = sub.add_parser("generate", help="generate a store to disk")
     common(p_gen)
     traceable(p_gen)
-    p_gen.add_argument("--out", required=True, help="output .npz path")
+    p_gen.add_argument(
+        "--out", required=True,
+        help="output path: .npz (compressed, portable) or a .store "
+             "directory (uncompressed raw layout that later loads "
+             "memory-mapped — the fast path for 'analyze --jobs')",
+    )
 
     p_an = sub.add_parser("analyze", help="run one exhibit over a saved store")
     p_an.add_argument(
-        "store", nargs="?", default=None, help=".npz store from 'generate'"
+        "store", nargs="?", default=None,
+        help=".npz file or .store directory from 'generate'",
     )
     p_an.add_argument(
         "--exhibit", choices=exhibit_names(), default="table3"
+    )
+    p_an.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sharded analysis "
+             "(1 = serial, 0 = all cores; results are identical)",
     )
     p_an.add_argument(
         "--list", action="store_true",
@@ -140,7 +151,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p_srv = sub.add_parser(
         "serve", help="serve analysis queries over a loaded store (NDJSON/TCP)"
     )
-    p_srv.add_argument("store", help=".npz store from 'generate'")
+    p_srv.add_argument(
+        "store", help=".npz file or .store directory from 'generate'"
+    )
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument("--port", type=int, default=7786)
     p_srv.add_argument(
@@ -158,6 +171,11 @@ def _build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument(
         "--timeout", type=float, default=None,
         help="default per-request deadline in seconds",
+    )
+    p_srv.add_argument(
+        "--analysis-jobs", type=int, default=None,
+        help="worker processes for sharded analysis primitives "
+             "(default serial; 0 = all cores)",
     )
     traceable(p_srv)
 
@@ -252,6 +270,8 @@ def _cmd_analyze(args) -> int:
               file=sys.stderr)
         return 2
     store = load_store(args.store)
+    if args.jobs != 1:
+        store.set_analysis_jobs(args.jobs)
     spec = registry[args.exhibit]
     result = run_query(store, args.exhibit)
     print(render_results(spec.title, spec.headers, result))
@@ -312,6 +332,7 @@ def _cmd_serve(args) -> int:  # pragma: no cover - blocking accept loop
         max_queue=args.queue_depth,
         cache_entries=args.cache_entries,
         default_timeout=args.timeout,
+        analysis_jobs=args.analysis_jobs,
     )
     run_server(engine, args.host, args.port)
     return 0

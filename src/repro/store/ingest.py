@@ -232,8 +232,14 @@ def ingest_log_paths(
         payloads = [
             (paths[sl], platform, mounts, tuple(domains), scale) for sl in slices
         ]
-        shards = run_sharded(_ingest_shard, payloads, jobs=njobs)
-        return merge_stores(shards, remap_log_ids=True, nlogs_rule="sum")
+        # Shard stores travel as shared-memory headers, never pickled
+        # payloads; the merge copies, then every segment is unlinked.
+        return run_sharded(
+            _ingest_shard, payloads, jobs=njobs, shm=True,
+            reduce=lambda shards: merge_stores(
+                shards, remap_log_ids=True, nlogs_rule="sum"
+            ),
+        )
 
 
 def _op_count(rec, direction: str) -> int:

@@ -171,8 +171,16 @@ def _merge_stores(
             part["ext"] = ext_luts[i][part["ext"].astype(np.int32) + 1]
         if remap_log_ids:
             log_base += _remap_log_ids(part, s.jobs, log_base)
-        jobs = s.jobs.copy()
+        # Copy a shard's job table only when it must be rewritten; the
+        # read-only case concatenates below anyway, and with shm-backed
+        # shard views the skipped copy keeps the hand-off zero-copy
+        # until the single final concatenation.
+        jobs = s.jobs
+        if remap_job_ids:
+            jobs = jobs.copy()  # job ids are rewritten in place below
         if len(jobs) and not _is_identity(dom_luts[i]):
+            if jobs is s.jobs:
+                jobs = jobs.copy()
             jobs["domain"] = dom_luts[i][jobs["domain"].astype(np.int32) + 1]
         if remap_job_ids:
             uniq, inverse = np.unique(jobs["job_id"], return_inverse=True)

@@ -221,8 +221,13 @@ class WorkloadGenerator:
                 [u.cost for u in units], njobs * SHARDS_PER_WORKER
             )
             payloads = [(self, hub, units[sl]) for sl in slices]
-            shards = run_sharded(_generate_shard, payloads, jobs=njobs)
-            return merge_stores(shards, nlogs_rule="max")
+            # Shard tables come back through the shared-memory fabric
+            # (headers on the pipe, bytes in /dev/shm); merge_stores
+            # copies into the final store, then the segments are freed.
+            return run_sharded(
+                _generate_shard, payloads, jobs=njobs, shm=True,
+                reduce=lambda shards: merge_stores(shards, nlogs_rule="max"),
+            )
 
     def _plan_units(self, batches: list[_JobBatch | None]) -> list[_FileUnit]:
         """The deterministic unit list: every (archetype, group, block)."""

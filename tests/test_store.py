@@ -269,3 +269,98 @@ class TestPersistenceCorruption:
     def test_missing_file_stays_file_not_found(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             load_store(str(tmp_path / "nope.npz"))
+
+
+class TestRawLayout:
+    """The mmap-able `.store` directory layout (DESIGN.md §12)."""
+
+    def test_round_trip_matches_npz_twin(self, tmp_path):
+        """One store, both layouts: identical tables and catalogs."""
+        st = tiny_store()
+        raw = str(tmp_path / "twin.store")
+        npz = str(tmp_path / "twin.npz")
+        save_store(st, raw)
+        save_store(st, npz)
+        a, b = load_store(raw), load_store(npz)
+        assert a.platform == b.platform == st.platform
+        assert a.scale == b.scale == st.scale
+        assert a.domains == b.domains == st.domains
+        assert a.extensions == b.extensions
+        np.testing.assert_array_equal(np.asarray(a.files), b.files)
+        np.testing.assert_array_equal(np.asarray(a.jobs), b.jobs)
+
+    def test_suffix_selects_layout(self, tmp_path):
+        raw = str(tmp_path / "auto.store")
+        save_store(tiny_store(), raw)
+        assert os.path.isdir(raw)
+        assert sorted(os.listdir(raw)) == ["files.npy", "jobs.npy", "meta.json"]
+
+    def test_explicit_layout_overrides_suffix(self, tmp_path):
+        path = str(tmp_path / "odd-name")
+        save_store(tiny_store(), path, layout="raw")
+        assert os.path.isdir(path)
+        out = load_store(path)
+        assert out.platform == "summit"
+
+    def test_unknown_layout_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="unknown store layout"):
+            save_store(tiny_store(), str(tmp_path / "x"), layout="parquet")
+
+    def test_loads_memory_mapped_by_default(self, tmp_path):
+        path = str(tmp_path / "m.store")
+        save_store(tiny_store(), path)
+        out = load_store(path)
+        assert isinstance(out.files, np.memmap)
+        assert isinstance(out.jobs, np.memmap)
+        assert out.files_path == os.path.join(path, "files.npy")
+
+    def test_mmap_false_reads_into_memory(self, tmp_path):
+        path = str(tmp_path / "m.store")
+        save_store(tiny_store(), path)
+        out = load_store(path, mmap=False)
+        assert not isinstance(out.files, np.memmap)
+        np.testing.assert_array_equal(out.files, tiny_store().files)
+
+    def test_missing_meta_is_typed(self, tmp_path):
+        path = str(tmp_path / "bad.store")
+        save_store(tiny_store(), path)
+        os.remove(os.path.join(path, "meta.json"))
+        with pytest.raises(StoreError, match="missing meta.json"):
+            load_store(path)
+
+    def test_missing_table_is_typed(self, tmp_path):
+        path = str(tmp_path / "bad.store")
+        save_store(tiny_store(), path)
+        os.remove(os.path.join(path, "files.npy"))
+        with pytest.raises(StoreError, match="missing array 'files'"):
+            load_store(path)
+
+    def test_corrupt_meta_json_is_typed(self, tmp_path):
+        path = str(tmp_path / "bad.store")
+        save_store(tiny_store(), path)
+        with open(os.path.join(path, "meta.json"), "w") as fh:
+            fh.write('{"format": "repro-store-v1", "plat')
+        with pytest.raises(StoreError, match="corrupt store meta"):
+            load_store(path)
+
+    def test_future_schema_version_refused(self, tmp_path):
+        import json
+
+        path = str(tmp_path / "bad.store")
+        save_store(tiny_store(), path)
+        meta_path = os.path.join(path, "meta.json")
+        with open(meta_path) as fh:
+            meta = json.load(fh)
+        meta["schema_version"] = 99
+        with open(meta_path, "w") as fh:
+            json.dump(meta, fh)
+        with pytest.raises(StoreError, match="newer than"):
+            load_store(path)
+
+    def test_corrupt_table_is_typed(self, tmp_path):
+        path = str(tmp_path / "bad.store")
+        save_store(tiny_store(), path)
+        with open(os.path.join(path, "jobs.npy"), "wb") as fh:
+            fh.write(b"not a npy file at all")
+        with pytest.raises(StoreError, match="corrupt array file"):
+            load_store(path)
