@@ -3,7 +3,7 @@
 # -p no:randomly is a no-op unless pytest-randomly happens to be installed.
 PYTEST = PYTHONHASHSEED=0 PYTHONPATH=src python -m pytest -p no:randomly
 
-.PHONY: check test parallel stress bench bench-analysis bench-analysis-parallel bench-generate bench-serve serve-tests obs-tests bench-obs stream-tests bench-stream fabric-tests
+.PHONY: check test parallel stress bench bench-analysis bench-analysis-parallel bench-generate bench-serve serve-tests obs-tests bench-obs stream-tests bench-stream fabric-tests whatif-tests bench-whatif
 
 # Fast development loop: everything except the multi-million-row stress
 # guards and the (pool-spawning, slow on few cores) differential suite.
@@ -62,6 +62,16 @@ stream-tests:
 # BENCH_stream.json and gates delta >= 5x cold on a >=100k-row store.
 bench-stream:
 	$(PYTEST) -q benchmarks/bench_stream.py
+
+# What-if subsystem: scenario catalog + engine (identity differential,
+# cache-semantics properties, fan-out invariance) and the activated
+# fault/contention model goldens.
+whatif-tests:
+	$(PYTEST) -x -q tests/test_whatif.py tests/test_faults.py tests/test_contention.py
+
+# Sweep throughput + identity/cache gates; writes BENCH_whatif.json.
+bench-whatif:
+	$(PYTEST) -q benchmarks/bench_whatif.py
 
 # Span-tracing subsystem + public-API surface tests (tracer semantics,
 # export formats, worker round trip, --trace plumbing, API snapshot).

@@ -1,0 +1,89 @@
+"""What-if sweep benchmark: throughput, fan-out speedup, cache economics.
+
+Three gates, mirroring the subsystem's acceptance bar:
+
+- **identity** — the materialized identity twin must be bit-identical
+  to the source store (the calibration zero; a hard assert, not a
+  trend line);
+- **sweep** — replay throughput (rows x points / s) serial vs pooled,
+  with the pooled results required byte-equal to serial;
+- **serve** — every scenario queried twice through a
+  :class:`QueryEngine`: the second pass must be all cache hits, and the
+  hit-rate/latency split lands in ``BENCH_whatif.json`` (the artifact
+  CI uploads).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import BENCH_SCALE, BENCH_SEED, write_bench_json
+
+from repro.serve import QueryEngine
+from repro.whatif import materialize, scenario_catalog, sweep
+
+#: One sweep axis wide enough to keep several workers busy.
+SWEEP_POINTS = [{"factor": f} for f in (0.25, 0.5, 2.0, 4.0, 8.0, 16.0)]
+
+
+def _timed_sweep(store, *, jobs: int):
+    t0 = time.perf_counter()
+    reports = sweep(store, "stripe", SWEEP_POINTS, jobs=jobs)
+    return reports, time.perf_counter() - t0
+
+
+def test_whatif_sweep(summit_store, results_dir):
+    rows = len(summit_store.files)
+
+    # Gate 1: the twin reads zero on a blank.
+    t0 = time.perf_counter()
+    twin = materialize(summit_store, "identity")
+    identity_seconds = time.perf_counter() - t0
+    assert twin.files.tobytes() == summit_store.files.tobytes()
+    assert twin.jobs.tobytes() == summit_store.jobs.tobytes()
+
+    # Gate 2: pooled sweep equals serial, and we record the speedup.
+    serial, serial_s = _timed_sweep(summit_store, jobs=1)
+    pooled, pooled_s = _timed_sweep(summit_store, jobs=0)
+    assert pooled == serial
+
+    # Gate 3: second pass over every scenario is all cache hits.
+    scenarios = sorted(scenario_catalog())
+    with QueryEngine(summit_store, max_workers=2) as engine:
+        t0 = time.perf_counter()
+        cold = [engine.query(f"whatif_{n}", timeout=600) for n in scenarios]
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        warm = [engine.query(f"whatif_{n}", timeout=600) for n in scenarios]
+        warm_s = time.perf_counter() - t0
+        counters = engine.stats()["counters"]
+    assert warm == cold
+    assert counters["cache_hits"] >= len(scenarios)
+
+    payload = {
+        "platform": "summit",
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "rows": rows,
+        "identity": {
+            "seconds": round(identity_seconds, 4),
+            "bit_identical": True,
+        },
+        "sweep": {
+            "points": len(SWEEP_POINTS),
+            "serial_seconds": round(serial_s, 4),
+            "pooled_seconds": round(pooled_s, 4),
+            "speedup": round(serial_s / pooled_s, 2) if pooled_s else 0.0,
+            "rows_per_second": round(rows * len(SWEEP_POINTS) / serial_s, 1),
+            "pooled_equals_serial": True,
+        },
+        "serve": {
+            "scenarios": len(scenarios),
+            "cold_seconds": round(cold_s, 4),
+            "warm_seconds": round(warm_s, 4),
+            "warm_speedup": round(cold_s / warm_s, 1) if warm_s else 0.0,
+            "cache_hits": int(counters["cache_hits"]),
+            "cache_misses": int(counters.get("cache_misses", 0)),
+        },
+    }
+    write_bench_json(results_dir, "whatif", payload)

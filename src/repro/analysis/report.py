@@ -61,4 +61,7 @@ HEADERS = {
     "variability": ["layer", "iface", "dir", "bin", "n", "median MB/s",
                     "IQR ratio", "p90/p10"],
     "tuning": ["system", "users", "improving", "flat", "regressing"],
+    "whatif": ["system", "scenario", "layer", "dir", "files", "base s",
+               "what-if s", "time x", "base MB/s", "what-if MB/s",
+               "base util", "what-if util"],
 }

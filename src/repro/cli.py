@@ -9,6 +9,7 @@
     python -m repro analyze  --list
     python -m repro ingest   stream.ndjson --store year.npz [--follow] \\
                              [--checkpoint year.ckpt]
+    python -m repro whatif   year.npz --scenario stripe --params '{"factor": 2}'
     python -m repro serve    year.npz --port 7786 --workers 4
     python -m repro query    table3 --port 7786
     python -m repro ior      --platform summit --layer pfs --api mpiio \\
@@ -19,12 +20,13 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import itertools
 import json
 import sys
 
 import numpy as np
 
-from repro.analysis.report import render_results, render_table
+from repro.analysis.report import HEADERS, render_results, render_table
 from repro.api import run_query
 from repro.core import CharacterizationStudy, StudyConfig
 from repro.platforms import get_platform
@@ -195,6 +197,42 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", dest="as_json",
         help="print the raw JSON result instead of a rendered table",
     )
+
+    p_wi = sub.add_parser(
+        "whatif", help="what-if scenario sweep over a saved store"
+    )
+    p_wi.add_argument(
+        "store", nargs="?", default=None,
+        help=".npz file or .store directory from 'generate'",
+    )
+    p_wi.add_argument(
+        "--scenario", default="identity",
+        help="scenario name (see --list)",
+    )
+    p_wi.add_argument(
+        "--params", default=None,
+        help='scenario parameters as a JSON object, e.g. \'{"factor": 2}\'',
+    )
+    p_wi.add_argument(
+        "--sweep", default=None, metavar="JSON",
+        help="sweep axes as a JSON object of parameter -> list of values "
+             '(e.g. \'{"factor": [0.5, 2, 4]}\'); points are the grid '
+             "product, each merged over --params",
+    )
+    p_wi.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for sweep points "
+             "(1 = serial, 0 = all cores; results are identical)",
+    )
+    p_wi.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the serialized result instead of a rendered table",
+    )
+    p_wi.add_argument(
+        "--list", action="store_true",
+        help="list every scenario with its parameters and defaults",
+    )
+    traceable(p_wi)
 
     p_adv = sub.add_parser("advise", help="run the optimization advisors")
     p_adv.add_argument("store", help=".npz store from 'generate'")
@@ -403,6 +441,55 @@ def _cmd_advise(args) -> int:
     return 0
 
 
+def _cmd_whatif(args) -> int:
+    from repro.whatif import get_scenario, scenario_catalog, sweep
+
+    if args.list:
+        for name, scenario in sorted(scenario_catalog().items()):
+            print(f"{name}: {scenario.title}")
+            print(f"    {scenario.description}")
+            for spec in scenario.params:
+                print(f"    --params {spec.name}={spec.default!r}  {spec.doc}")
+        return 0
+    if args.store is None:
+        print("whatif: a store path is required unless --list is given",
+              file=sys.stderr)
+        return 2
+    scenario = get_scenario(args.scenario)
+    base = json.loads(args.params) if args.params else {}
+    if args.sweep:
+        axes = json.loads(args.sweep)
+        if not isinstance(axes, dict) or not axes:
+            print("whatif: --sweep must be a non-empty JSON object of "
+                  "parameter -> list of values", file=sys.stderr)
+            return 2
+        names = sorted(axes)
+        grids = [axes[n] if isinstance(axes[n], list) else [axes[n]]
+                 for n in names]
+        points = [dict(base, **dict(zip(names, values)))
+                  for values in itertools.product(*grids)]
+    else:
+        points = [base]
+    store = load_store(args.store)
+    reports = sweep(store, scenario.name, points, jobs=args.jobs)
+    if args.as_json:
+        from repro.serve.registry import default_registry, serialize_result
+
+        spec = default_registry()[f"whatif_{scenario.name}"]
+        print(json.dumps(
+            [serialize_result(spec, r) for r in reports],
+            indent=2, sort_keys=True,
+        ))
+        return 0
+    title = f"What-if - {scenario.title} ({store.platform})"
+    print(render_results(title, HEADERS["whatif"], reports))
+    moved = sum(r.moved_files for r in reports)
+    if moved:
+        print(f"({moved} file placements changed across "
+              f"{len(reports)} point(s))")
+    return 0
+
+
 def _cmd_replay(args) -> int:
     from repro.analysis.report import render_table
     from repro.iosim.replay import FacilityReplay
@@ -489,6 +576,7 @@ def main(argv: list[str] | None = None) -> int:
         "serve": _cmd_serve,
         "query": _cmd_query,
         "advise": _cmd_advise,
+        "whatif": _cmd_whatif,
         "replay": _cmd_replay,
         "ior": _cmd_ior,
     }

@@ -93,6 +93,14 @@ class CheckpointError(StreamError):
     """
 
 
+class WhatIfError(ReproError):
+    """A what-if scenario was specified inconsistently.
+
+    e.g. an unknown scenario name, a parameter outside its declared
+    bounds, or a sweep axis that expands to no points.
+    """
+
+
 class ServeError(ReproError):
     """Base class for :mod:`repro.serve` failures.
 

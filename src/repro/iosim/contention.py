@@ -79,6 +79,37 @@ class ContentionModel:
             base = base * modulation
         return np.clip(base, self.floor, 1.0)
 
+    def mean_fraction(self, *, samples: int = 1 << 16) -> float:
+        """Expected available fraction under this model.
+
+        Deterministic (fixed-seed quadrature-by-sampling over the Beta ×
+        diurnal mixture), so two processes computing it for equal models
+        get the exact same float — the what-if engine's cache keys and
+        worker-count invariance rely on that. The floor/clip and diurnal
+        modulation make a closed form awkward; 2^16 samples put the
+        estimator's error well below the scenario deltas it is used to
+        compare.
+        """
+        rng = np.random.default_rng(0x5EEDC047)
+        return float(self.sample(rng, samples).mean())
+
+    def crowded(self, factor: float) -> "ContentionModel":
+        """This model under ``factor``-times the interfering load.
+
+        Noisy-neighbor scaling: the Beta's pressure shape ``beta`` grows
+        with the competing traffic while ``alpha`` (the share the fair
+        scheduler defends) stays put, shifting mass toward low available
+        fractions. ``factor == 1`` returns an equal model.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"load factor must be positive, got {factor}")
+        return ContentionModel(
+            alpha=self.alpha,
+            beta=self.beta * factor,
+            floor=self.floor,
+            diurnal_amplitude=self.diurnal_amplitude,
+        )
+
     @classmethod
     def for_layer_kind(cls, kind_value: str) -> "ContentionModel":
         """Default models per layer kind: PFS layers contend harder."""

@@ -62,6 +62,22 @@ BB_DRAIN = DegradationScenario(
     rebuild_overhead=0.05,
 )
 
+#: Named presets, for CLI/what-if parameter surfaces.
+PRESETS: dict[str, DegradationScenario] = {
+    s.name: s for s in (REBUILD_STORM, BB_DRAIN)
+}
+
+
+def preset(name: str) -> DegradationScenario:
+    """Look a degradation preset up by name."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown degradation preset {name!r}; "
+            f"available: {', '.join(sorted(PRESETS))}"
+        ) from None
+
 
 def degrade_layer(layer: StorageLayer, scenario: DegradationScenario) -> StorageLayer:
     """A degraded copy of a storage layer."""

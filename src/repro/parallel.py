@@ -247,12 +247,19 @@ def _invoke(args: tuple) -> tuple:
 def _encode_value(value):
     from repro.store.recordstore import RecordStore
 
+    if isinstance(value, tuple):
+        # Compound results (the what-if sweep's (report, store) pairs)
+        # encode elementwise: each RecordStore member rides shm, the
+        # rest pickle as usual.
+        return tuple(_encode_value(v) for v in value)
     if isinstance(value, RecordStore):
         return fabric.export_store(value)
     return value
 
 
 def _decode_value(value, segments: list):
+    if isinstance(value, tuple):
+        return tuple(_decode_value(v, segments) for v in value)
     if isinstance(value, fabric.StoreRef):
         store, shm = fabric.import_store(value)
         segments.append(shm)
@@ -266,13 +273,15 @@ def _decode_value(value, segments: list):
     return value
 
 
-def _segment_of(value) -> str | None:
-    """Shm segment name behind a decoded-able result value, if any."""
-    if isinstance(value, fabric.StoreRef):
-        return value.tables.name
-    if isinstance(value, fabric.TablesRef):
-        return value.name
-    return None
+def _segment_names(value):
+    """Shm segment names behind a decoded-able result value, if any."""
+    if isinstance(value, tuple):
+        for v in value:
+            yield from _segment_names(v)
+    elif isinstance(value, fabric.StoreRef):
+        yield value.tables.name
+    elif isinstance(value, fabric.TablesRef):
+        yield value.name
 
 
 def run_sharded(
@@ -345,9 +354,9 @@ def run_sharded(
         for res in results:
             if res[0] != "ok":
                 continue
-            name = _segment_of(res[2])
-            if name is not None and name not in mapped:
-                fabric.unlink_by_name(name)
+            for name in _segment_names(res[2]):
+                if name not in mapped:
+                    fabric.unlink_by_name(name)
         raise
     finally:
         for shm_seg in segments:

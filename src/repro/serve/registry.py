@@ -129,6 +129,39 @@ def _run_advise_aggregation(store, ctx, params):
     return opportunities[: int(top)] if top is not None else opportunities
 
 
+def _whatif_runner(scenario_name):
+    """Runner for one what-if scenario: a digital-twin sweep point.
+
+    Cacheability does the heavy lifting here: the engine's result cache
+    is keyed (query, sorted params, store generation), so a repeated
+    sweep point on an unchanged store is a cache hit and any append
+    invalidates every cached point.
+    """
+
+    def run(store, ctx, params):
+        from repro.whatif import compute_point
+
+        return compute_point(store, scenario_name, params)
+
+    return run
+
+
+def _whatif_specs() -> list[QuerySpec]:
+    from repro.whatif import scenario_catalog
+
+    return [
+        QuerySpec(
+            f"whatif_{name}",
+            f"What-if - {scenario.title}",
+            "table",
+            "whatif",
+            _whatif_runner(name),
+            param_names=scenario.param_names,
+        )
+        for name, scenario in scenario_catalog().items()
+    ]
+
+
 def default_registry() -> dict[str, QuerySpec]:
     """Fresh name -> spec mapping for every built-in query."""
     specs = [
@@ -178,6 +211,7 @@ def default_registry() -> dict[str, QuerySpec]:
         QuerySpec("advise_aggregation",
                   "Aggregation advisor (request coalescing gains)", "advice",
                   None, _run_advise_aggregation, param_names=("top",)),
+        *_whatif_specs(),
     ]
     return {spec.name: spec for spec in specs}
 

@@ -1,0 +1,313 @@
+"""Scenario catalog: named, parameterized reconfigurations of a platform.
+
+A :class:`Scenario` is the *declarative* half of the digital twin: it
+names a reconfiguration of the subsystem ("double Lustre stripe count",
+"degraded OSTs mid-rebuild", "2x noisy neighbors"), declares the JSON
+scalar parameters it accepts, and resolves (platform, params) into a
+fully-materialized, picklable :class:`ScenarioPlan` — the baseline and
+scenario machine/perf-model pair the engine replays the stored
+population through. Keeping the plan a plain data object is what lets
+sweep points travel to pool workers and serve cache keys stay stable.
+
+Every scenario has a **neutral point**: parameter values under which the
+plan changes nothing. The engine guarantees (and the differential suite
+pins) that a neutral plan's replay is bit-identical to the baseline —
+the twin's equivalent of a calibrated instrument reading zero on a
+blank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Mapping
+
+from repro.errors import WhatIfError
+from repro.iosim.contention import ContentionModel
+from repro.iosim.faults import BB_DRAIN, REBUILD_STORM, DegradationScenario, degrade_machine, degraded_perf_model
+from repro.iosim.netmodel import network_for
+from repro.iosim.perfmodel import PerfModel
+from repro.platforms import get_platform
+from repro.platforms.machine import Machine
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One scenario parameter: JSON-scalar valued, bounded, defaulted."""
+
+    name: str
+    default: float
+    doc: str
+    minimum: float | None = None
+    maximum: float | None = None
+
+    def resolve(self, value) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise WhatIfError(
+                f"parameter {self.name!r} must be a number, got {value!r}"
+            )
+        value = float(value)
+        if self.minimum is not None and value < self.minimum:
+            raise WhatIfError(
+                f"parameter {self.name!r} must be >= {self.minimum}, got {value}"
+            )
+        if self.maximum is not None and value > self.maximum:
+            raise WhatIfError(
+                f"parameter {self.name!r} must be <= {self.maximum}, got {value}"
+            )
+        return value
+
+
+@dataclass(frozen=True)
+class ScenarioPlan:
+    """One resolved sweep point: everything a worker needs, picklable.
+
+    ``base_machine``/``base_perf`` describe the subsystem as the stored
+    population experienced it; ``machine``/``perf`` describe the
+    counterfactual. Both perf models are forced deterministic — the
+    engine replays through them for *ratios*, never for fresh noise
+    (DESIGN.md §13). ``parallelism_scale`` multiplies the reconstructed
+    file-layout parallelism on a layer ("double the stripe count");
+    ``relocate_min_bytes`` moves write-only PFS files at or above the
+    threshold to the in-system layer (checkpoint offload).
+    """
+
+    scenario: str
+    params: tuple[tuple[str, float], ...]
+    base_machine: Machine
+    machine: Machine
+    base_perf: PerfModel
+    perf: PerfModel
+    parallelism_scale: tuple[tuple[str, float], ...] = ()
+    relocate_min_bytes: int | None = None
+
+    def parallelism_factor(self, layer_key: str) -> float:
+        for key, factor in self.parallelism_scale:
+            if key == layer_key:
+                return factor
+        return 1.0
+
+    def contention_model(self, perf: PerfModel, kind: str) -> ContentionModel:
+        """The contention model a perf config applies to a layer kind.
+
+        Mirrors ``PerfModel._contention_for`` without mutating the
+        model's map (plans are shared across threads and workers).
+        """
+        model = perf.contention.get(kind)
+        return model if model is not None else ContentionModel.for_layer_kind(kind)
+
+    @property
+    def is_identity(self) -> bool:
+        """True when replaying this plan cannot change any row."""
+        return (
+            self.machine == self.base_machine
+            and self.perf == self.base_perf
+            and all(f == 1.0 for _, f in self.parallelism_scale)
+            and self.relocate_min_bytes is None
+        )
+
+
+def _base_pair(platform: str) -> tuple[Machine, PerfModel]:
+    """The baseline (machine, deterministic perf model) for a platform.
+
+    The perf model matches the generator's (same caps, same
+    interconnect) with noise+contention sampling disabled: the engine
+    wants the modeled *mechanism* value per transfer, keeping each stored
+    row's realized contention/noise draw as its production-load
+    measurement.
+    """
+    machine = get_platform(platform)
+    perf = PerfModel(deterministic=True, network=network_for(platform))
+    return machine, perf
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named what-if: parameter schema plus the plan builder."""
+
+    name: str
+    title: str
+    description: str
+    params: tuple[ParamSpec, ...]
+    build: Callable[[str, dict], ScenarioPlan]
+
+    @property
+    def param_names(self) -> tuple[str, ...]:
+        return tuple(p.name for p in self.params)
+
+    def resolve_params(self, params: Mapping | None) -> dict[str, float]:
+        """Defaults filled in, bounds checked, unknown names rejected."""
+        params = dict(params or {})
+        unknown = sorted(set(params) - set(self.param_names))
+        if unknown:
+            accepted = ", ".join(self.param_names) or "none"
+            raise WhatIfError(
+                f"scenario {self.name!r} got unknown parameter(s) "
+                f"{', '.join(unknown)}; accepted: {accepted}"
+            )
+        return {
+            spec.name: spec.resolve(params.get(spec.name, spec.default))
+            for spec in self.params
+        }
+
+    def plan(self, platform: str, params: Mapping | None = None) -> ScenarioPlan:
+        """Resolve one sweep point for a platform."""
+        resolved = self.resolve_params(params)
+        plan = self.build(platform, resolved)
+        return replace(plan, scenario=self.name, params=tuple(sorted(resolved.items())))
+
+
+# -- builders ----------------------------------------------------------------
+def _build_identity(platform: str, params: dict) -> ScenarioPlan:
+    machine, perf = _base_pair(platform)
+    return ScenarioPlan("identity", (), machine, machine, perf, perf)
+
+
+def _build_stripe(platform: str, params: dict) -> ScenarioPlan:
+    machine, perf = _base_pair(platform)
+    return ScenarioPlan(
+        "stripe", (), machine, machine, perf, perf,
+        parallelism_scale=(("pfs", params["factor"]),),
+    )
+
+
+def _build_bb_offload(platform: str, params: dict) -> ScenarioPlan:
+    machine, perf = _base_pair(platform)
+    min_bytes = None
+    if params["enabled"]:
+        min_bytes = int(params["min_gb"] * GB)
+    return ScenarioPlan(
+        "bb_offload", (), machine, machine, perf, perf,
+        relocate_min_bytes=min_bytes,
+    )
+
+
+def _degraded(platform: str, layer_key: str, params: dict,
+              preset: DegradationScenario) -> ScenarioPlan:
+    machine, perf = _base_pair(platform)
+    offline = params["servers_offline"]
+    overhead = params["rebuild_overhead"]
+    if offline == 0.0 and overhead == 0.0:
+        # Neutral point: a zero-magnitude fault is the healthy machine.
+        return ScenarioPlan("fault", (), machine, machine, perf, perf)
+    scenario = DegradationScenario(
+        name=f"{preset.name}@{offline:g}/{overhead:g}",
+        servers_offline=offline,
+        rebuild_overhead=overhead,
+        contention_alpha=preset.contention_alpha,
+        contention_beta=preset.contention_beta,
+    )
+    return ScenarioPlan(
+        "fault", (), machine,
+        degrade_machine(machine, layer_key, scenario),
+        perf,
+        degraded_perf_model(perf, layer_key, scenario),
+    )
+
+
+def _build_ost_fault(platform: str, params: dict) -> ScenarioPlan:
+    return _degraded(platform, "pfs", params, REBUILD_STORM)
+
+
+def _build_bb_drain(platform: str, params: dict) -> ScenarioPlan:
+    return _degraded(platform, "insystem", params, BB_DRAIN)
+
+
+def _build_contention(platform: str, params: dict) -> ScenarioPlan:
+    machine, perf = _base_pair(platform)
+    factor = params["factor"]
+    if factor == 1.0:
+        return ScenarioPlan("contention", (), machine, machine, perf, perf)
+    crowded = {
+        kind: ContentionModel.for_layer_kind(kind).crowded(factor)
+        for kind in ("pfs", "insystem")
+    }
+    return ScenarioPlan(
+        "contention", (), machine, machine, perf,
+        replace(perf, contention=crowded),
+    )
+
+
+_FRACTION = dict(minimum=0.0, maximum=0.99)
+
+_SCENARIOS = (
+    Scenario(
+        "identity",
+        "Identity (no reconfiguration)",
+        "Replays the population through an unchanged subsystem; the "
+        "result is bit-identical to the baseline (the twin's zero check).",
+        (),
+        _build_identity,
+    ),
+    Scenario(
+        "stripe",
+        "Scale PFS file-layout parallelism (stripe count)",
+        "Multiplies every file's reconstructed PFS layout parallelism — "
+        "Lustre stripe count, GPFS NSD spread — by `factor` (2 doubles "
+        "the stripe count, 0.5 halves it).",
+        (ParamSpec("factor", 2.0, "layout-parallelism multiplier",
+                   minimum=0.0625, maximum=64.0),),
+        _build_stripe,
+    ),
+    Scenario(
+        "bb_offload",
+        "Offload checkpoint-class files to the burst buffer",
+        "Moves write-only PFS files of at least `min_gb` GB — the "
+        "checkpoint archetype's signature — to the in-system layer, "
+        "re-deriving their write times under its caps and contention.",
+        (ParamSpec("min_gb", 1.0, "minimum file size moved, GB",
+                   minimum=0.0),
+         ParamSpec("enabled", 1, "0 disables the move (neutral point)",
+                   minimum=0, maximum=1)),
+        _build_bb_offload,
+    ),
+    Scenario(
+        "ost_fault",
+        "Degraded PFS: servers out, rebuild traffic on the survivors",
+        "An OSS/NSD enclosure failure mid-rebuild (faults.REBUILD_STORM "
+        "shape): `servers_offline` of the PFS servers gone, "
+        "`rebuild_overhead` of the survivors' bandwidth consumed, "
+        "contention shifted toward low availability.",
+        (ParamSpec("servers_offline", REBUILD_STORM.servers_offline,
+                   "fraction of PFS servers unavailable", **_FRACTION),
+         ParamSpec("rebuild_overhead", REBUILD_STORM.rebuild_overhead,
+                   "survivor bandwidth lost to rebuild traffic", **_FRACTION)),
+        _build_ost_fault,
+    ),
+    Scenario(
+        "bb_drain",
+        "Burst-buffer drain/eviction: in-system nodes out of service",
+        "A rolling burst-buffer maintenance drain (faults.BB_DRAIN "
+        "shape) applied to the in-system layer.",
+        (ParamSpec("servers_offline", BB_DRAIN.servers_offline,
+                   "fraction of BB nodes draining", **_FRACTION),
+         ParamSpec("rebuild_overhead", BB_DRAIN.rebuild_overhead,
+                   "survivor bandwidth lost to eviction traffic", **_FRACTION)),
+        _build_bb_drain,
+    ),
+    Scenario(
+        "contention",
+        "Noisy neighbors: N-times the interfering production load",
+        "Scales the contention model's interfering-load shape on both "
+        "layers by `factor` (2 = twice as crowded), shifting every "
+        "transfer's expected available-bandwidth fraction.",
+        (ParamSpec("factor", 2.0, "interfering-load multiplier",
+                   minimum=0.0625, maximum=64.0),),
+        _build_contention,
+    ),
+)
+
+
+def scenario_catalog() -> dict[str, Scenario]:
+    """Name -> scenario for every built-in what-if."""
+    return {s.name: s for s in _SCENARIOS}
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return scenario_catalog()[name]
+    except KeyError:
+        raise WhatIfError(
+            f"unknown scenario {name!r}; "
+            f"available: {', '.join(sorted(scenario_catalog()))}"
+        ) from None

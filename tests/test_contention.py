@@ -1,0 +1,100 @@
+"""Tests for the contention model's deterministic expectation and scaling.
+
+The what-if engine keys cached sweep points on values derived from
+``mean_fraction``, so these are *golden* checks: the exact floats are
+pinned, not just their ordering. If the fixed-seed estimator changes,
+every cached what-if result silently changes meaning — fail loudly here.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.iosim.contention import ContentionModel
+
+
+class TestMeanFraction:
+    def test_deterministic_across_calls(self):
+        m = ContentionModel.for_layer_kind("pfs")
+        assert m.mean_fraction() == m.mean_fraction()
+
+    def test_golden_values(self):
+        # Exact: fixed seed, fixed sample count, pure numpy arithmetic.
+        assert ContentionModel.for_layer_kind("pfs").mean_fraction() == (
+            0.4914998615697009
+        )
+        assert ContentionModel.for_layer_kind("insystem").mean_fraction() == (
+            0.7497955528474297
+        )
+        assert ContentionModel().mean_fraction() == 0.6171742082144711
+
+    def test_equal_models_equal_expectation(self):
+        # dataclass equality is the cache key the engine leans on:
+        # equal models must produce the identical float.
+        a = ContentionModel(alpha=3.0, beta=2.5)
+        b = ContentionModel(alpha=3.0, beta=2.5)
+        assert a == b
+        assert a.mean_fraction() == b.mean_fraction()
+
+    def test_mean_within_support(self):
+        m = ContentionModel.for_layer_kind("pfs")
+        assert m.floor < m.mean_fraction() < 1.0
+
+
+class TestCrowded:
+    def test_noisy_neighbor_lowers_availability(self):
+        for kind in ("pfs", "insystem"):
+            m = ContentionModel.for_layer_kind(kind)
+            assert m.crowded(2.0).mean_fraction() < m.mean_fraction()
+
+    def test_golden_doubled_load(self):
+        assert ContentionModel.for_layer_kind("pfs").crowded(
+            2.0
+        ).mean_fraction() == 0.3366636771848861
+        assert ContentionModel.for_layer_kind("insystem").crowded(
+            2.0
+        ).mean_fraction() == 0.6092705607384868
+
+    def test_unit_factor_is_identity(self):
+        m = ContentionModel.for_layer_kind("pfs")
+        assert m.crowded(1.0) == m
+
+    def test_scales_pressure_shape_only(self):
+        m = ContentionModel.for_layer_kind("insystem")
+        c = m.crowded(3.0)
+        assert c.beta == pytest.approx(m.beta * 3.0)
+        assert (c.alpha, c.floor, c.diurnal_amplitude) == (
+            m.alpha, m.floor, m.diurnal_amplitude
+        )
+
+    def test_monotone_in_factor(self):
+        m = ContentionModel.for_layer_kind("pfs")
+        fracs = [m.crowded(f).mean_fraction() for f in (0.5, 1.0, 2.0, 4.0)]
+        assert fracs == sorted(fracs, reverse=True)
+
+    def test_rejects_nonpositive_factor(self):
+        m = ContentionModel()
+        with pytest.raises(ConfigurationError):
+            m.crowded(0.0)
+        with pytest.raises(ConfigurationError):
+            m.crowded(-1.0)
+
+
+class TestSample:
+    def test_respects_floor_and_ceiling(self, rng):
+        m = ContentionModel(floor=0.2)
+        fracs = m.sample(rng, 10_000)
+        assert fracs.min() >= 0.2
+        assert fracs.max() <= 1.0
+
+    def test_afternoon_dip(self):
+        # Availability at the 15:00 load peak is below the 03:00 trough.
+        m = ContentionModel(diurnal_amplitude=0.3)
+        n = 20_000
+        peak = np.full(n, 15 * 3600.0)
+        trough = np.full(n, 3 * 3600.0)
+        rng = np.random.default_rng(7)
+        busy = m.sample(rng, n, time_of_day=peak).mean()
+        rng = np.random.default_rng(7)
+        quiet = m.sample(rng, n, time_of_day=trough).mean()
+        assert busy < quiet

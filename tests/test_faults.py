@@ -6,11 +6,13 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.iosim.faults import (
     BB_DRAIN,
+    PRESETS,
     REBUILD_STORM,
     DegradationScenario,
     degrade_layer,
     degrade_machine,
     degraded_perf_model,
+    preset,
 )
 from repro.iosim.ior import IorConfig, run_ior
 from repro.iosim.perfmodel import PerfModel
@@ -27,6 +29,23 @@ class TestScenario:
             DegradationScenario("x", servers_offline=1.0)
         with pytest.raises(ConfigurationError):
             DegradationScenario("x", rebuild_overhead=-0.1)
+
+
+class TestPresets:
+    def test_lookup_by_name(self):
+        assert preset("rebuild-storm") is REBUILD_STORM
+        assert preset("bb-drain") is BB_DRAIN
+        assert set(PRESETS) == {"rebuild-storm", "bb-drain"}
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError, match="unknown degradation"):
+            preset("meteor-strike")
+
+    def test_golden_capacity_factors(self):
+        # Degraded-OST storm: 90% of servers at 65% effectiveness.
+        assert REBUILD_STORM.capacity_factor == pytest.approx(0.585)
+        # Burst-buffer eviction drain: 75% of nodes at 95%.
+        assert BB_DRAIN.capacity_factor == pytest.approx(0.7125)
 
 
 class TestDegradeLayer:
@@ -89,6 +108,28 @@ class TestEndToEndImpact:
         healthy_frac = base._contention_for(summit().pfs).sample(rng, 20_000)
         storm_frac = degraded.contention["pfs"].sample(rng, 20_000)
         assert storm_frac.mean() < healthy_frac.mean()
+
+    def test_golden_degraded_expectations(self):
+        # Pinned exactly: the what-if engine's cached deltas are computed
+        # from these expectations (see tests/test_contention.py).
+        storm = degraded_perf_model(PerfModel(), "pfs", REBUILD_STORM)
+        assert storm.contention["pfs"].mean_fraction() == 0.282567614746736
+        drain = degraded_perf_model(PerfModel(), "insystem", BB_DRAIN)
+        assert drain.contention["insystem"].mean_fraction() == (
+            0.3960900954401292
+        )
+
+    def test_bb_drain_keeps_insystem_floor(self):
+        # Burst-buffer eviction keeps the job-exclusive layer's gentler
+        # floor/diurnal profile; only the Beta shapes harshen.
+        from repro.iosim.contention import ContentionModel
+
+        drained = degraded_perf_model(PerfModel(), "insystem", BB_DRAIN)
+        healthy = ContentionModel.for_layer_kind("insystem")
+        model = drained.contention["insystem"]
+        assert model.floor == healthy.floor
+        assert model.diurnal_amplitude == healthy.diurnal_amplitude
+        assert model.mean_fraction() < healthy.mean_fraction()
 
     def test_base_model_unchanged(self):
         base = PerfModel()
