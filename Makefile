@@ -3,7 +3,7 @@
 # -p no:randomly is a no-op unless pytest-randomly happens to be installed.
 PYTEST = PYTHONHASHSEED=0 PYTHONPATH=src python -m pytest -p no:randomly
 
-.PHONY: check test parallel stress bench bench-analysis bench-analysis-parallel bench-generate bench-serve serve-tests obs-tests bench-obs stream-tests bench-stream fabric-tests whatif-tests bench-whatif
+.PHONY: check test parallel stress bench bench-analysis bench-analysis-parallel bench-generate bench-serve serve-tests obs-tests bench-obs stream-tests bench-stream fabric-tests whatif-tests bench-whatif federation-tests bench-federation
 
 # Fast development loop: everything except the multi-million-row stress
 # guards and the (pool-spawning, slow on few cores) differential suite.
@@ -72,6 +72,17 @@ whatif-tests:
 # Sweep throughput + identity/cache gates; writes BENCH_whatif.json.
 bench-whatif:
 	$(PYTEST) -q benchmarks/bench_whatif.py
+
+# Multi-store federation: catalog manifest units, the K-store
+# differential (catalog == merged store, bit-identical), per-member
+# cache isolation, remote members, compare queries, CLI paths.
+federation-tests:
+	$(PYTEST) -x -q tests/test_federation.py
+
+# Scatter-gather throughput + warm-compare cache gates; writes
+# BENCH_federation.json (throughput ratio gated only on multi-core).
+bench-federation:
+	$(PYTEST) -q benchmarks/bench_federation.py
 
 # Span-tracing subsystem + public-API surface tests (tracer semantics,
 # export formats, worker round trip, --trace plumbing, API snapshot).

@@ -1,0 +1,144 @@
+"""Federation benchmark: scatter-gather scaling + warm compare economics.
+
+Two gates, mirroring the subsystem's acceptance bar:
+
+- **scatter** — the reducer-family query set over the N-member catalog
+  (N times the rows of one member) must sustain >= 0.6x the row
+  throughput of a single member store queried serially: the fan-out may
+  spend at most 40% of a single-store pipeline's work rate on thread
+  scheduling, per-member context builds, and the reduce step, while
+  covering N stores' worth of rows — >= 0.6*N single-store passes per
+  unit time. Gated on multi-core runners (single-core boxes serialize
+  the scatter and the ratio measures the box, not the subsystem); the
+  numbers land in ``BENCH_federation.json`` either way, including the
+  ideal-N-way efficiency for trend lines. Correctness is asserted
+  unconditionally: the federated table3 must be bit-identical to the
+  merged store's.
+- **compare** — a cross-store compare repeated warm must be served
+  entirely from the executor's per-member cache: zero new member runs,
+  and the warm latency is recorded next to the cold one.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import write_bench_json
+
+import numpy as np
+
+from repro.api import run_query
+from repro.federation import FederationExecutor, StoreCatalog
+from repro.parallel import usable_cores
+from repro.store.io import save_store
+from repro.store.merge import merge_stores
+
+#: Member count (and scatter pool width) of the benchmark fleet.
+MEMBERS = 3
+
+#: The exact-reducer family — every query here scatters per member and
+#: reduces member-wise, so this is the path the gate is about.
+QUERIES = ("table3", "table6", "fig4", "fig5", "fig6", "fig8")
+
+#: Minimum fleet-vs-single-store row-throughput ratio on the scatter.
+SCATTER_EFFICIENCY = 0.6
+
+
+def _partition(store, k):
+    """k disjoint job populations (stand-ins for k monthly ingests)."""
+    order = np.argsort(store.jobs["start_time"], kind="stable")
+    parts = []
+    for chunk in np.array_split(order, k):
+        mask = np.zeros(len(store.jobs), dtype=bool)
+        mask[chunk] = True
+        parts.append(store.filter_jobs(mask))
+    return parts
+
+
+def _run_set(runner) -> float:
+    t0 = time.perf_counter()
+    for name in QUERIES:
+        runner(name)
+    return time.perf_counter() - t0
+
+
+def test_federation_scatter_and_compare(summit_store, results_dir, tmp_path):
+    parts = _partition(summit_store, MEMBERS)
+    catalog = StoreCatalog.init(str(tmp_path / "fleet.json"))
+    for i, part in enumerate(parts):
+        path = str(tmp_path / f"m{i}.npz")
+        save_store(part, path)
+        catalog.add_store(f"m{i}", path, period=f"2020-{i + 1:02d}")
+    total_rows = len(summit_store.files)
+    member_rows = len(parts[0].files)
+
+    # Baseline: the query set over ONE member store, serial. (A fresh
+    # store object, so it pays the same cold context build each member
+    # pays inside the scatter.)
+    baseline = parts[0].filter(np.ones(member_rows, dtype=bool))
+    serial_seconds = _run_set(lambda n: run_query(baseline, n))
+    serial_throughput = member_rows / serial_seconds
+
+    with FederationExecutor(catalog, max_workers=MEMBERS) as executor:
+        # Prime the member stores: decompressing .npz members is ingest
+        # cost, paid once per process — the baseline sits in memory too.
+        # Contexts stay cold on both sides.
+        for label in catalog.labels:
+            executor.member_store(label)
+        # Cold scatter over all members: N times the rows of the
+        # baseline, N workers wide.
+        federated_seconds = _run_set(executor.query)
+        federated_throughput = total_rows / federated_seconds
+
+        # Correctness pin (always on): reducer == merged store.
+        merged = merge_stores(parts, remap_log_ids=True, remap_job_ids=True)
+        assert (
+            executor.query("table3").to_rows()
+            == run_query(merged, "table3").to_rows()
+        )
+
+        # Gate 2: a repeated cross-store compare runs zero members.
+        t0 = time.perf_counter()
+        cold_report = executor.compare("table3", "m0", "m2")
+        compare_cold_s = time.perf_counter() - t0
+        runs_before = executor.stats()["counters"]["member_runs"]
+        t0 = time.perf_counter()
+        warm_report = executor.compare("table3", "m0", "m2")
+        compare_warm_s = time.perf_counter() - t0
+        counters = executor.stats()["counters"]
+        assert counters["member_runs"] == runs_before, (
+            "warm compare recomputed a member instead of hitting the cache"
+        )
+        assert warm_report.rows == cold_report.rows
+        cache = executor.cache.info()
+
+    ratio = federated_throughput / serial_throughput
+    ideal_n_way = federated_throughput / (MEMBERS * serial_throughput)
+    cores = usable_cores()
+    gated = cores >= 2
+    if gated:
+        assert ratio >= SCATTER_EFFICIENCY, (
+            f"scatter over {MEMBERS} members sustained only "
+            f"{ratio:.2f}x single-store row throughput "
+            f"(>= {SCATTER_EFFICIENCY} required on {cores} cores)"
+        )
+
+    write_bench_json(results_dir, "federation", {
+        "members": MEMBERS,
+        "queries": list(QUERIES),
+        "rows_total": total_rows,
+        "rows_per_member": member_rows,
+        "serial_member_seconds": round(serial_seconds, 4),
+        "federated_seconds": round(federated_seconds, 4),
+        "serial_member_rows_per_s": round(serial_throughput),
+        "federated_rows_per_s": round(federated_throughput),
+        "scatter_throughput_ratio": round(ratio, 3),
+        "scatter_gate": SCATTER_EFFICIENCY,
+        "scatter_gated": gated,
+        "ideal_n_way_efficiency": round(ideal_n_way, 3),
+        "usable_cores": cores,
+        "compare_cold_ms": round(1e3 * compare_cold_s, 2),
+        "compare_warm_ms": round(1e3 * compare_warm_s, 2),
+        "compare_rows": len(cold_report.rows),
+        "cache": cache,
+    })

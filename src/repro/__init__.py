@@ -22,6 +22,8 @@ see :mod:`repro.api` for the documented guarantees. The main areas:
   performance model.
 * :mod:`repro.analysis` — the paper's analyses.
 * :mod:`repro.serve` — the concurrent analysis-serving subsystem.
+* :mod:`repro.federation` — multi-store catalogs and scatter-gather
+  queries across facilities/months (``repro catalog``, ``--catalog``).
 * :mod:`repro.obs` — cross-layer span tracing (``--trace``).
 * :mod:`repro.optimize` — the paper's recommendations as advisors.
 
@@ -37,11 +39,13 @@ _LAZY_EXPORTS = {
     "CharacterizationStudy": ("repro.api", "CharacterizationStudy"),
     "RecordStore": ("repro.api", "RecordStore"),
     "ReproError": ("repro.api", "ReproError"),
+    "StoreCatalog": ("repro.api", "StoreCatalog"),
     "StudyConfig": ("repro.api", "StudyConfig"),
     "Tracer": ("repro.api", "Tracer"),
     "generate_store": ("repro.api", "generate_store"),
     "get_tracer": ("repro.api", "get_tracer"),
     "list_queries": ("repro.api", "list_queries"),
+    "load_catalog": ("repro.api", "load_catalog"),
     "load_store": ("repro.api", "load_store"),
     "run_query": ("repro.api", "run_query"),
     "save_store": ("repro.api", "save_store"),

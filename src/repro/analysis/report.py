@@ -64,4 +64,7 @@ HEADERS = {
     "whatif": ["system", "scenario", "layer", "dir", "files", "base s",
                "what-if s", "time x", "base MB/s", "what-if MB/s",
                "base util", "what-if util"],
+    "compare": ["row", "column", "a", "b", "delta", "delta %"],
+    "catalog": ["member", "kind", "facility", "platform", "period",
+                "gen", "rows", "jobs"],
 }

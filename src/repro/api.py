@@ -19,6 +19,10 @@ The surface, by lifecycle stage:
   resolves through the one :mod:`repro.serve.registry` table, so the
   in-process API, ``repro analyze``/``advise``/``shapes``, and ``repro
   serve`` can never drift apart.
+* **Scale sideways** — :class:`StoreCatalog` / :func:`load_catalog`:
+  the multi-store federation manifest (many facilities/months, local or
+  remote members) behind ``repro catalog`` and the ``--catalog`` flags;
+  see DESIGN.md §14.
 * **Watch it run** — :class:`Tracer` with :func:`set_tracer` /
   :func:`get_tracer` and :func:`write_trace` (Chrome-trace/NDJSON
   export): cross-layer span tracing per DESIGN.md §10.
@@ -38,6 +42,7 @@ from typing import Mapping
 
 from repro.core import CharacterizationStudy, StudyConfig
 from repro.errors import ReproError, UnknownQueryError
+from repro.federation import StoreCatalog, load_catalog
 from repro.obs import Tracer, get_tracer, set_tracer, write_trace
 from repro.obs.integrate import analysis_span
 from repro.store.io import load_store, save_store
@@ -47,11 +52,13 @@ __all__ = [
     "CharacterizationStudy",
     "RecordStore",
     "ReproError",
+    "StoreCatalog",
     "StudyConfig",
     "Tracer",
     "generate_store",
     "get_tracer",
     "list_queries",
+    "load_catalog",
     "load_store",
     "run_query",
     "save_store",

@@ -12,6 +12,11 @@
     python -m repro whatif   year.npz --scenario stripe --params '{"factor": 2}'
     python -m repro serve    year.npz --port 7786 --workers 4
     python -m repro query    table3 --port 7786
+    python -m repro catalog  init fleet.json
+    python -m repro catalog  add fleet.json jan --store jan.npz --period 2020-01
+    python -m repro analyze  --catalog fleet.json --exhibit table3
+    python -m repro query    compare_table3 --catalog fleet.json \\
+                             --params '{"a": "jan", "b": "feb"}'
     python -m repro ior      --platform summit --layer pfs --api mpiio \\
                              --tasks 512 --direction write
 """
@@ -29,6 +34,7 @@ import numpy as np
 from repro.analysis.report import HEADERS, render_results, render_table
 from repro.api import run_query
 from repro.core import CharacterizationStudy, StudyConfig
+from repro.federation.registry import federated_query_names
 from repro.platforms import get_platform
 from repro.platforms.interfaces import IOInterface
 from repro.serve.registry import default_registry, exhibit_names
@@ -89,7 +95,8 @@ def _build_parser() -> argparse.ArgumentParser:
         help=".npz file or .store directory from 'generate'",
     )
     p_an.add_argument(
-        "--exhibit", choices=exhibit_names(), default="table3"
+        "--exhibit", default="table3",
+        choices=sorted({*exhibit_names(), *federated_query_names()}),
     )
     p_an.add_argument(
         "--jobs", type=int, default=1,
@@ -100,7 +107,74 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true",
         help="list every query name the analyze CLI and 'repro serve' share",
     )
+    p_an.add_argument(
+        "--catalog", default=None, metavar="PATH",
+        help="run the exhibit across a store catalog instead of one store "
+             "(see 'repro catalog')",
+    )
+    p_an.add_argument(
+        "--member", default=None,
+        help="route to one member label, or a comma-separated subset "
+             "(--catalog only)",
+    )
+    p_an.add_argument(
+        "--facility", default=None,
+        help="select members by facility label (--catalog only)",
+    )
+    p_an.add_argument(
+        "--period", default=None,
+        help="select members overlapping YYYY-MM[:YYYY-MM] (--catalog only)",
+    )
+    p_an.add_argument(
+        "--params", default=None,
+        help='extra query parameters as a JSON object, e.g. '
+             '\'{"a": "m1", "b": "m2"}\' for compare queries',
+    )
     traceable(p_an)
+
+    p_cat = sub.add_parser(
+        "catalog", help="manage a multi-store federation catalog"
+    )
+    cat_sub = p_cat.add_subparsers(dest="catalog_command", required=True)
+
+    c_init = cat_sub.add_parser("init", help="create an empty catalog manifest")
+    c_init.add_argument("catalog", help="manifest path (e.g. fleet.json)")
+
+    c_add = cat_sub.add_parser("add", help="add a member store or endpoint")
+    c_add.add_argument("catalog", help="manifest path")
+    c_add.add_argument("label", help="unique member label (e.g. olcf-2020-01)")
+    c_add.add_argument(
+        "--store", default=None,
+        help=".npz file or .store directory to add as a local member",
+    )
+    c_add.add_argument(
+        "--endpoint", default=None, metavar="HOST:PORT",
+        help="running 'repro serve' to add as a remote member",
+    )
+    c_add.add_argument(
+        "--facility", default="", help="facility label (e.g. olcf, nersc)"
+    )
+    c_add.add_argument(
+        "--period", default="",
+        help="covered months as YYYY-MM or YYYY-MM:YYYY-MM",
+    )
+
+    c_rm = cat_sub.add_parser("remove", help="remove a member")
+    c_rm.add_argument("catalog", help="manifest path")
+    c_rm.add_argument("label", help="member label to remove")
+
+    c_ls = cat_sub.add_parser("list", help="list members")
+    c_ls.add_argument("catalog", help="manifest path")
+
+    c_vf = cat_sub.add_parser(
+        "verify", help="check every member and the catalog's invariants"
+    )
+    c_vf.add_argument("catalog", help="manifest path")
+
+    c_rf = cat_sub.add_parser(
+        "refresh", help="re-fingerprint members, bumping changed generations"
+    )
+    c_rf.add_argument("catalog", help="manifest path")
 
     p_ing = sub.add_parser(
         "ingest", help="ingest an NDJSON log stream into a store"
@@ -154,7 +228,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "serve", help="serve analysis queries over a loaded store (NDJSON/TCP)"
     )
     p_srv.add_argument(
-        "store", help=".npz file or .store directory from 'generate'"
+        "store", nargs="?", default=None,
+        help=".npz file or .store directory from 'generate' "
+             "(omit with --catalog)",
+    )
+    p_srv.add_argument(
+        "--catalog", default=None, metavar="PATH",
+        help="serve the federated query surface over a store catalog "
+             "instead of one store",
     )
     p_srv.add_argument("--host", default="127.0.0.1")
     p_srv.add_argument("--port", type=int, default=7786)
@@ -183,6 +264,10 @@ def _build_parser() -> argparse.ArgumentParser:
 
     p_q = sub.add_parser("query", help="query a running 'repro serve'")
     p_q.add_argument("name", help="query name (see 'repro analyze --list')")
+    p_q.add_argument(
+        "--catalog", default=None, metavar="PATH",
+        help="answer from a store catalog in-process instead of a server",
+    )
     p_q.add_argument("--host", default="127.0.0.1")
     p_q.add_argument("--port", type=int, default=7786)
     p_q.add_argument(
@@ -292,6 +377,14 @@ def _cmd_generate(args) -> int:
     return 0
 
 
+def _federated_executor(catalog_path: str, *, workers: int = 4):
+    """(executor, federated registry) over one catalog manifest."""
+    from repro.federation import FederationExecutor, federated_registry, load_catalog
+
+    executor = FederationExecutor(load_catalog(catalog_path), max_workers=workers)
+    return executor, federated_registry(executor)
+
+
 def _cmd_analyze(args) -> int:
     registry = default_registry()
     if args.list:
@@ -303,17 +396,120 @@ def _cmd_analyze(args) -> int:
             via = "analyze+serve" if spec.kind == "table" else "serve"
             print(f"{name:<{width}}  [{via:13s}] {spec.title}")
         return 0
+    params = json.loads(args.params) if args.params else {}
+    if args.catalog is not None:
+        # The federated path: the exhibit runs across catalog members,
+        # routed by --member/--facility/--period, through the very
+        # QuerySpec objects `repro serve --catalog` would dispatch on.
+        for axis in ("member", "facility", "period"):
+            value = getattr(args, axis)
+            if value is not None:
+                params[axis] = value
+        from repro.errors import ReproError
+        from repro.serve.registry import validate_params
+
+        try:
+            executor, federated = _federated_executor(
+                args.catalog, workers=args.jobs or 4
+            )
+            with executor:
+                spec = federated.get(args.exhibit)
+                if spec is None:
+                    print(
+                        f"analyze: {args.exhibit!r} is not a federated "
+                        "query; federated names: "
+                        f"{', '.join(sorted(federated))}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                result = spec.run(None, None, validate_params(spec, params))
+        except ReproError as exc:
+            print(f"analyze: {exc}", file=sys.stderr)
+            return 1
+        print(render_results(spec.title, spec.headers, result))
+        return 0
     if args.store is None:
-        print("analyze: a store path is required unless --list is given",
-              file=sys.stderr)
+        print("analyze: a store path is required unless --list or "
+              "--catalog is given", file=sys.stderr)
         return 2
     store = load_store(args.store)
     if args.jobs != 1:
         store.set_analysis_jobs(args.jobs)
     spec = registry[args.exhibit]
-    result = run_query(store, args.exhibit)
+    result = run_query(store, args.exhibit, params or None)
     print(render_results(spec.title, spec.headers, result))
     return 0
+
+
+def _cmd_catalog(args) -> int:
+    from repro.errors import CatalogError
+    from repro.federation import StoreCatalog, load_catalog
+
+    try:
+        if args.catalog_command == "init":
+            StoreCatalog.init(args.catalog)
+            print(f"initialized empty catalog at {args.catalog}")
+            return 0
+        catalog = load_catalog(args.catalog)
+        if args.catalog_command == "add":
+            if bool(args.store) == bool(args.endpoint):
+                print("catalog add: exactly one of --store or --endpoint "
+                      "is required", file=sys.stderr)
+                return 2
+            if args.store:
+                member = catalog.add_store(
+                    args.label, args.store,
+                    facility=args.facility, period=args.period,
+                )
+            else:
+                host, _, port = args.endpoint.rpartition(":")
+                try:
+                    port = int(port)
+                except ValueError:
+                    print(f"catalog add: malformed --endpoint "
+                          f"{args.endpoint!r} (want HOST:PORT)",
+                          file=sys.stderr)
+                    return 2
+                member = catalog.add_endpoint(
+                    args.label, host, port,
+                    facility=args.facility, period=args.period,
+                )
+            print(f"added {member.kind} member {member.label!r} "
+                  f"({member.rows} rows, {member.jobs} jobs)")
+            return 0
+        if args.catalog_command == "remove":
+            member = catalog.remove(args.label)
+            print(f"removed member {member.label!r}")
+            return 0
+        if args.catalog_command == "list":
+            from repro.federation import FederationExecutor
+
+            rows = FederationExecutor(catalog).members_table().to_rows()
+            print(render_table(
+                HEADERS["catalog"], rows,
+                title=f"Catalog - {args.catalog} ({len(catalog)} members)",
+            ))
+            return 0
+        if args.catalog_command == "verify":
+            problems = catalog.verify()
+            for problem in problems:
+                print(f"FAIL {problem}")
+            if problems:
+                print(f"{len(problems)} problem(s) found")
+                return 1
+            print(f"catalog ok ({len(catalog)} members)")
+            return 0
+        if args.catalog_command == "refresh":
+            bumped = catalog.refresh()
+            if bumped:
+                print("bumped generation of: " + ", ".join(bumped))
+            else:
+                print("all members up to date")
+            return 0
+    except CatalogError as exc:
+        print(f"catalog: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled catalog command {args.catalog_command}")
 
 
 def _cmd_ingest(args) -> int:
@@ -363,6 +559,28 @@ def _cmd_serve(args) -> int:  # pragma: no cover - blocking accept loop
     from repro.serve.engine import QueryEngine
     from repro.serve.server import run_server
 
+    if args.catalog is not None:
+        # Federated serving: the engine's registry is replaced wholesale
+        # with federated specs, so this server answers the catalog's
+        # query surface (routing params, compare_*, catalog_members)
+        # and nothing single-store.
+        executor, federated = _federated_executor(
+            args.catalog, workers=args.workers
+        )
+        engine = QueryEngine(
+            executor.anchor_store(),
+            max_workers=args.workers,
+            max_queue=args.queue_depth,
+            cache_entries=args.cache_entries,
+            default_timeout=args.timeout,
+            registry=federated,
+        )
+        run_server(engine, args.host, args.port)
+        return 0
+    if args.store is None:
+        print("serve: a store path is required unless --catalog is given",
+              file=sys.stderr)
+        return 2
     store = load_store(args.store)
     engine = QueryEngine(
         store,
@@ -403,8 +621,31 @@ def _cmd_query(args) -> int:
     from repro.serve.client import ServeClient
 
     params = json.loads(args.params) if args.params else {}
-    with ServeClient(args.host, args.port) as client:
-        result = client.query(args.name, params, timeout=args.timeout)
+    if args.catalog is not None:
+        # Same specs a federated server dispatches on, executed in
+        # process — no server required for a one-shot fleet query.
+        from repro.errors import ReproError
+        from repro.serve.registry import serialize_result, validate_params
+
+        try:
+            executor, federated = _federated_executor(args.catalog)
+            with executor:
+                spec = federated.get(args.name)
+                if spec is None:
+                    print(
+                        f"query: {args.name!r} is not a federated query; "
+                        f"federated names: {', '.join(sorted(federated))}",
+                        file=sys.stderr,
+                    )
+                    return 2
+                raw = spec.run(None, None, validate_params(spec, params))
+                result = serialize_result(spec, raw)
+        except ReproError as exc:
+            print(f"query: {exc}", file=sys.stderr)
+            return 1
+    else:
+        with ServeClient(args.host, args.port) as client:
+            result = client.query(args.name, params, timeout=args.timeout)
     if args.as_json:
         print(json.dumps(result, indent=2, sort_keys=True))
     else:
@@ -572,6 +813,7 @@ def main(argv: list[str] | None = None) -> int:
         "shapes": _cmd_shapes,
         "generate": _cmd_generate,
         "analyze": _cmd_analyze,
+        "catalog": _cmd_catalog,
         "ingest": _cmd_ingest,
         "serve": _cmd_serve,
         "query": _cmd_query,

@@ -66,6 +66,44 @@ class StoreError(ReproError):
     """
 
 
+class MergeSchemaError(StoreError):
+    """Stores with different schema versions were unioned.
+
+    Raised by :func:`repro.store.merge.merge_stores` (and the federation
+    layer above it) when member stores disagree on
+    ``RecordStore.schema_version`` — e.g. a catalog mixing a store
+    written by an older library with one written by a newer one. The
+    union would silently reinterpret columns; refusing with the pair of
+    versions lets the operator re-save the stragglers instead.
+    """
+
+
+class CatalogError(ReproError):
+    """Base class for :mod:`repro.federation` catalog failures.
+
+    Also raised directly for manifest-level problems (corrupt manifest
+    JSON, unknown catalog format, verify failures) that have no more
+    specific subclass.
+    """
+
+
+class CatalogMemberError(CatalogError):
+    """A catalog member is missing, corrupt, or unreachable.
+
+    Carries the member's label so a federation over dozens of
+    facility-months reports *which* member died, not an anonymous
+    store error.
+    """
+
+    def __init__(self, label: str, message: str):
+        super().__init__(f"member {label!r}: {message}")
+        self.label = label
+
+
+class UnknownMemberError(CatalogError):
+    """A query routed to a member label the catalog does not know."""
+
+
 class AnalysisError(ReproError):
     """An analysis was asked for something the data cannot answer.
 

@@ -1,0 +1,34 @@
+"""Multi-store federation: one query surface over many facility-months.
+
+The paper studies two facilities over one window each; this package
+scales the reproduction sideways — a :class:`StoreCatalog` names the
+fleet of member stores (per facility, platform, and month, local files
+or remote ``repro serve`` endpoints), and a
+:class:`FederationExecutor` answers registry queries across it:
+scatter to the selected members, gather by exact associative reduction
+(bit-identical to the merged table) or a cached merged-store pass, with
+per-member generation-keyed caching so one member's growth never
+invalidates another's results. See DESIGN.md §14.
+"""
+
+from repro.federation.catalog import (
+    CatalogMember,
+    StoreCatalog,
+    load_catalog,
+)
+from repro.federation.compare import CompareReport, compare_serialized
+from repro.federation.executor import FederationExecutor
+from repro.federation.reduce import REDUCERS, reduce_results
+from repro.federation.registry import federated_registry
+
+__all__ = [
+    "CatalogMember",
+    "CompareReport",
+    "FederationExecutor",
+    "REDUCERS",
+    "StoreCatalog",
+    "compare_serialized",
+    "federated_registry",
+    "load_catalog",
+    "reduce_results",
+]

@@ -1,0 +1,542 @@
+"""StoreCatalog: a JSON manifest of member stores across facilities/months.
+
+The paper characterizes one facility over one window; production is a
+*fleet* of windows — per-facility, per-month, per-platform stores, each
+generated, ingested, or streamed independently. The catalog is the
+single source of truth for that fleet:
+
+* **Manifest** — one JSON file (``catalog.json`` by convention) listing
+  members with their routing labels (facility / platform / period), the
+  store schema version they were written at, a per-member *generation*
+  counter, and row/job counts. Every mutation rewrites the manifest
+  atomically (tmp + ``os.replace``), so a crashed ``repro catalog add``
+  never leaves a half-written fleet description.
+* **Members** — either a local store (``.npz`` file or ``.store``
+  directory, path stored relative to the manifest so catalogs relocate
+  with their data) or a remote ``repro serve`` endpoint (``host:port``),
+  so the catalog federates *processes*, not just files.
+* **Generations** — :meth:`StoreCatalog.refresh` fingerprints each
+  file-backed member (size + mtime of the table files) and bumps the
+  member's generation when the backing changed. The federation
+  executor's per-member result cache keys on that generation, so
+  appending a month to one member never invalidates another member's
+  cached results.
+* **Verification** — :meth:`StoreCatalog.verify` loads/probes every
+  member and reports missing or corrupt members, mixed store schema
+  versions, malformed or *overlapping* periods on the same
+  (facility, platform), and scale mismatches — each with an actionable
+  message naming the member.
+
+Errors are typed (:class:`~repro.errors.CatalogError` and subclasses);
+a federation over dozens of facility-months must say *which* member
+broke, never surface a bare ``KeyError``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+from repro.errors import (
+    CatalogError,
+    CatalogMemberError,
+    StoreError,
+    UnknownMemberError,
+)
+from repro.obs.tracer import trace_span
+from repro.store.io import load_store
+from repro.store.recordstore import RecordStore
+
+_FORMAT = "repro-catalog-v1"
+
+#: Version of the manifest schema; readers refuse newer manifests with a
+#: typed error (mirrors the store meta's ``schema_version`` discipline).
+CATALOG_SCHEMA_VERSION = 1
+
+#: ``YYYY-MM`` or an inclusive range ``YYYY-MM:YYYY-MM``.
+_PERIOD_RE = re.compile(r"^(\d{4})-(\d{2})$")
+
+_MEMBER_KEYS = (
+    "label", "kind", "location", "facility", "platform", "period",
+    "schema_version", "generation", "rows", "jobs", "scale", "signature",
+)
+
+
+def _parse_period(period: str) -> tuple[int, int] | None:
+    """Inclusive (first, last) month index of a period string, or None.
+
+    ``""`` (unspecified) yields None — an unspecified period never
+    participates in overlap checking. Malformed periods raise.
+    """
+    if not period:
+        return None
+    parts = period.split(":")
+    if len(parts) > 2:
+        raise CatalogError(
+            f"malformed period {period!r}: want YYYY-MM or YYYY-MM:YYYY-MM"
+        )
+    months = []
+    for part in parts:
+        m = _PERIOD_RE.match(part)
+        if m is None or not 1 <= int(m.group(2)) <= 12:
+            raise CatalogError(
+                f"malformed period {period!r}: want YYYY-MM or "
+                "YYYY-MM:YYYY-MM (month 01-12)"
+            )
+        months.append(int(m.group(1)) * 12 + int(m.group(2)) - 1)
+    lo, hi = months[0], months[-1]
+    if hi < lo:
+        raise CatalogError(f"period {period!r} ends before it starts")
+    return lo, hi
+
+
+@dataclass(frozen=True)
+class CatalogMember:
+    """One member of a :class:`StoreCatalog` (manifest row, immutable)."""
+
+    label: str
+    #: ``"store"`` (local file/directory) or ``"serve"`` (remote endpoint).
+    kind: str
+    #: Store path relative to the manifest directory, or ``host:port``.
+    location: str
+    facility: str = ""
+    platform: str = ""
+    period: str = ""
+    schema_version: int = 1
+    #: Bumped by :meth:`StoreCatalog.refresh` when the backing changed;
+    #: part of every per-member cache key in the federation executor.
+    generation: int = 0
+    rows: int = 0
+    jobs: int = 0
+    scale: float = 1.0
+    #: File fingerprint (sizes + mtimes) behind change detection;
+    #: ``None`` for remote members.
+    signature: tuple | None = field(default=None, compare=False)
+
+    def to_json(self) -> dict:
+        blob = {k: getattr(self, k) for k in _MEMBER_KEYS}
+        blob["signature"] = list(self.signature) if self.signature else None
+        return blob
+
+    @classmethod
+    def from_json(cls, path: str, blob: object) -> "CatalogMember":
+        if not isinstance(blob, dict):
+            raise CatalogError(f"{path}: catalog member must be a JSON object")
+        missing = [k for k in ("label", "kind", "location") if k not in blob]
+        if missing:
+            raise CatalogError(
+                f"{path}: catalog member missing key(s) {', '.join(missing)}"
+            )
+        if blob["kind"] not in ("store", "serve"):
+            raise CatalogError(
+                f"{path}: member {blob['label']!r} has unknown kind "
+                f"{blob['kind']!r} (want 'store' or 'serve')"
+            )
+        known = {k: blob[k] for k in _MEMBER_KEYS if k in blob}
+        sig = known.get("signature")
+        known["signature"] = tuple(sig) if sig else None
+        return cls(**known)
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """(host, port) of a ``serve`` member."""
+        host, _, port = self.location.rpartition(":")
+        try:
+            return host, int(port)
+        except ValueError:
+            raise CatalogError(
+                f"member {self.label!r}: malformed endpoint "
+                f"{self.location!r} (want host:port)"
+            ) from None
+
+
+def _store_signature(path: str) -> tuple | None:
+    """(size, mtime_ns) fingerprint of a store's table files, or None."""
+    targets = [path]
+    if os.path.isdir(path):
+        targets = [os.path.join(path, n)
+                   for n in ("meta.json", "files.npy", "jobs.npy")]
+    sig = []
+    for target in targets:
+        try:
+            st = os.stat(target)
+        except OSError:
+            return None
+        sig.append((os.path.basename(target), st.st_size, st.st_mtime_ns))
+    return tuple(sig)
+
+
+class StoreCatalog:
+    """The manifest of member stores, with atomic add/remove/refresh.
+
+    Not thread-safe for concurrent *mutation* (one operator edits a
+    catalog); reading members is safe from any thread. All mutating
+    methods persist the manifest before returning.
+    """
+
+    def __init__(self, path: str, members: dict[str, CatalogMember] | None = None):
+        self.path = os.fspath(path)
+        self._members: dict[str, CatalogMember] = dict(members or {})
+
+    # -- persistence ---------------------------------------------------------
+    @classmethod
+    def init(cls, path: str) -> "StoreCatalog":
+        """Create an empty catalog manifest at ``path``."""
+        path = os.fspath(path)
+        if os.path.exists(path):
+            raise CatalogError(f"{path}: catalog already exists")
+        catalog = cls(path)
+        catalog.save()
+        return catalog
+
+    @classmethod
+    def load(cls, path: str) -> "StoreCatalog":
+        """Read a manifest written by :meth:`save` (typed errors only)."""
+        path = os.fspath(path)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                blob = json.load(fh)
+        except FileNotFoundError:
+            raise CatalogError(
+                f"{path}: no catalog manifest (create one with "
+                "'repro catalog init')"
+            ) from None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CatalogError(f"{path}: corrupt catalog manifest ({exc})") from None
+        if not isinstance(blob, dict) or blob.get("format") != _FORMAT:
+            raise CatalogError(
+                f"{path}: unknown catalog format "
+                f"{blob.get('format') if isinstance(blob, dict) else blob!r}"
+            )
+        version = blob.get("schema_version", 1)
+        if not isinstance(version, int) or version < 1:
+            raise CatalogError(f"{path}: invalid schema_version {version!r}")
+        if version > CATALOG_SCHEMA_VERSION:
+            raise CatalogError(
+                f"{path}: catalog schema_version {version} is newer than "
+                f"this library supports ({CATALOG_SCHEMA_VERSION})"
+            )
+        members: dict[str, CatalogMember] = {}
+        for entry in blob.get("members", []):
+            member = CatalogMember.from_json(path, entry)
+            if member.label in members:
+                raise CatalogError(
+                    f"{path}: duplicate member label {member.label!r}"
+                )
+            members[member.label] = member
+        return cls(path, members)
+
+    def save(self) -> None:
+        """Atomically rewrite the manifest (tmp + rename)."""
+        blob = {
+            "format": _FORMAT,
+            "schema_version": CATALOG_SCHEMA_VERSION,
+            "members": [m.to_json() for m in self._members.values()],
+        }
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(blob, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, self.path)
+
+    # -- membership ----------------------------------------------------------
+    @property
+    def members(self) -> list[CatalogMember]:
+        """Members in manifest (addition) order."""
+        return list(self._members.values())
+
+    @property
+    def labels(self) -> list[str]:
+        return list(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[CatalogMember]:
+        return iter(self._members.values())
+
+    def member(self, label: str) -> CatalogMember:
+        try:
+            return self._members[label]
+        except KeyError:
+            raise UnknownMemberError(
+                f"unknown member {label!r}; catalog has: "
+                f"{', '.join(self._members) or '(empty)'}"
+            ) from None
+
+    def _check_new_label(self, label: str) -> None:
+        if not label or "/" in label:
+            raise CatalogError(
+                f"invalid member label {label!r}: must be non-empty, no '/'"
+            )
+        if label in self._members:
+            existing = self._members[label]
+            raise CatalogError(
+                f"duplicate member label {label!r} (already maps to "
+                f"{existing.kind} {existing.location!r}); pick a distinct "
+                "label or 'repro catalog remove' the old member first"
+            )
+
+    def add_store(
+        self,
+        label: str,
+        store_path: str,
+        *,
+        facility: str = "",
+        period: str = "",
+    ) -> CatalogMember:
+        """Add a local store member; probes the store for its metadata."""
+        self._check_new_label(label)
+        _parse_period(period)  # reject malformed periods at add time
+        store_path = os.fspath(store_path)
+        try:
+            store = load_store(store_path)
+        except (StoreError, FileNotFoundError) as exc:
+            raise CatalogMemberError(label, f"cannot load {store_path}: {exc}") from None
+        location = os.path.relpath(store_path, os.path.dirname(self.path) or ".")
+        member = CatalogMember(
+            label=label,
+            kind="store",
+            location=location,
+            facility=facility,
+            platform=store.platform,
+            period=period,
+            schema_version=store.schema_version,
+            generation=0,
+            rows=len(store.files),
+            jobs=len(store.jobs),
+            scale=store.scale,
+            signature=_store_signature(store_path),
+        )
+        self._members[label] = member
+        self.save()
+        return member
+
+    def add_endpoint(
+        self,
+        label: str,
+        host: str,
+        port: int,
+        *,
+        facility: str = "",
+        period: str = "",
+    ) -> CatalogMember:
+        """Add a remote ``repro serve`` member; probes it over the wire."""
+        self._check_new_label(label)
+        _parse_period(period)
+        from repro.serve.client import ServeClient
+
+        try:
+            with ServeClient(host, port) as client:
+                stats = client.stats()
+        except (OSError, StoreError) as exc:
+            raise CatalogMemberError(
+                label, f"cannot reach {host}:{port}: {exc}"
+            ) from None
+        remote = stats.get("store", {})
+        member = CatalogMember(
+            label=label,
+            kind="serve",
+            location=f"{host}:{port}",
+            facility=facility,
+            platform=str(remote.get("platform", "")),
+            period=period,
+            schema_version=CATALOG_SCHEMA_VERSION,
+            generation=0,
+            rows=int(remote.get("rows", 0)),
+            jobs=int(remote.get("jobs", 0)),
+        )
+        self._members[label] = member
+        self.save()
+        return member
+
+    def remove(self, label: str) -> CatalogMember:
+        member = self.member(label)
+        del self._members[label]
+        self.save()
+        return member
+
+    # -- member access -------------------------------------------------------
+    def store_path(self, label: str) -> str:
+        """Absolute path of a ``store`` member's backing."""
+        member = self.member(label)
+        if member.kind != "store":
+            raise CatalogMemberError(
+                label, f"is a {member.kind!r} member, not a local store"
+            )
+        return os.path.join(os.path.dirname(self.path) or ".", member.location)
+
+    def load_member(self, label: str) -> RecordStore:
+        """Load a ``store`` member (typed errors carry the label)."""
+        path = self.store_path(label)
+        try:
+            return load_store(path)
+        except (StoreError, FileNotFoundError) as exc:
+            raise CatalogMemberError(label, str(exc)) from None
+
+    # -- refresh -------------------------------------------------------------
+    def refresh(self, label: str | None = None) -> list[str]:
+        """Re-fingerprint members; bump generations where backing changed.
+
+        Returns the labels whose generation was bumped. Remote members
+        refresh their row counts but keep their generation — their live
+        generation is observed per query (the remote store's own
+        counter), not recorded here.
+        """
+        targets = [self.member(label)] if label else self.members
+        bumped: list[str] = []
+        changed = False
+        for member in targets:
+            if member.kind != "store":
+                continue
+            path = os.path.join(
+                os.path.dirname(self.path) or ".", member.location
+            )
+            signature = _store_signature(path)
+            if signature == member.signature:
+                continue
+            try:
+                store = load_store(path)
+            except (StoreError, FileNotFoundError) as exc:
+                raise CatalogMemberError(member.label, str(exc)) from None
+            self._members[member.label] = replace(
+                member,
+                generation=member.generation + 1,
+                rows=len(store.files),
+                jobs=len(store.jobs),
+                scale=store.scale,
+                schema_version=store.schema_version,
+                signature=signature,
+            )
+            bumped.append(member.label)
+            changed = True
+        if changed:
+            self.save()
+        return bumped
+
+    # -- selection -----------------------------------------------------------
+    def select(
+        self,
+        labels: list[str] | tuple[str, ...] | None = None,
+        *,
+        facility: str | None = None,
+        platform: str | None = None,
+        period: str | None = None,
+    ) -> list[CatalogMember]:
+        """Members matching every given axis, in manifest order.
+
+        ``labels`` routes explicitly (unknown labels raise); the keyword
+        axes filter. With no arguments, every member is selected.
+        """
+        if labels is not None:
+            picked = [self.member(label) for label in labels]
+        else:
+            picked = self.members
+        if facility is not None:
+            picked = [m for m in picked if m.facility == facility]
+        if platform is not None:
+            picked = [m for m in picked if m.platform == platform]
+        if period is not None:
+            want = _parse_period(period)
+            kept = []
+            for m in picked:
+                have = _parse_period(m.period)
+                if want is None or (
+                    have is not None and have[0] <= want[1] and want[0] <= have[1]
+                ):
+                    kept.append(m)
+            picked = kept
+        return picked
+
+    # -- verification --------------------------------------------------------
+    def verify(self) -> list[str]:
+        """Problems with the catalog, each an actionable message.
+
+        Checks every member's backing (loadable store / reachable
+        endpoint), store schema-version consistency across members,
+        period well-formedness, per-(facility, platform) period
+        overlaps, and scale consistency. Returns ``[]`` when healthy.
+        """
+        problems: list[str] = []
+        versions: dict[int, list[str]] = {}
+        scales: dict[float, list[str]] = {}
+        spans: dict[tuple[str, str], list[tuple[int, int, str]]] = {}
+        with trace_span("catalog.verify", "federation") as sp:
+            if sp is not None:
+                sp.add(members=len(self._members))
+            for member in self._members.values():
+                try:
+                    span = _parse_period(member.period)
+                except CatalogError as exc:
+                    problems.append(
+                        f"member {member.label!r}: {exc} — fix the period "
+                        "with 'repro catalog remove' + 'add'"
+                    )
+                    span = None
+                if member.kind == "store":
+                    try:
+                        store = self.load_member(member.label)
+                    except CatalogMemberError as exc:
+                        problems.append(
+                            f"{exc} — restore the file or 'repro catalog "
+                            f"remove {member.label}'"
+                        )
+                        continue
+                    versions.setdefault(store.schema_version, []).append(member.label)
+                    scales.setdefault(store.scale, []).append(member.label)
+                else:
+                    from repro.serve.client import ServeClient
+
+                    try:
+                        host, port = member.endpoint
+                        with ServeClient(host, port) as client:
+                            client.stats()
+                    except (OSError, CatalogError, StoreError) as exc:
+                        problems.append(
+                            f"member {member.label!r}: endpoint "
+                            f"{member.location} unreachable ({exc}) — "
+                            "restart the server or remove the member"
+                        )
+                        continue
+                if span is not None:
+                    key = (member.facility, member.platform)
+                    for lo, hi, other in spans.get(key, []):
+                        if span[0] <= hi and lo <= span[1]:
+                            problems.append(
+                                f"members {other!r} and {member.label!r} have "
+                                f"overlapping periods on facility="
+                                f"{member.facility!r} platform="
+                                f"{member.platform!r}; split the months or "
+                                "label one with a distinct facility"
+                            )
+                    spans.setdefault(key, []).append((span[0], span[1], member.label))
+            if len(versions) > 1:
+                detail = "; ".join(
+                    f"v{v}: {', '.join(labels)}"
+                    for v, labels in sorted(versions.items())
+                )
+                problems.append(
+                    f"mixed store schema versions across members ({detail}); "
+                    "re-save the older stores with this library to upgrade"
+                )
+            if len(scales) > 1:
+                detail = "; ".join(
+                    f"scale {s:g}: {', '.join(labels)}"
+                    for s, labels in sorted(scales.items())
+                )
+                problems.append(
+                    f"members were generated at different scales ({detail}); "
+                    "scatter-gather totals would mix extrapolation factors"
+                )
+        return problems
+
+    def __repr__(self) -> str:
+        return f"StoreCatalog({self.path!r}, members={len(self._members)})"
+
+
+def load_catalog(path: str) -> StoreCatalog:
+    """Read a catalog manifest (the public-API spelling)."""
+    return StoreCatalog.load(path)

@@ -1,0 +1,172 @@
+"""Cross-store comparison: align two members' tables, diff the numbers.
+
+``compare_<query>`` answers the question the paper answers by juxtaposing
+Summit and Cori columns: *how does the same exhibit differ across two
+facilities (or two months of one facility)?* It operates on the **wire
+form** of each side's result — the serialized rows every member can
+produce, whether it lives in-process or behind a remote ``repro serve``
+endpoint — so the comparison is identical no matter where the data is.
+
+Alignment is by *row key*: the tuple of a row's non-numeric cells
+(platform, layer, interface, direction, ...). Numeric cells — plain
+floats, the table formatters' count suffixes (``7.7M``), byte sizes
+(``1.50 GB``), percentages, and ratio suffixes (``3.63x``) — are parsed
+back to numbers and emitted as one comparison row each: key, column,
+both values, absolute delta, and relative delta. Rows present on only
+one side are reported as such rather than dropped — a missing curve *is*
+a finding (e.g. one month had zero in-system MPI-IO traffic).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+from repro.units import parse_size
+
+#: ``7.7M`` / ``281.6K`` / ``2.1B`` — repro.units.format_count output.
+_COUNT_RE = re.compile(r"^-?[0-9]+(?:\.[0-9]+)?[KMB]$")
+#: ``1.50 GB`` / ``202.18 PB`` / ``950 B`` — format_size output.
+_SIZE_RE = re.compile(r"^-?[0-9]+(?:\.[0-9]+)?\s+[KMGTP]?i?B$")
+
+_COUNT_FACTORS = {"K": 1e3, "M": 1e6, "B": 1e9}
+
+
+@dataclass(frozen=True)
+class TableResult:
+    """A bare pre-rendered table, for results built from rows directly
+    (the catalog-members listing) — quacks like an analysis result."""
+
+    rows: list[list[str]]
+
+    def to_rows(self) -> list[list[str]]:
+        return self.rows
+
+
+def parse_cell(text: str) -> float | None:
+    """The numeric value of a table cell, or None for a key cell.
+
+    Handles every numeric format the report renderers emit: plain
+    numbers, ``format_count`` suffixes, ``format_size`` byte strings,
+    trailing ``%`` and ``x``, and the non-finite spellings (``inf``,
+    ``nan``) serialization produces.
+    """
+    text = text.strip()
+    if not text:
+        return None
+    body = text[:-1].strip() if text[-1] in "%x" else text
+    try:
+        return float(body)  # also accepts 'inf'/'nan'
+    except ValueError:
+        pass
+    if _COUNT_RE.match(body):
+        return float(body[:-1]) * _COUNT_FACTORS[body[-1]]
+    if _SIZE_RE.match(body):
+        sign, mag = (-1.0, body[1:]) if body.startswith("-") else (1.0, body)
+        try:
+            return sign * parse_size(mag)
+        except ValueError:
+            return None
+    return None
+
+
+def _row_key(row: list[str]) -> tuple:
+    """Non-numeric cells, positionally tagged — the alignment key."""
+    return tuple(
+        (i, cell) for i, cell in enumerate(row) if parse_cell(cell) is None
+    )
+
+
+def _column_name(headers: list[str] | None, i: int) -> str:
+    if headers and i < len(headers):
+        return headers[i]
+    return f"col{i}"
+
+
+@dataclass(frozen=True)
+class CompareReport:
+    """One cross-member comparison, renderable as a standard table."""
+
+    query: str
+    member_a: str
+    member_b: str
+    #: [key, column, value_a, value_b, delta, relative delta] rows.
+    rows: list[list[str]] = field(default_factory=list)
+    #: Row keys present on exactly one side.
+    only_a: list[str] = field(default_factory=list)
+    only_b: list[str] = field(default_factory=list)
+
+    def to_rows(self) -> list[list[str]]:
+        out = [list(row) for row in self.rows]
+        for key in self.only_a:
+            out.append([key, "(row)", "present", "absent", "-", "-"])
+        for key in self.only_b:
+            out.append([key, "(row)", "absent", "present", "-", "-"])
+        return out
+
+
+def _format_delta(a: float, b: float) -> tuple[str, str]:
+    """(absolute, relative) delta cells for one aligned numeric pair."""
+    if a == b:  # covers inf == inf, where b - a would be nan
+        return "0", "0.0%"
+    delta = b - a
+    rel = f"{100.0 * delta / a:+.1f}%" if a else "inf"
+    return f"{delta:+g}", rel
+
+
+def compare_serialized(
+    query: str, label_a: str, label_b: str, wire_a: dict, wire_b: dict
+) -> CompareReport:
+    """Diff two wire-form ``table`` results (see module docstring)."""
+    for label, wire in ((label_a, wire_a), (label_b, wire_b)):
+        if wire.get("kind") != "table":
+            raise CatalogError(
+                f"compare_{query}: member {label!r} returned kind "
+                f"{wire.get('kind')!r}; only table queries compare"
+            )
+    headers = wire_a.get("headers") or wire_b.get("headers")
+    sides: list[dict[tuple, list[str]]] = []
+    for label, wire in ((label_a, wire_a), (label_b, wire_b)):
+        keyed: dict[tuple, list[str]] = {}
+        for row in wire.get("rows", []):
+            row = [str(c) for c in row]
+            key = _row_key(row)
+            if key in keyed:
+                raise CatalogError(
+                    f"compare_{query}: member {label!r} has two rows with "
+                    f"key {'/'.join(c for _, c in key) or '(all numeric)'}; "
+                    "rows must be distinguishable by their label cells"
+                )
+            keyed[key] = row
+        sides.append(keyed)
+    a_rows, b_rows = sides
+
+    def pretty(key: tuple) -> str:
+        return "/".join(cell for _, cell in key) or "(row)"
+
+    rows: list[list[str]] = []
+    for key, row_a in a_rows.items():
+        row_b = b_rows.get(key)
+        if row_b is None:
+            continue
+        width = max(len(row_a), len(row_b))
+        for i in range(width):
+            cell_a = row_a[i] if i < len(row_a) else ""
+            cell_b = row_b[i] if i < len(row_b) else ""
+            va, vb = parse_cell(cell_a), parse_cell(cell_b)
+            if va is None or vb is None:
+                continue
+            delta, rel = _format_delta(va, vb)
+            rows.append(
+                [pretty(key), _column_name(headers, i),
+                 cell_a, cell_b, delta, rel]
+            )
+    return CompareReport(
+        query=query,
+        member_a=label_a,
+        member_b=label_b,
+        rows=rows,
+        only_a=[pretty(k) for k in a_rows if k not in b_rows],
+        only_b=[pretty(k) for k in b_rows if k not in a_rows],
+    )

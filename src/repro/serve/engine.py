@@ -68,6 +68,7 @@ class QueryEngine:
         default_timeout: float | None = None,
         analysis_jobs: int | None = None,
         extra_queries: Mapping[str, QuerySpec] | None = None,
+        registry: Mapping[str, QuerySpec] | None = None,
     ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -86,7 +87,11 @@ class QueryEngine:
         self.max_workers = max_workers
         self.max_queue = max_queue
         self.default_timeout = default_timeout
-        self.registry = default_registry()
+        # ``registry`` replaces the default registry wholesale — the
+        # federation front-end serves *only* federated specs, so plain
+        # single-store queries cannot silently answer from whichever
+        # member happens to back the engine.
+        self.registry = dict(registry) if registry is not None else default_registry()
         if extra_queries:
             self.registry.update(extra_queries)
         self.metrics = Metrics()
@@ -312,13 +317,14 @@ class QueryEngine:
                 "params": list(spec.param_names),
                 "cacheable": spec.cacheable,
                 "foldable": spec.foldable,
+                "mergeable": spec.mergeable,
             }
             for name, spec in self.registry.items()
         }
         for name in _META_QUERIES:
             entries[name] = {
                 "title": f"service {name}", "kind": "meta", "params": [],
-                "cacheable": False, "foldable": False,
+                "cacheable": False, "foldable": False, "mergeable": False,
             }
         return {"queries": entries}
 

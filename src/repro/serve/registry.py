@@ -70,6 +70,13 @@ class QuerySpec:
     #: place, so :meth:`QueryEngine.refresh` can re-warm the result
     #: cache at the new generation with a cheap memo-hit rerun.
     foldable: bool = False
+    #: Mergeable queries are pure functions of a store's tables, so the
+    #: federation layer (:mod:`repro.federation`) may answer them across
+    #: a catalog of stores — by exact member-wise reduction when the
+    #: query only sums (see :data:`repro.federation.reduce.REDUCERS`),
+    #: by a merged-store pass otherwise. What-if sweeps and advisors
+    #: stay single-store: they model one platform's hardware.
+    mergeable: bool = False
 
     @property
     def headers(self) -> list[str] | None:
@@ -213,6 +220,15 @@ def default_registry() -> dict[str, QuerySpec]:
                   None, _run_advise_aggregation, param_names=("top",)),
         *_whatif_specs(),
     ]
+    # Every tabular exhibit is a pure function of the store tables and
+    # thus federable across a catalog; what-if sweeps are not (they
+    # model one platform's hardware parameters, not the fleet's union).
+    specs = [
+        dataclasses.replace(spec, mergeable=True)
+        if spec.kind == "table" and not spec.name.startswith("whatif_")
+        else spec
+        for spec in specs
+    ]
     return {spec.name: spec for spec in specs}
 
 
@@ -238,6 +254,10 @@ def _jsonable(value):
 
 def serialize_result(spec: QuerySpec, result) -> dict:
     """JSON-safe wire form of a runner's result."""
+    if isinstance(result, dict) and "kind" in result:
+        # Already wire form: a federated runner routed the query to a
+        # remote member, whose server serialized it on its side.
+        return result
     if spec.kind == "table":
         items = result if isinstance(result, (list, tuple)) else [result]
         rows: list[list[str]] = []

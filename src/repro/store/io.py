@@ -31,13 +31,14 @@ import numpy as np
 from repro.errors import StoreError
 from repro.store.recordstore import RecordStore
 
-_FORMAT = "repro-store-v1"
-
 #: Version of the *meta blob's* schema, recorded alongside ``format``.
-#: Bump when meta gains/changes required keys; readers accept anything
-#: up to their own version (older files load, newer files are refused
-#: with a typed error instead of a KeyError deep in RecordStore).
-SCHEMA_VERSION = 1
+#: Readers accept anything up to their own version (older files load,
+#: newer files are refused with a typed error instead of a KeyError deep
+#: in RecordStore). Re-exported from :mod:`repro.store.schema`, where it
+#: lives so in-memory stores can be stamped without importing this module.
+from repro.store.schema import SCHEMA_VERSION
+
+_FORMAT = "repro-store-v1"
 
 _REQUIRED_META = ("platform", "domains", "extensions", "scale")
 
@@ -149,6 +150,7 @@ def _load_raw(path: str, mmap: bool | None) -> RecordStore:
         domains=meta["domains"],
         extensions=meta["extensions"],
         scale=meta["scale"],
+        schema_version=meta.get("schema_version", 1),
     )
     # Remember the on-disk backing so the sharded analysis fan-out can
     # hand workers a path to mmap instead of exporting rows into shm.
@@ -188,4 +190,5 @@ def load_store(path: str, *, mmap: bool | None = None) -> RecordStore:
         domains=meta["domains"],
         extensions=meta["extensions"],
         scale=meta["scale"],
+        schema_version=meta.get("schema_version", 1),
     )

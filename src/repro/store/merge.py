@@ -34,7 +34,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import StoreError
+from repro.errors import MergeSchemaError, StoreError
 from repro.obs.tracer import trace_span
 from repro.store.recordstore import RecordStore
 
@@ -146,6 +146,15 @@ def _merge_stores(
         raise StoreError(f"nlogs_rule must be 'max' or 'sum', got {nlogs_rule!r}")
     first = stores[0]
     for s in stores[1:]:
+        if s.schema_version != first.schema_version:
+            # A typed refusal, not a KeyError deep in column remapping:
+            # stores written at different schema versions may disagree
+            # about what the columns *mean*.
+            raise MergeSchemaError(
+                f"cannot merge stores with schema versions "
+                f"{first.schema_version} and {s.schema_version}; re-save "
+                "the older store with this library to upgrade it"
+            )
         if s.platform != first.platform:
             raise StoreError(
                 f"cannot merge platforms {first.platform!r} and {s.platform!r}"
@@ -203,6 +212,7 @@ def _merge_stores(
         domains=domains,
         extensions=extensions,
         scale=first.scale,
+        schema_version=first.schema_version,
     )
 
 
@@ -226,4 +236,5 @@ def canonicalize(store: RecordStore) -> RecordStore:
         domains=store.domains,
         extensions=store.extensions,
         scale=store.scale,
+        schema_version=store.schema_version,
     )

@@ -15,6 +15,7 @@ from repro.store.schema import (
     OPCLASS_READ_ONLY,
     OPCLASS_READ_WRITE,
     OPCLASS_WRITE_ONLY,
+    SCHEMA_VERSION,
 )
 
 
@@ -36,6 +37,7 @@ class RecordStore:
         domains: Sequence[str] = (),
         extensions: Sequence[str] = (),
         scale: float = 1.0,
+        schema_version: int = SCHEMA_VERSION,
     ):
         if files.dtype != FILE_DTYPE:
             raise StoreError(f"files table has dtype {files.dtype}, want FILE_DTYPE")
@@ -49,6 +51,10 @@ class RecordStore:
         self.domains = tuple(domains)
         self.extensions = tuple(extensions)
         self.scale = scale
+        # Schema version of the file this store was loaded from (or the
+        # library's current version for in-memory stores); merge and
+        # federation refuse to union stores that disagree.
+        self.schema_version = schema_version
         self._generation = 0
         self._analysis = None
         self._analysis_jobs = None
@@ -80,6 +86,7 @@ class RecordStore:
         self.__dict__.setdefault("_analysis_jobs", None)
         self.__dict__.setdefault("_analysis_min_rows", None)
         self.__dict__.setdefault("files_path", None)
+        self.__dict__.setdefault("schema_version", SCHEMA_VERSION)
 
     # -- analysis cache ------------------------------------------------------
     @property
@@ -300,6 +307,7 @@ class RecordStore:
         return RecordStore(
             self.platform, files, self.jobs[keep_jobs],
             domains=self.domains, extensions=self.extensions, scale=self.scale,
+            schema_version=self.schema_version,
         )
 
     def where(
@@ -344,6 +352,7 @@ class RecordStore:
         return RecordStore(
             self.platform, self.files[keep], jobs,
             domains=self.domains, extensions=self.extensions, scale=self.scale,
+            schema_version=self.schema_version,
         )
 
     # -- derived columns ----------------------------------------------------------
@@ -416,6 +425,7 @@ class RecordStore:
             domains=first.domains,
             extensions=first.extensions,
             scale=first.scale,
+            schema_version=first.schema_version,
         )
 
     def __repr__(self) -> str:

@@ -15,6 +15,12 @@ import numpy as np
 
 from repro.darshan.bins import ACCESS_SIZE_BINS
 
+#: Version of the store schema (tables + meta blob). Lives here rather
+#: than :mod:`repro.store.io` so :class:`~repro.store.recordstore.RecordStore`
+#: can stamp in-memory stores without importing the persistence layer;
+#: ``io`` re-exports it. Bump when meta gains/changes required keys.
+SCHEMA_VERSION = 1
+
 #: Storage-layer codes.
 LAYER_PFS = 0
 LAYER_INSYSTEM = 1

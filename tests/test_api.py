@@ -19,11 +19,13 @@ PUBLIC_NAMES = [
     "CharacterizationStudy",
     "RecordStore",
     "ReproError",
+    "StoreCatalog",
     "StudyConfig",
     "Tracer",
     "generate_store",
     "get_tracer",
     "list_queries",
+    "load_catalog",
     "load_store",
     "run_query",
     "save_store",
@@ -44,6 +46,7 @@ SIGNATURES = {
         "params: 'Mapping | None' = None) -> 'object'"
     ),
     "list_queries": "() -> 'list[str]'",
+    "load_catalog": "(path: 'str') -> 'StoreCatalog'",
     "write_trace": "(path: 'str', tracer: 'Tracer') -> 'None'",
     "set_tracer": "(tracer: 'Tracer | None') -> 'Tracer | None'",
     "get_tracer": "() -> 'Tracer | None'",

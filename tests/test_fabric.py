@@ -206,6 +206,20 @@ class TestResolveJobs:
         monkeypatch.setattr(os, "cpu_count", lambda: 5)
         assert usable_cores() == 5
 
+    def test_resolve_jobs_zero_without_affinity_api(self, monkeypatch):
+        """jobs=0 on macOS/Windows (no sched_getaffinity) must size to
+        os.cpu_count(), not crash with AttributeError."""
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 7)
+        assert resolve_jobs(0) == 7
+
+    def test_resolve_jobs_zero_cpu_count_unknown(self, monkeypatch):
+        """Even cpu_count() == None (containers, exotic kernels) must
+        resolve to one worker rather than zero."""
+        monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_jobs(0) == 1
+
     def test_validation(self):
         assert resolve_jobs(None) == 1
         assert resolve_jobs(3) == 3

@@ -364,3 +364,40 @@ class TestRawLayout:
             fh.write(b"not a npy file at all")
         with pytest.raises(StoreError, match="corrupt array file"):
             load_store(path)
+
+
+class TestSchemaVersionPlumbing:
+    """The in-memory schema_version attribute and typed merge refusal."""
+
+    def test_in_memory_store_carries_current_version(self):
+        from repro.store.schema import SCHEMA_VERSION
+
+        assert tiny_store().schema_version == SCHEMA_VERSION
+
+    def test_version_survives_roundtrip_and_derivation(self, tmp_path):
+        from repro.store.schema import SCHEMA_VERSION
+
+        path = str(tmp_path / "v.npz")
+        save_store(tiny_store(), path)
+        out = load_store(path)
+        assert out.schema_version == SCHEMA_VERSION
+        assert out.filter(np.ones(len(out.files), bool)).schema_version == SCHEMA_VERSION
+        assert out.filter_jobs(np.ones(len(out.jobs), bool)).schema_version == SCHEMA_VERSION
+        assert RecordStore.concat([out]).schema_version == SCHEMA_VERSION
+
+    def test_merging_mismatched_versions_is_typed(self):
+        from repro.errors import MergeSchemaError
+        from repro.store.merge import merge_stores
+
+        a, b = tiny_store(), tiny_store()
+        b.schema_version = a.schema_version + 1
+        with pytest.raises(MergeSchemaError, match="schema versions"):
+            merge_stores([a, b])
+        # The typed error is a StoreError: existing handlers still catch it.
+        assert issubclass(MergeSchemaError, StoreError)
+
+    def test_merge_propagates_version(self):
+        from repro.store.merge import merge_stores
+
+        merged = merge_stores([tiny_store(), tiny_store()], remap_job_ids=True)
+        assert merged.schema_version == tiny_store().schema_version
