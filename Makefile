@@ -3,7 +3,7 @@
 # -p no:randomly is a no-op unless pytest-randomly happens to be installed.
 PYTEST = PYTHONHASHSEED=0 PYTHONPATH=src python -m pytest -p no:randomly
 
-.PHONY: check test parallel stress bench bench-analysis bench-analysis-parallel bench-generate bench-serve serve-tests obs-tests bench-obs stream-tests bench-stream fabric-tests whatif-tests bench-whatif federation-tests bench-federation
+.PHONY: check test parallel stress bench bench-analysis bench-analysis-parallel bench-generate bench-serve serve-tests obs-tests bench-obs stream-tests bench-stream fabric-tests whatif-tests bench-whatif federation-tests bench-federation spec-tests bench-spec
 
 # Fast development loop: everything except the multi-million-row stress
 # guards and the (pool-spawning, slow on few cores) differential suite.
@@ -83,6 +83,17 @@ federation-tests:
 # BENCH_federation.json (throughput ratio gated only on multi-core).
 bench-federation:
 	$(PYTEST) -q benchmarks/bench_federation.py
+
+# Workload-spec DSL: schema/loader rejection contract, pattern compile
+# units, the paper_mix byte-identity differential (jobs 1 and 4), and
+# the scenario-pack goldens + end-to-end flow.
+spec-tests:
+	$(PYTEST) -x -q tests/test_spec.py tests/test_spec_packs.py tests/test_mixes.py
+
+# Spec-compilation overhead gate (<= 5% over the direct archetype
+# path, byte-identity asserted); writes BENCH_spec.json.
+bench-spec:
+	$(PYTEST) -q benchmarks/bench_spec.py
 
 # Span-tracing subsystem + public-API surface tests (tracer semantics,
 # export formats, worker round trip, --trace plumbing, API snapshot).

@@ -1,0 +1,100 @@
+"""Spec-compilation benchmark: the DSL must be a zero-cost abstraction.
+
+The gate: generating the year via the builtin ``paper_mix`` spec (load +
+validate + compile + generate) may cost at most 5% over the direct
+archetype path at the bench scale — compilation only rearranges which
+ArchetypeSpecs feed the generator, so essentially all time must stay in
+generation. Correctness rides along unconditionally: the spec store is
+asserted byte-identical to the direct store before any timing is
+trusted. Pure compile latency (no generation) is recorded separately
+for trend lines, along with one overlay pack's compile+generate cost.
+
+Results land in ``BENCH_spec.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import BENCH_SCALE, BENCH_SEED, write_bench_json
+
+import numpy as np
+
+from repro.spec import compile_spec, generate_from_spec, pack_names
+from repro.workloads.generator import (
+    GeneratorConfig,
+    WorkloadGenerator,
+    generate_with_shadows,
+)
+
+#: Maximum spec-path overhead over the direct archetype path.
+MAX_OVERHEAD = 1.05
+
+#: Timed repetitions; the minimum is reported (standard for CPU-bound
+#: latency gates: the min is the least-noise observation).
+REPEATS = 3
+
+
+def _time(fn) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def _direct():
+    gen = WorkloadGenerator("summit", GeneratorConfig(scale=BENCH_SCALE))
+    return generate_with_shadows(gen, BENCH_SEED)
+
+
+def _via_spec():
+    return generate_from_spec(
+        "paper_mix", platform="summit", scale=BENCH_SCALE, seed=BENCH_SEED
+    )
+
+
+def test_spec_compile_overhead(results_dir):
+    direct_s, direct = _time(_direct)
+    spec_s, via_spec = _time(_via_spec)
+
+    # Identity first — a fast wrong answer is not a benchmark result.
+    np.testing.assert_array_equal(direct.files, via_spec.files)
+    np.testing.assert_array_equal(direct.jobs, via_spec.jobs)
+
+    # Pure compile latency: everything but generation.
+    compile_s, _ = _time(
+        lambda: compile_spec("paper_mix", platform="summit",
+                             scale=BENCH_SCALE)
+    )
+    # One overlay pack end-to-end, for the trend line (no gate: its
+    # population is deliberately different from the paper mix).
+    overlay_s, overlay = _time(
+        lambda: generate_from_spec(
+            "bb_eviction_storm", platform="summit",
+            scale=BENCH_SCALE, seed=BENCH_SEED,
+        )
+    )
+
+    overhead = spec_s / direct_s
+    payload = {
+        "scale": BENCH_SCALE,
+        "seed": BENCH_SEED,
+        "rows": len(direct.files),
+        "direct_seconds": round(direct_s, 4),
+        "spec_seconds": round(spec_s, 4),
+        "overhead_ratio": round(overhead, 4),
+        "max_overhead_ratio": MAX_OVERHEAD,
+        "compile_only_seconds": round(compile_s, 4),
+        "bb_eviction_storm_seconds": round(overlay_s, 4),
+        "bb_eviction_storm_rows": len(overlay.files),
+        "packs": pack_names(),
+        "byte_identical": True,
+    }
+    write_bench_json(results_dir, "spec", payload)
+
+    assert overhead <= MAX_OVERHEAD, (
+        f"spec path costs {overhead:.2%} of the direct path "
+        f"(gate: {MAX_OVERHEAD:.0%}); compile alone took {compile_s:.3f}s"
+    )

@@ -39,13 +39,18 @@ _LAZY_EXPORTS = {
     "CharacterizationStudy": ("repro.api", "CharacterizationStudy"),
     "RecordStore": ("repro.api", "RecordStore"),
     "ReproError": ("repro.api", "ReproError"),
+    "SpecError": ("repro.api", "SpecError"),
     "StoreCatalog": ("repro.api", "StoreCatalog"),
     "StudyConfig": ("repro.api", "StudyConfig"),
     "Tracer": ("repro.api", "Tracer"),
+    "WorkloadSpec": ("repro.api", "WorkloadSpec"),
+    "compile_spec": ("repro.api", "compile_spec"),
     "generate_store": ("repro.api", "generate_store"),
     "get_tracer": ("repro.api", "get_tracer"),
     "list_queries": ("repro.api", "list_queries"),
+    "list_specs": ("repro.api", "list_specs"),
     "load_catalog": ("repro.api", "load_catalog"),
+    "load_spec": ("repro.api", "load_spec"),
     "load_store": ("repro.api", "load_store"),
     "run_query": ("repro.api", "run_query"),
     "save_store": ("repro.api", "save_store"),

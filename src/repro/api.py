@@ -11,9 +11,15 @@ promised.
 The surface, by lifecycle stage:
 
 * **Make data** — :func:`generate_store` (synthesize a platform's
-  year), :func:`load_store` / :func:`save_store` (``.npz``
-  persistence), :class:`CharacterizationStudy` + :class:`StudyConfig`
-  (the full multi-platform study pipeline).
+  year, from the builtin archetype mix or a declarative spec),
+  :func:`load_store` / :func:`save_store` (``.npz`` persistence),
+  :class:`CharacterizationStudy` + :class:`StudyConfig` (the full
+  multi-platform study pipeline).
+* **Describe populations** — :func:`load_spec` / :func:`compile_spec` /
+  :func:`list_specs` + :class:`WorkloadSpec` and the typed
+  :class:`SpecError`: the declarative workload-pattern DSL and its
+  builtin scenario packs (DESIGN.md §15); ``generate_store(spec=...)``
+  turns a spec straight into a store.
 * **Ask questions** — :func:`run_query` / :func:`list_queries`: every
   user-facing query — CLI exhibit, server query, advisor, shape check —
   resolves through the one :mod:`repro.serve.registry` table, so the
@@ -41,10 +47,11 @@ from __future__ import annotations
 from typing import Mapping
 
 from repro.core import CharacterizationStudy, StudyConfig
-from repro.errors import ReproError, UnknownQueryError
+from repro.errors import ReproError, SpecError, UnknownQueryError
 from repro.federation import StoreCatalog, load_catalog
 from repro.obs import Tracer, get_tracer, set_tracer, write_trace
 from repro.obs.integrate import analysis_span
+from repro.spec import WorkloadSpec, compile_spec, load_spec
 from repro.store.io import load_store, save_store
 from repro.store.recordstore import RecordStore
 
@@ -52,13 +59,18 @@ __all__ = [
     "CharacterizationStudy",
     "RecordStore",
     "ReproError",
+    "SpecError",
     "StoreCatalog",
     "StudyConfig",
     "Tracer",
+    "WorkloadSpec",
+    "compile_spec",
     "generate_store",
     "get_tracer",
     "list_queries",
+    "list_specs",
     "load_catalog",
+    "load_spec",
     "load_store",
     "run_query",
     "save_store",
@@ -68,32 +80,65 @@ __all__ = [
 
 
 def generate_store(
-    platform: str,
+    platform: str | None = None,
     *,
-    scale: float = 1e-3,
+    spec: Mapping | WorkloadSpec | str | None = None,
+    scale: float | None = None,
     seed: int = 20220627,
     jobs: int = 1,
     shadows: bool = True,
 ) -> RecordStore:
     """Synthesize one platform's year as a :class:`RecordStore`.
 
+    Two sources, one signature:
+
+    * ``generate_store("summit", scale=1e-3)`` — the platform's builtin
+      calibrated archetype mix (``scale`` defaults to ``1e-3``);
+    * ``generate_store(spec="noisy_neighbor", platform="summit")`` — a
+      declarative workload spec: a builtin scenario-pack name, a path to
+      a ``.json``/``.toml`` spec file, a raw dict, or a
+      :class:`WorkloadSpec`. ``platform``/``scale`` fill whatever the
+      spec leaves unset (spec fields win); the builtin ``paper_mix``
+      spec is byte-identical to the direct path.
+
     Deterministic in ``seed`` and independent of ``jobs`` (the sharded
     pipeline is byte-identical for every worker count; ``0`` uses all
-    cores). ``shadows`` appends the POSIX shadow rows for MPI-IO files
-    (§3.1 accounting) — the representation every analysis and the study
-    pipeline expect; pass ``False`` only to study the raw interface
-    rows.
+    cores) — for specs this holds by construction, because compilation
+    only produces archetype mixes for the same per-(archetype, group,
+    log-block) RNG substreams. ``shadows`` appends the POSIX shadow rows
+    for MPI-IO files (§3.1 accounting) — the representation every
+    analysis and the study pipeline expect; pass ``False`` only to study
+    the raw interface rows.
     """
+    if spec is not None:
+        from repro.spec import generate_from_spec
+
+        return generate_from_spec(
+            spec, seed=seed, jobs=jobs, shadows=shadows,
+            platform=platform, scale=scale,
+        )
+    if platform is None:
+        raise SpecError("platform", "required unless spec=... is given")
     from repro.workloads.generator import (
         GeneratorConfig,
         WorkloadGenerator,
         generate_with_shadows,
     )
 
-    generator = WorkloadGenerator(platform, GeneratorConfig(scale=scale))
+    generator = WorkloadGenerator(
+        platform, GeneratorConfig(scale=1e-3 if scale is None else scale)
+    )
     if shadows:
         return generate_with_shadows(generator, seed, jobs=jobs)
     return generator.generate(seed, jobs=jobs)
+
+
+def list_specs() -> list[str]:
+    """Every builtin scenario-pack name ``generate_store(spec=...)``
+    (and ``repro generate --spec``) accepts, sorted."""
+    from repro.spec import pack_names
+
+    return pack_names()
 
 
 def run_query(

@@ -5,8 +5,11 @@
     python -m repro study    --platform summit --scale 1e-3 [--seed N]
     python -m repro shapes   --platform cori   --scale 1e-3
     python -m repro generate --platform summit --scale 5e-4 --jobs 4 --out year.npz
+    python -m repro generate --spec noisy_neighbor --platform cori --out month.npz
+    python -m repro generate --archetype sim_checkpoint --out solo.npz
+    python -m repro generate --list-specs [--json]
     python -m repro analyze  year.npz --exhibit table3
-    python -m repro analyze  --list
+    python -m repro analyze  --list [--json]
     python -m repro ingest   stream.ndjson --store year.npz [--follow] \\
                              [--checkpoint year.ckpt]
     python -m repro whatif   year.npz --scenario stripe --params '{"factor": 2}'
@@ -83,10 +86,31 @@ def _build_parser() -> argparse.ArgumentParser:
     common(p_gen)
     traceable(p_gen)
     p_gen.add_argument(
-        "--out", required=True,
+        "--out", default=None,
         help="output path: .npz (compressed, portable) or a .store "
              "directory (uncompressed raw layout that later loads "
              "memory-mapped — the fast path for 'analyze --jobs')",
+    )
+    p_gen.add_argument(
+        "--spec", default=None, metavar="NAME_OR_PATH",
+        help="generate from a declarative workload spec: a builtin "
+             "scenario-pack name (see --list-specs) or a .json/.toml "
+             "spec file; --platform/--scale fill what the spec leaves "
+             "unset",
+    )
+    p_gen.add_argument(
+        "--archetype", default=None, metavar="NAME",
+        help="generate a single builtin archetype of the platform's mix "
+             "(e.g. sim_checkpoint) instead of the full mix",
+    )
+    p_gen.add_argument(
+        "--list-specs", action="store_true", dest="list_specs",
+        help="list every builtin scenario pack and workload pattern",
+    )
+    p_gen.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="with --list-specs: emit the listing as JSON "
+             "(same shape as 'analyze --list --json')",
     )
 
     p_an = sub.add_parser("analyze", help="run one exhibit over a saved store")
@@ -106,6 +130,12 @@ def _build_parser() -> argparse.ArgumentParser:
     p_an.add_argument(
         "--list", action="store_true",
         help="list every query name the analyze CLI and 'repro serve' share",
+    )
+    p_an.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit JSON: the query listing with --list (same shape as "
+             "'generate --list-specs --json'), the serialized result "
+             "otherwise",
     )
     p_an.add_argument(
         "--catalog", default=None, metavar="PATH",
@@ -311,7 +341,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     p_wi.add_argument(
         "--json", action="store_true", dest="as_json",
-        help="print the serialized result instead of a rendered table",
+        help="emit JSON: the scenario listing with --list (same shape "
+             "as 'analyze --list --json'), the serialized result "
+             "otherwise",
     )
     p_wi.add_argument(
         "--list", action="store_true",
@@ -369,11 +401,82 @@ def _cmd_shapes(args) -> int:
     return 1 if failed else 0
 
 
+def _print_listing(listing: str, items: list[dict], as_json: bool) -> None:
+    """One listing, the two shared renderings (text and --json)."""
+    if as_json:
+        from repro.serve.registry import listing_payload
+
+        print(json.dumps(listing_payload(listing, items),
+                         indent=2, sort_keys=True))
+        return
+    width = max(len(item["name"]) for item in items)
+    for item in items:
+        tag = f" [{item['kind']}]" if "kind" in item else ""
+        print(f"{item['name']:<{width}}{tag:10s} {item['title']}")
+        for line in item.get("detail", ()):
+            print(f"    {line}")
+
+
 def _cmd_generate(args) -> int:
-    gen = WorkloadGenerator(args.platform, GeneratorConfig(scale=args.scale))
-    store = generate_with_shadows(gen, args.seed, jobs=args.jobs)
+    if args.list_specs:
+        from repro.spec import pack_catalog, pattern_catalog
+
+        items: list[dict] = []
+        for name, spec in sorted(pack_catalog().items()):
+            items.append({
+                "name": name, "kind": "pack", "title": spec.description,
+                "phases": [p.pattern for p in spec.phases],
+            })
+        for name, pattern in sorted(pattern_catalog().items()):
+            params = [f.describe() for f in pattern.fields]
+            items.append({
+                "name": name, "kind": "pattern", "title": pattern.title,
+                "params": params,
+                "detail": [
+                    f"--spec params {p['name']}={p['default']!r}  {p['doc']}"
+                    for p in params
+                ],
+            })
+        _print_listing("specs", items, args.as_json)
+        return 0
+    if args.out is None:
+        print("generate: --out is required unless --list-specs is given",
+              file=sys.stderr)
+        return 2
+    if args.spec is not None and args.archetype is not None:
+        print("generate: --spec and --archetype are mutually exclusive",
+              file=sys.stderr)
+        return 2
+    if args.spec is not None or args.archetype is not None:
+        from repro.errors import SpecError
+        from repro.spec import generate_from_spec, load_spec
+
+        source = args.spec
+        if args.archetype is not None:
+            # A one-phase spec selecting the named builtin archetype —
+            # --archetype is sugar over the same compile path.
+            source = {
+                "name": f"solo-{args.archetype}",
+                "phases": [{"name": "solo", "pattern": "archetype",
+                            "weight": 1.0,
+                            "params": {"name": args.archetype}}],
+            }
+        try:
+            spec = load_spec(source)
+            store = generate_from_spec(
+                spec, seed=args.seed, jobs=args.jobs,
+                platform=args.platform, scale=args.scale,
+            )
+        except SpecError as exc:
+            print(f"generate: {exc}", file=sys.stderr)
+            return 1
+        provenance = f" (spec {spec.name})"
+    else:
+        gen = WorkloadGenerator(args.platform, GeneratorConfig(scale=args.scale))
+        store = generate_with_shadows(gen, args.seed, jobs=args.jobs)
+        provenance = ""
     save_store(store, args.out)
-    print(f"wrote {store!r} to {args.out}")
+    print(f"wrote {store!r} to {args.out}{provenance}")
     return 0
 
 
@@ -390,6 +493,14 @@ def _cmd_analyze(args) -> int:
     if args.list:
         # The same registry `repro serve` dispatches on: the CLI surface
         # and the service surface cannot drift.
+        if args.as_json:
+            items = [
+                {"name": name, "kind": spec.kind, "title": spec.title,
+                 "params": list(spec.param_names)}
+                for name, spec in sorted(registry.items())
+            ]
+            _print_listing("queries", items, True)
+            return 0
         width = max(len(n) for n in registry)
         for name in sorted(registry):
             spec = registry[name]
@@ -426,6 +537,12 @@ def _cmd_analyze(args) -> int:
         except ReproError as exc:
             print(f"analyze: {exc}", file=sys.stderr)
             return 1
+        if args.as_json:
+            from repro.serve.registry import serialize_result
+
+            print(json.dumps(serialize_result(spec, result),
+                             indent=2, sort_keys=True))
+            return 0
         print(render_results(spec.title, spec.headers, result))
         return 0
     if args.store is None:
@@ -437,6 +554,12 @@ def _cmd_analyze(args) -> int:
         store.set_analysis_jobs(args.jobs)
     spec = registry[args.exhibit]
     result = run_query(store, args.exhibit, params or None)
+    if args.as_json:
+        from repro.serve.registry import serialize_result
+
+        print(json.dumps(serialize_result(spec, result),
+                         indent=2, sort_keys=True))
+        return 0
     print(render_results(spec.title, spec.headers, result))
     return 0
 
@@ -686,6 +809,18 @@ def _cmd_whatif(args) -> int:
     from repro.whatif import get_scenario, scenario_catalog, sweep
 
     if args.list:
+        if args.as_json:
+            items = [
+                {"name": name, "kind": "scenario", "title": s.title,
+                 "description": s.description,
+                 "params": [
+                     {"name": p.name, "default": p.default, "doc": p.doc}
+                     for p in s.params
+                 ]}
+                for name, s in sorted(scenario_catalog().items())
+            ]
+            _print_listing("scenarios", items, True)
+            return 0
         for name, scenario in sorted(scenario_catalog().items()):
             print(f"{name}: {scenario.title}")
             print(f"    {scenario.description}")

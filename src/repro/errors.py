@@ -131,6 +131,20 @@ class CheckpointError(StreamError):
     """
 
 
+class SpecError(ReproError):
+    """A declarative workload spec failed to validate or compile.
+
+    Carries the dotted field path of the offending key so a message reads
+    ``phases[2].params.ckpt_gb: must be <= 4096`` instead of a bare
+    ``KeyError`` — the spec surface's contract is that every rejection
+    names the field and the allowed values/range.
+    """
+
+    def __init__(self, path: str, message: str):
+        super().__init__(f"{path}: {message}" if path else message)
+        self.path = path
+
+
 class WhatIfError(ReproError):
     """A what-if scenario was specified inconsistently.
 

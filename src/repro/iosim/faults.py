@@ -62,9 +62,22 @@ BB_DRAIN = DegradationScenario(
     rebuild_overhead=0.05,
 )
 
+#: Burst-buffer eviction storm: capacity pressure forces synchronous
+#: flushes to the PFS while allocations are being reclaimed — a fifth of
+#: the BB fleet is effectively unavailable and the survivors spend real
+#: bandwidth on eviction traffic, with contention far above the layer's
+#: usual job-exclusive calm.
+EVICTION_STORM = DegradationScenario(
+    name="eviction-storm",
+    servers_offline=0.20,
+    rebuild_overhead=0.30,
+    contention_alpha=1.8,
+    contention_beta=4.0,
+)
+
 #: Named presets, for CLI/what-if parameter surfaces.
 PRESETS: dict[str, DegradationScenario] = {
-    s.name: s for s in (REBUILD_STORM, BB_DRAIN)
+    s.name: s for s in (REBUILD_STORM, BB_DRAIN, EVICTION_STORM)
 }
 
 

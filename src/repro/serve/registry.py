@@ -238,6 +238,24 @@ def exhibit_names(registry: Mapping[str, QuerySpec] | None = None) -> list[str]:
     return sorted(n for n, s in registry.items() if s.kind == "table")
 
 
+def listing_payload(listing: str, items: list[dict]) -> dict:
+    """The one JSON shape every CLI ``--list --json`` emits.
+
+    ``repro analyze --list``, ``repro whatif --list``, and ``repro
+    generate --list-specs`` all wrap their entries in this envelope —
+    ``{"kind": "listing", "listing": <surface>, "items": [...]}`` with
+    each item carrying at least ``name`` and ``title`` — so scripted
+    consumers parse one shape regardless of which surface they asked.
+    """
+    for item in items:
+        missing = {"name", "title"} - set(item)
+        if missing:  # pragma: no cover - listing builders are internal
+            raise ServeError(
+                f"listing item missing keys {sorted(missing)}: {item!r}"
+            )
+    return {"kind": "listing", "listing": listing, "items": _jsonable(items)}
+
+
 # -- wire serialization ------------------------------------------------------
 def _jsonable(value):
     """Recursively coerce numpy scalars / non-finite floats for JSON."""

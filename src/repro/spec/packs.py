@@ -1,0 +1,118 @@
+"""Builtin scenario packs: named, validated workload specs.
+
+Four packs ship with the library:
+
+* ``paper_mix`` — the platform's full calibrated mix as a spec. Compiles
+  to the *identical* generator inputs the direct archetype path uses, so
+  its store is byte-identical to ``repro generate --platform ...`` (the
+  differential test in ``tests/test_spec.py`` proves it at jobs 1 and 4).
+* ``degraded_ost_month`` — the paper population generated while the PFS
+  rides out an enclosure failure mid-rebuild (the dormant
+  :data:`repro.iosim.faults.REBUILD_STORM` preset): ~10% of servers out,
+  rebuild traffic on the survivors, harsher PFS contention.
+* ``bb_eviction_storm`` — checkpoint storms and staging pipelines pushed
+  through an in-system layer under eviction pressure
+  (:data:`repro.iosim.faults.EVICTION_STORM`), over a paper background.
+* ``noisy_neighbor`` — the paper mix plus epoch-training reads and a
+  metadata sweep, all timed under 2.5x interfering load
+  (:meth:`repro.iosim.contention.ContentionModel.crowded`).
+
+Packs deliberately leave ``platform`` and ``scale`` unset so the caller
+(or the CLI's ``--platform``/``--scale``) picks them; the golden
+characterizations in ``tests/test_spec_packs.py`` pin each pack's
+Table-3/Table-6-style shape so drift fails loudly.
+"""
+
+from __future__ import annotations
+
+from repro.spec.schema import WorkloadSpec, validate_spec
+
+_PACK_DICTS: dict[str, dict] = {
+    "paper_mix": {
+        "name": "paper_mix",
+        "description": "the platform's calibrated paper mix, as a spec "
+                       "(byte-identical to the direct archetype path)",
+        "phases": [
+            {"name": "paper", "pattern": "paper", "weight": 1.0},
+        ],
+    },
+    "degraded_ost_month": {
+        "name": "degraded_ost_month",
+        "description": "paper population during a month-long PFS rebuild "
+                       "storm: ~10% of servers out, rebuild traffic on "
+                       "the rest, harsher PFS contention",
+        "phases": [
+            {"name": "paper", "pattern": "paper", "weight": 1.0},
+        ],
+        "overlays": {
+            "fault": {"layer": "pfs", "preset": "rebuild-storm"},
+        },
+    },
+    "bb_eviction_storm": {
+        "name": "bb_eviction_storm",
+        "description": "checkpoint storms and staging pipelines hammering "
+                       "an in-system layer under eviction pressure, over "
+                       "a paper background",
+        "phases": [
+            {"name": "bb_ckpt_storm", "pattern": "checkpoint_storm",
+             "weight": 0.5,
+             "params": {"layer": "insystem", "ckpt_gb": 96.0,
+                        "files_per_run": 80.0}},
+            {"name": "bb_staging", "pattern": "producer_consumer",
+             "weight": 0.3,
+             "params": {"layer": "insystem", "object_mb": 256.0}},
+            {"name": "paper", "pattern": "paper", "weight": 0.2},
+        ],
+        "overlays": {
+            "fault": {"layer": "insystem", "preset": "eviction-storm"},
+        },
+    },
+    "noisy_neighbor": {
+        "name": "noisy_neighbor",
+        "description": "paper mix plus training reads and a metadata "
+                       "sweep, timed under 2.5x interfering load on "
+                       "both layers",
+        "phases": [
+            {"name": "paper", "pattern": "paper", "weight": 0.7},
+            {"name": "training", "pattern": "epoch_training",
+             "weight": 0.2,
+             "params": {"dataset_gb": 768.0, "shards": 300}},
+            {"name": "mdsweep", "pattern": "metadata_sweep",
+             "weight": 0.1,
+             "params": {"files_per_run": 1200.0, "file_kb": 8.0}},
+        ],
+        "overlays": {
+            "contention": {"factor": 2.5},
+        },
+    },
+}
+
+_CACHE: dict[str, WorkloadSpec] | None = None
+
+
+def pack_catalog() -> dict[str, WorkloadSpec]:
+    """Every builtin pack, keyed by name (validated once, then cached)."""
+    global _CACHE
+    if _CACHE is None:
+        _CACHE = {
+            name: validate_spec(data) for name, data in _PACK_DICTS.items()
+        }
+    return dict(_CACHE)
+
+
+def pack_names() -> list[str]:
+    """Builtin pack names, sorted."""
+    return sorted(_PACK_DICTS)
+
+
+def get_pack(name: str) -> WorkloadSpec:
+    """Look a builtin pack up by name."""
+    from repro.errors import SpecError
+
+    packs = pack_catalog()
+    if name not in packs:
+        raise SpecError(
+            "", f"unknown scenario pack {name!r}; available: "
+            f"{', '.join(pack_names())}"
+        )
+    return packs[name]

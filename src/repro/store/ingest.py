@@ -59,16 +59,23 @@ def ingest_logs(
     mounts: MountTable,
     *,
     domains: Sequence[str] = (),
+    extensions: Sequence[str] = (),
     scale: float = 1.0,
 ) -> RecordStore:
     """Build a RecordStore from parsed logs.
 
     ``domains`` is the science-domain catalog; logs whose job record names
     a domain outside the catalog get code −1 (like Cori's jobs without
-    NEWT project info, §3.3.2).
+    NEWT project info, §3.3.2). ``extensions`` pre-seeds the extension
+    catalog (codes 0..n−1 in the given order, unseen extensions appended
+    first-seen after it) so an ingested store can share codes with a
+    generated or spec-compiled one.
     """
     with trace_span("ingest.logs", "ingest") as sp:
-        store = _ingest_logs(logs, platform, mounts, domains=domains, scale=scale)
+        store = _ingest_logs(
+            logs, platform, mounts,
+            domains=domains, extensions=extensions, scale=scale,
+        )
         if sp is not None:
             sp.add(platform=platform, rows=len(store.files), jobs=len(store.jobs))
         return store
@@ -80,6 +87,7 @@ def _ingest_logs(
     mounts: MountTable,
     *,
     domains: Sequence[str] = (),
+    extensions: Sequence[str] = (),
     scale: float = 1.0,
 ) -> RecordStore:
     domains = tuple(domains)
@@ -89,7 +97,7 @@ def _ingest_logs(
     hist_chunks: dict[str, list[np.ndarray]] = {"read_hist": [], "write_hist": []}
     nrows = 0
     job_rows: dict[int, tuple] = {}
-    extensions: dict[str, int] = {}
+    extensions = {e: i for i, e in enumerate(extensions)}
     log_counts: dict[int, int] = {}
 
     for log_id, log in enumerate(logs):
@@ -178,13 +186,13 @@ def _read_one(path: str) -> DarshanLog:
 
 def _ingest_shard(payload) -> RecordStore:
     """Pool worker: ingest one contiguous shard of log paths."""
-    paths, platform, mounts, domains, scale = payload
+    paths, platform, mounts, domains, extensions, scale = payload
     with trace_span("ingest.shard", "ingest") as sp:
         if sp is not None:
             sp.add(paths=len(paths))
         return ingest_logs(
             (_read_one(p) for p in paths), platform, mounts,
-            domains=domains, scale=scale,
+            domains=domains, extensions=extensions, scale=scale,
         )
 
 
@@ -194,6 +202,7 @@ def ingest_log_paths(
     mounts: MountTable,
     *,
     domains: Sequence[str] = (),
+    extensions: Sequence[str] = (),
     scale: float = 1.0,
     jobs: int | None = None,
 ) -> RecordStore:
@@ -223,14 +232,15 @@ def ingest_log_paths(
         if njobs <= 1 or len(paths) <= 1:
             return ingest_logs(
                 (_read_one(p) for p in paths), platform, mounts,
-                domains=domains, scale=scale,
+                domains=domains, extensions=extensions, scale=scale,
             )
         costs = [
             max(os.path.getsize(p), 1) if os.path.exists(p) else 1 for p in paths
         ]
         slices = contiguous_shards(costs, njobs * SHARDS_PER_WORKER)
         payloads = [
-            (paths[sl], platform, mounts, tuple(domains), scale) for sl in slices
+            (paths[sl], platform, mounts, tuple(domains), tuple(extensions), scale)
+            for sl in slices
         ]
         # Shard stores travel as shared-memory headers, never pickled
         # payloads; the merge copies, then every segment is unlinked.

@@ -158,8 +158,12 @@ class WorkloadGenerator:
         config: GeneratorConfig | None = None,
         mix: list[tuple[float, ArchetypeSpec]] | None = None,
         perf: PerfModel | None = None,
+        machine: Machine | None = None,
     ):
-        self.machine: Machine = get_platform(platform)
+        # ``machine`` lets a compiled spec generate against a degraded
+        # variant (fault overlays) while keeping the platform's name,
+        # domain catalog, and RNG namespace.
+        self.machine: Machine = machine if machine is not None else get_platform(platform)
         self.platform = platform.lower()
         self.config = config or GeneratorConfig()
         if mix is None:

@@ -19,13 +19,18 @@ PUBLIC_NAMES = [
     "CharacterizationStudy",
     "RecordStore",
     "ReproError",
+    "SpecError",
     "StoreCatalog",
     "StudyConfig",
     "Tracer",
+    "WorkloadSpec",
+    "compile_spec",
     "generate_store",
     "get_tracer",
     "list_queries",
+    "list_specs",
     "load_catalog",
+    "load_spec",
     "load_store",
     "run_query",
     "save_store",
@@ -37,7 +42,9 @@ PUBLIC_NAMES = [
 #: name only; their constructors are documented on the class).
 SIGNATURES = {
     "generate_store": (
-        "(platform: 'str', *, scale: 'float' = 0.001, "
+        "(platform: 'str | None' = None, *, "
+        "spec: 'Mapping | WorkloadSpec | str | None' = None, "
+        "scale: 'float | None' = None, "
         "seed: 'int' = 20220627, jobs: 'int' = 1, "
         "shadows: 'bool' = True) -> 'RecordStore'"
     ),
@@ -46,6 +53,16 @@ SIGNATURES = {
         "params: 'Mapping | None' = None) -> 'object'"
     ),
     "list_queries": "() -> 'list[str]'",
+    "list_specs": "() -> 'list[str]'",
+    "load_spec": (
+        "(source: 'Mapping | WorkloadSpec | str | os.PathLike') "
+        "-> 'WorkloadSpec'"
+    ),
+    "compile_spec": (
+        "(source: 'Mapping | WorkloadSpec | str', *, "
+        "platform: 'str | None' = None, "
+        "scale: 'float | None' = None) -> 'CompiledSpec'"
+    ),
     "load_catalog": "(path: 'str') -> 'StoreCatalog'",
     "write_trace": "(path: 'str', tracer: 'Tracer') -> 'None'",
     "set_tracer": "(tracer: 'Tracer | None') -> 'Tracer | None'",
@@ -158,3 +175,39 @@ class TestRunQuery:
         direct = generate_with_shadows(gen, 3)
         assert np.array_equal(via_api.files, direct.files)
         assert np.array_equal(via_api.jobs, direct.jobs)
+
+
+class TestSpecSurface:
+    def test_list_specs_matches_pack_names(self):
+        from repro.spec import pack_names
+
+        assert repro.list_specs() == pack_names()
+        assert "paper_mix" in repro.list_specs()
+
+    def test_generate_store_spec_equals_direct(self):
+        import numpy as np
+
+        direct = repro.generate_store("summit", scale=1e-4, seed=3)
+        via_spec = repro.generate_store(
+            spec="paper_mix", platform="summit", scale=1e-4, seed=3
+        )
+        assert np.array_equal(direct.files, via_spec.files)
+        assert np.array_equal(direct.jobs, via_spec.jobs)
+
+    def test_generate_store_needs_platform_or_spec(self):
+        with pytest.raises(repro.SpecError, match="platform"):
+            repro.generate_store()
+
+    def test_load_and_compile_spec_roundtrip(self):
+        spec = repro.load_spec("noisy_neighbor")
+        assert isinstance(spec, repro.WorkloadSpec)
+        again = repro.load_spec(spec.to_dict())
+        assert again == spec
+        compiled = repro.compile_spec(spec, platform="cori", scale=1e-4)
+        assert compiled.platform == "cori"
+        assert len(compiled.mix) > len(spec.phases)
+
+    def test_spec_error_is_repro_error(self):
+        assert issubclass(repro.SpecError, repro.ReproError)
+        with pytest.raises(repro.SpecError, match="not a builtin pack name"):
+            repro.load_spec("not_a_pack_or_file")

@@ -6,6 +6,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.iosim.faults import (
     BB_DRAIN,
+    EVICTION_STORM,
     PRESETS,
     REBUILD_STORM,
     DegradationScenario,
@@ -35,7 +36,8 @@ class TestPresets:
     def test_lookup_by_name(self):
         assert preset("rebuild-storm") is REBUILD_STORM
         assert preset("bb-drain") is BB_DRAIN
-        assert set(PRESETS) == {"rebuild-storm", "bb-drain"}
+        assert preset("eviction-storm") is EVICTION_STORM
+        assert set(PRESETS) == {"rebuild-storm", "bb-drain", "eviction-storm"}
 
     def test_unknown_preset(self):
         with pytest.raises(ConfigurationError, match="unknown degradation"):
@@ -46,6 +48,8 @@ class TestPresets:
         assert REBUILD_STORM.capacity_factor == pytest.approx(0.585)
         # Burst-buffer eviction drain: 75% of nodes at 95%.
         assert BB_DRAIN.capacity_factor == pytest.approx(0.7125)
+        # Eviction storm: 80% of nodes at 70% effectiveness.
+        assert EVICTION_STORM.capacity_factor == pytest.approx(0.56)
 
 
 class TestDegradeLayer:

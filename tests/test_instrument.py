@@ -154,3 +154,24 @@ class TestEndToEndEquivalence:
                     & (ingested.files["interface"] == iface)
                 ).sum()
                 assert a == b
+
+    def test_extension_preseed_shares_codes(self, summit_store_small):
+        """``extensions=`` pins the catalog prefix, so an ingested store
+        can share ext codes with the generated store it came from."""
+        store = summit_store_small
+        machine = summit()
+        mat = LogMaterializer(machine, store)
+        logs = mat.materialize_many(4)
+        ingested = ingest_logs(
+            logs, "summit", machine.mount_table(),
+            domains=store.domains, extensions=store.extensions,
+            scale=store.scale,
+        )
+        n = len(store.extensions)
+        assert list(ingested.extensions[:n]) == list(store.extensions)
+        ids = mat.log_ids(4)
+        orig = store.files[np.isin(store.files["log_id"], ids)]
+        names = lambda s, rows: sorted(  # noqa: E731
+            s.extensions[c] for c in rows["ext"]
+        )
+        assert names(ingested, ingested.files) == names(store, orig)

@@ -152,3 +152,65 @@ class TestDomainCatalogs:
         assert "staff" in SUMMIT_DOMAINS
         assert "fusion" in CORI_DOMAINS
         assert "energy sciences" in CORI_DOMAINS
+
+
+class TestGoldenMixCharacterization:
+    """The calibrated mixes, pinned structurally.
+
+    The spec DSL's ``paper`` pattern re-emits these mixes verbatim and
+    its byte-identity contract depends on them not drifting silently —
+    so every weight, group shape, and domain table is pinned in
+    ``tests/goldens/mixes_characterization.json``. An intentional
+    recalibration regenerates the golden in the same commit.
+    """
+
+    @staticmethod
+    def characterize(mix):
+        return [
+            {
+                "name": spec.name,
+                "weight": weight,
+                "procs_per_node": spec.procs_per_node,
+                "domains": dict(sorted(spec.domains.items())),
+                "groups": [
+                    {
+                        "name": g.name,
+                        "layer": g.layer,
+                        "interface": g.interface.name,
+                        "files_per_run": g.files_per_run,
+                        "opclass_probs": list(g.opclass_probs),
+                        "shared_prob": g.shared_prob,
+                        "collective": g.collective,
+                    }
+                    for g in spec.groups
+                ],
+            }
+            for weight, spec in mix
+        ]
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        import json
+        import os
+
+        path = os.path.join(
+            os.path.dirname(__file__),
+            "goldens",
+            "mixes_characterization.json",
+        )
+        with open(path) as fh:
+            return json.load(fh)
+
+    @pytest.mark.parametrize("platform,mix_fn", [
+        ("summit", summit_mix),
+        ("cori", cori_mix),
+    ])
+    def test_mix_matches_golden(self, platform, mix_fn, golden):
+        import json
+
+        measured = json.loads(json.dumps(self.characterize(mix_fn())))
+        assert measured == golden[platform], (
+            f"{platform} mix drifted from its golden characterization; "
+            "if the recalibration is intentional, regenerate "
+            "tests/goldens/mixes_characterization.json in this commit"
+        )
